@@ -1,0 +1,33 @@
+# Convenience targets for the ResCCL reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-fast examples experiments lint clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q -s
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+experiments:
+	@for id in $$($(PYTHON) -m repro experiment --list); do \
+		echo "=== $$id ==="; \
+		$(PYTHON) -m repro experiment $$id || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

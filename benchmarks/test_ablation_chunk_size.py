@@ -1,0 +1,27 @@
+"""Ablation: the transfer chunk size (Table 2's ChunkSize = 1 MB).
+
+The chunk is the unit of a single primitive invocation; the buffer
+splits into micro-batches of one chunk per buffer slot.  Large chunks
+starve task-level pipelining of micro-batches (the paper's own
+explanation for its small-buffer behaviour: "small messages yield fewer
+micro-batches, reducing scheduling opportunities"); the 1 MB default
+sits on the flat part of the curve.
+"""
+
+from conftest import once
+
+from repro.experiments import ablations
+
+
+def test_ablation_chunk_size(once):
+    result = once(ablations.run_chunk_size)
+    print("\n" + result.render())
+
+    results = {chunk: gbps for chunk, (_, gbps) in result.data.items()}
+    best = max(results.values())
+    # The paper's 1 MB default is on the flat part of the curve.
+    assert results[1.0] > 0.90 * best
+    # Oversized chunks collapse pipelining (single micro-batch).
+    assert results[16.0] < 0.60 * results[1.0]
+    # Bandwidth declines monotonically beyond the default.
+    assert results[1.0] >= results[2.0] >= results[4.0] >= results[16.0]

@@ -1,0 +1,45 @@
+"""Ablation: the section 3 execution-granularity taxonomy (Eq. 3-5).
+
+Algorithm-level (T_A) vs stage-level (T_S) vs task-level (T_P) execution
+of the identical HM AllReduce, all in interpreter mode so the measured
+differences isolate scheduling granularity.  Equation 6 predicts T_P
+strictly smallest once micro-batches accumulate.
+"""
+
+from conftest import once
+
+from repro.experiments import ablations
+
+SIZES_MB = (16, 64, 256)
+
+
+def test_ablation_execution_granularity(once):
+    result = once(ablations.run_granularity, SIZES_MB)
+    print("\n" + result.render())
+
+    results = result.data
+    for size, by_level in results.items():
+        t_a = by_level["algorithm-level"].completion_time_us
+        t_s = by_level["stage-level"].completion_time_us
+        t_p = by_level["task-level"].completion_time_us
+        # The paper's ordering: task-level beats both other granularities.
+        assert t_p < t_s, size
+        assert t_p < t_a, size
+    # Stage-level buys its speed with extra channels.
+    sample = results[SIZES_MB[-1]]
+    assert (
+        sample["stage-level"].max_tbs_per_rank()
+        > sample["task-level"].max_tbs_per_rank()
+    )
+    # The task-level advantage grows with the micro-batch count (Eq. 6's
+    # n -> infinity limit).
+    small, large = SIZES_MB[0], SIZES_MB[-1]
+    gain_small = (
+        results[small]["algorithm-level"].completion_time_us
+        / results[small]["task-level"].completion_time_us
+    )
+    gain_large = (
+        results[large]["algorithm-level"].completion_time_us
+        / results[large]["task-level"].completion_time_us
+    )
+    assert gain_large > gain_small * 0.95  # never regresses; usually grows

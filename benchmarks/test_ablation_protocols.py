@@ -1,0 +1,27 @@
+"""Ablation: transport protocols (Table 2's Simple / LL / LL128).
+
+The setup section's trade-off — Simple for sustained bandwidth, LL for
+latency, LL128 for both (partially) — must show as a crossover: the
+low-latency protocols win on tiny buffers, Simple wins at scale.
+"""
+
+from conftest import once
+
+from repro.experiments import ablations
+
+
+def test_ablation_transport_protocols(once):
+    result = once(ablations.run_protocols)
+    print("\n" + result.render())
+
+    results = result.data
+    # Latency regime: the low-latency protocols beat Simple on tiny
+    # buffers.
+    assert results[("LL128", 1)] > results[("Simple", 1)]
+    # Bandwidth regime: Simple sustains the most at scale.
+    assert results[("Simple", 512)] > results[("LL", 512)]
+    assert results[("Simple", 512)] >= results[("LL128", 512)] * 0.98
+    # LL's 50% wire efficiency caps it well below Simple at scale.
+    assert results[("LL", 512)] < 0.75 * results[("Simple", 512)]
+    # LL128 recovers most of the bandwidth LL gives up.
+    assert results[("LL128", 512)] > 1.3 * results[("LL", 512)]

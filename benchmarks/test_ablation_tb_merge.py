@@ -1,0 +1,36 @@
+"""Ablation: the TB-merge pipelining allowance (DESIGN.md design choice).
+
+A naive (allowance-0) merge serializes connections whose static windows
+merely abut: HM ReduceScatter collapses 16 endpoints into 4 TBs and loses
+over 2x bandwidth; TACCL AllGather's genuinely phase-separated endpoints
+merge for free under either policy.
+"""
+
+from conftest import once
+
+from repro.experiments import ablations
+
+
+def test_ablation_tb_merge_allowance(once):
+    result = once(ablations.run_tb_merge)
+    print("\n" + result.render())
+
+    results = result.data
+    hm = results["HM ReduceScatter"]
+    naive, guarded = (
+        hm["naive merge (allowance 0)"],
+        hm["allowance = n_mb"],
+    )
+    # The naive merge over-serializes the reduce chains badly.
+    assert guarded.algo_bandwidth > 1.5 * naive.algo_bandwidth
+    assert naive.max_tbs_per_rank() < guarded.max_tbs_per_rank()
+
+    taccl = results["TACCL AllGather"]
+    naive, guarded = (
+        taccl["naive merge (allowance 0)"],
+        taccl["allowance = n_mb"],
+    )
+    # Phase-separated connections keep their merge either way: same TB
+    # footprint, no bandwidth cost.
+    assert guarded.max_tbs_per_rank() == naive.max_tbs_per_rank()
+    assert guarded.algo_bandwidth >= 0.95 * naive.algo_bandwidth

@@ -1,0 +1,27 @@
+"""Figure 10(b): HPDS vs round-robin scheduling.
+
+Paper finding: on an 8-GPU two-server topology, HPDS consistently
+outperforms round-robin on expert and synthesized algorithms, up to 187%.
+
+Shape to reproduce: HPDS never meaningfully worse, clear wins where
+arbitration freedom exists.  The fluid-flow runtime forgives ordering
+differences real hardware punishes, so the margin is far below 187%
+(see EXPERIMENTS.md).
+"""
+
+from conftest import once
+
+from repro.experiments import fig10
+
+
+def test_fig10b_hpds_vs_rr(once):
+    result = once(fig10.run_schedulers)
+    print("\n" + result.render())
+
+    speedups = {key: h / r for key, (h, r) in result.data.items()}
+    # HPDS never loses meaningfully.
+    assert all(s > 0.90 for s in speedups.values()), speedups
+    # And wins clearly somewhere (synthesized schedules).
+    assert max(speedups.values()) > 1.10
+    # On aggregate HPDS is at least on par.
+    assert sum(speedups.values()) / len(speedups) > 0.97

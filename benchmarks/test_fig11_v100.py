@@ -1,0 +1,24 @@
+"""Figure 11: custom algorithms on the heterogeneous V100 cluster.
+
+Paper findings (V100, 100G RoCE): ResCCL over NCCL 2.1x-4.2x depending
+on the operator, and over MSCCL up to 2.7x (AG small), 30.4% (RS),
+68.2% (AR).
+"""
+
+from conftest import once
+
+from repro.experiments import fig11
+
+
+def test_fig11_v100_custom_algorithms(once):
+    result = once(fig11.run)
+    print("\n" + result.render())
+
+    results = result.data
+    for (name, size), bws in results.items():
+        if size >= 128:
+            assert bws["ResCCL"] > bws["NCCL"], (name, size)
+            assert bws["ResCCL"] >= 0.99 * bws["MSCCL"], (name, size)
+    # AllGather's large-buffer NCCL gap lands in the paper's multi-x band.
+    ag = results[("HM-AllGather", 2048)]
+    assert ag["ResCCL"] / ag["NCCL"] > 1.3

@@ -1,0 +1,32 @@
+"""Figure 13: end-to-end Megatron training throughput, GPT-3 and T5.
+
+Paper findings: T5 (DP) +18-39% over NCCL and +7.1%-1.8x over MSCCL;
+GPT-3 (TP) +11-20% over NCCL and +7.5-29.3% over MSCCL.
+
+Shape to reproduce: ResCCL > NCCL and ResCCL > MSCCL on every model,
+with T5 (communication-heavier) gaining more than GPT-3.
+"""
+
+from conftest import once
+
+from repro.experiments import fig13
+
+
+def test_fig13_training_throughput(once):
+    result = once(fig13.run)
+    print("\n" + result.render())
+
+    results = result.data
+    for model, bws in results.items():
+        # ResCCL improves end-to-end throughput over both baselines.
+        assert bws["ResCCL"] > bws["NCCL"], model
+        assert bws["ResCCL"] > bws["MSCCL"], model
+
+    # T5 gains more than GPT-3 (communication-heavier workload).
+    t5_gain = results["T5 220M"]["ResCCL"] / results["T5 220M"]["NCCL"] - 1
+    gpt_gain = (
+        results["GPT-3 44B"]["ResCCL"] / results["GPT-3 44B"]["NCCL"] - 1
+    )
+    assert t5_gain > gpt_gain
+    # Double-digit percentage gain at the communication-bound end.
+    assert t5_gain > 0.10

@@ -1,0 +1,27 @@
+"""Figure 4: impact of TB parallelism on communication bandwidth.
+
+The paper emulates a two-GPU AllGather over a single NIC while varying
+the TB count: bandwidth climbs to a peak at four (4-warp) TBs — where
+aggregate thread-level copy capability matches line rate — then degrades
+as extra TBs contend for the link (the communication-dependency evidence
+motivating Equation 1).
+"""
+
+from conftest import once
+
+from repro.experiments import fig4
+
+
+def test_fig4_tb_parallelism(once):
+    result = once(fig4.run)
+    print("\n" + result.render())
+
+    by_count = dict(result.data)
+    peak = max(by_count.values())
+    # Rising region: each TB adds capability until the link saturates.
+    assert by_count[1] < by_count[2] < by_count[4]
+    # 4 TBs is the sweet spot (aggregate capability == line rate).
+    assert by_count[4] == peak
+    # Over-subscription degrades bandwidth (Equation 1's penalty).
+    assert by_count[8] < by_count[4]
+    assert by_count[16] < by_count[8]

@@ -1,0 +1,36 @@
+"""Table 3: TB resource utilization, ResCCL vs MSCCL, four topologies.
+
+Paper highlights: expert TB counts 14 -> 8 (Topo1) and 30 -> 16 (Topo2);
+synthesized TB savings up to 77.8% and average idle reductions up to
+41.6 points; MSCCL's worst TBs idle up to 99.9%.
+"""
+
+from conftest import once
+
+from repro.experiments import table3
+
+
+def test_table3_tb_utilization(once):
+    result = once(table3.run)
+    print("\n" + result.render())
+
+    results = result.data
+    tb_savings = []
+    idle_gains = []
+    for (topo, algo), backends in results.items():
+        msccl, resccl = backends["MSCCL"], backends["ResCCL"]
+        # ResCCL always uses fewer TBs on the same algorithm.
+        assert resccl.tbs_per_rank < msccl.tbs_per_rank, (topo, algo)
+        # And keeps them busier on average.
+        assert resccl.avg_idle_fraction < msccl.avg_idle_fraction, (topo, algo)
+        tb_savings.append(1 - resccl.tbs_per_rank / msccl.tbs_per_rank)
+        idle_gains.append(msccl.avg_idle_fraction - resccl.avg_idle_fraction)
+
+    # Table 3 Topo1/Topo2 expert TB counts match the paper exactly.
+    assert results[("Topo1", "Expert AR")]["MSCCL"].tbs_per_rank == 14
+    assert results[("Topo1", "Expert AR")]["ResCCL"].tbs_per_rank == 8
+    assert results[("Topo2", "Expert AR")]["MSCCL"].tbs_per_rank == 30
+    assert results[("Topo2", "Expert AR")]["ResCCL"].tbs_per_rank == 16
+    # Peak savings in the paper's bands.
+    assert max(tb_savings) > 0.60
+    assert max(idle_gains) > 0.30

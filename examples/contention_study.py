@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Congestion study: conflict-free allocation as congestion mitigation.
+
+Section 4.4 of the paper argues that because link-level conflicts
+manifest as transmission slowdowns — fundamentally a form of link
+congestion — ResCCL's state-based allocation inherently mitigates
+congestion.  This example makes that visible two ways:
+
+1. sweep the fabric's contention penalty (Equation 1's gamma): MSCCL's
+   many-channel execution collapses, ResCCL barely moves;
+2. inject an external congestor job streaming through every NIC and
+   compare the surviving bandwidth.
+"""
+
+from repro import MB, MSCCLBackend, ResCCLBackend, multi_node, simulate
+from repro.algorithms import hm_allreduce
+from repro.analysis import format_table
+from repro.runtime.plan import SimConfig
+
+
+def congestors_on_all_nics(cluster, rate):
+    flows = []
+    for node in range(cluster.nodes):
+        for nic in range(cluster.nics_per_node):
+            flows.append(((f"nic:out:{node}:{nic}",), rate))
+            flows.append(((f"nic:in:{node}:{nic}",), rate))
+    return flows
+
+
+def main() -> None:
+    cluster = multi_node(2, 8)
+    program = hm_allreduce(2, 8)
+    buffer_bytes = 128 * MB
+    half_line_rate = cluster.profile.nic.bandwidth / 2
+
+    print("HM AllReduce, 2 servers x 8 GPUs, 128 MB buffer")
+    print("congestor: another job pushing half line rate through every NIC\n")
+
+    rows = []
+    for gamma in (0.0, 0.03, 0.1, 0.3):
+        row = [f"{gamma:.2f}"]
+        for name, backend in (
+            (
+                "MSCCL",
+                MSCCLBackend(
+                    instances=4,
+                    max_microbatches=16,
+                    config=SimConfig(gamma=gamma, fifo_depth=1),
+                ),
+            ),
+            (
+                "ResCCL",
+                ResCCLBackend(
+                    max_microbatches=16, config=SimConfig(gamma=gamma)
+                ),
+            ),
+        ):
+            clean = simulate(backend.plan(cluster, program, buffer_bytes))
+            loaded = simulate(
+                backend.plan(cluster, program, buffer_bytes),
+                background_traffic=congestors_on_all_nics(
+                    cluster, half_line_rate
+                ),
+            )
+            row += [
+                f"{clean.algo_bandwidth_gbps:.1f}",
+                f"{loaded.algo_bandwidth_gbps:.1f}",
+            ]
+        rows.append(row)
+
+    print(
+        format_table(
+            ["gamma", "MSCCL clean", "MSCCL loaded", "ResCCL clean",
+             "ResCCL loaded"],
+            rows,
+        )
+    )
+    print(
+        "\nReading the table: gamma is how brutally the fabric punishes "
+        "concurrent flows on one link.  MSCCL's per-stage channels and "
+        "instances put many flows on every link, so its clean bandwidth "
+        "collapses as gamma grows; ResCCL schedules at most one flow per "
+        "link and barely notices.  Under the external congestor, ResCCL "
+        "retains the highest absolute bandwidth on any fabric with a "
+        "real conflict penalty."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""End-to-end LLM training throughput with swappable CCL backends.
+
+The Figure 13 experiment: train GPT-3 (tensor parallel) and T5 (data
+parallel) under a Megatron-style iteration model where every collective
+is executed by the chosen backend in the discrete-event runtime.
+"""
+
+from repro import MSCCLBackend, NCCLBackend, ResCCLBackend, multi_node
+from repro.analysis import format_table
+from repro.training import (
+    GPT3_MODELS,
+    MegatronSimulator,
+    ParallelConfig,
+    T5_MODELS,
+)
+
+
+def run_suite(title, cluster, jobs):
+    print(f"\n=== {title} ===")
+    backends = {
+        "NCCL": NCCLBackend(max_microbatches=8),
+        "MSCCL": MSCCLBackend(max_microbatches=8),
+        "ResCCL": ResCCLBackend(max_microbatches=8),
+    }
+    rows = []
+    for model, parallel in jobs:
+        throughputs = {}
+        comm_fraction = 0.0
+        for name, backend in backends.items():
+            simulator = MegatronSimulator(cluster, backend)
+            throughputs[name] = simulator.throughput(model, parallel)
+            if name == "NCCL":
+                comm_fraction = simulator.iteration(
+                    model, parallel
+                ).comm_fraction
+        rows.append(
+            [
+                model.name,
+                f"tp={parallel.tp} dp={parallel.dp}",
+                f"{throughputs['NCCL']:.1f}",
+                f"{throughputs['MSCCL']:.1f}",
+                f"{throughputs['ResCCL']:.1f}",
+                f"{throughputs['ResCCL'] / throughputs['NCCL'] - 1:+.1%}",
+                f"{throughputs['ResCCL'] / throughputs['MSCCL'] - 1:+.1%}",
+                f"{comm_fraction:.0%}",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "model",
+                "layout",
+                "NCCL sps",
+                "MSCCL sps",
+                "ResCCL sps",
+                "vs NCCL",
+                "vs MSCCL",
+                "comm frac",
+            ],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    # Models under 13B params: 2 servers (16 GPUs), batch 16 (section 5.5).
+    cluster16 = multi_node(2, 8)
+    run_suite(
+        "T5 (data parallel, DP=16, 16 GPUs)",
+        cluster16,
+        [
+            (model, ParallelConfig(tp=1, dp=16, batch_size=16))
+            for model in T5_MODELS
+        ],
+    )
+    run_suite(
+        "GPT-3 small (tensor parallel, TP=8 DP=2, 16 GPUs)",
+        cluster16,
+        [
+            (
+                model,
+                ParallelConfig(tp=8, dp=2, batch_size=16, microbatch_size=4),
+            )
+            for model in GPT3_MODELS[:2]
+        ],
+    )
+    # Larger models: 4 servers (32 GPUs), batch 32.
+    cluster32 = multi_node(4, 8)
+    run_suite(
+        "GPT-3 large (tensor parallel, TP=8 DP=4, 32 GPUs)",
+        cluster32,
+        [
+            (
+                model,
+                ParallelConfig(tp=8, dp=4, batch_size=32, microbatch_size=4),
+            )
+            for model in GPT3_MODELS[2:]
+        ],
+    )
+
+
+if __name__ == "__main__":
+    main()

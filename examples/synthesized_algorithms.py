@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Execute synthesizer-generated algorithms on MSCCL vs ResCCL.
+
+Reproduces the section 5.2 "synthesized algorithms" workflow: the TACCL
+and TECCL stand-ins generate AllGather/AllReduce schedules for the
+cluster; both backends then execute the *same* algorithm, isolating the
+backend's contribution — exactly the Figure 7 experiment.
+
+Also reports the resource side (Table 3): TB counts and idle ratios.
+"""
+
+from repro import MB, MSCCLBackend, ResCCLBackend, multi_node, simulate
+from repro.analysis import format_table
+from repro.ir.task import Collective
+from repro.synth import TACCLSynthesizer, TECCLSynthesizer
+
+
+def main() -> None:
+    cluster = multi_node(nodes=2, gpus_per_node=8)
+    buffer_bytes = 256 * MB
+    # "Default/4": MSCCL runs synthesized algorithms with 4 channel
+    # instances (Table 2); ResCCL needs no manual channel tuning.
+    msccl = MSCCLBackend(instances=4)
+    resccl = ResCCLBackend()
+
+    rows = []
+    for synthesizer in (TACCLSynthesizer(), TECCLSynthesizer()):
+        for collective in (Collective.ALLGATHER, Collective.ALLREDUCE):
+            program = synthesizer.synthesize(cluster, collective)
+            msccl_report = simulate(msccl.plan(cluster, program, buffer_bytes))
+            resccl_report = simulate(
+                resccl.plan(cluster, program, buffer_bytes)
+            )
+            speedup = (
+                resccl_report.algo_bandwidth / msccl_report.algo_bandwidth
+            )
+            tb_saving = 1.0 - (
+                resccl_report.tb_count() / msccl_report.tb_count()
+            )
+            rows.append(
+                [
+                    program.name,
+                    f"{msccl_report.algo_bandwidth_gbps:.1f}",
+                    f"{resccl_report.algo_bandwidth_gbps:.1f}",
+                    f"{speedup:.2f}x",
+                    f"{msccl_report.max_tbs_per_rank()}",
+                    f"{resccl_report.max_tbs_per_rank()}",
+                    f"{tb_saving:.0%}",
+                    f"{msccl_report.avg_idle_fraction():.0%}",
+                    f"{resccl_report.avg_idle_fraction():.0%}",
+                ]
+            )
+
+    print(f"Cluster: {cluster}; buffer 256 MB; MSCCL instances=4\n")
+    print(
+        format_table(
+            [
+                "algorithm",
+                "MSCCL GB/s",
+                "ResCCL GB/s",
+                "speedup",
+                "MSCCL TB/rank",
+                "ResCCL TB/rank",
+                "TB saving",
+                "MSCCL idle",
+                "ResCCL idle",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nResCCL executes the identical synthesized schedules faster with "
+        "a fraction of the thread blocks — the paper's headline resource "
+        "result (up to 77.8% fewer TBs)."
+    )
+
+
+if __name__ == "__main__":
+    main()

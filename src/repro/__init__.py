@@ -1,0 +1,64 @@
+"""ResCCL reproduction: resource-efficient scheduling for collective communication.
+
+A full-system reproduction of *ResCCL: Resource-Efficient Scheduling for
+Collective Communication* (SIGCOMM '25) in pure Python.  The real system
+executes CUDA kernels on A100/V100 clusters; this library substitutes a
+calibrated discrete-event fabric/GPU model (see DESIGN.md) and rebuilds
+everything above it:
+
+* :mod:`repro.lang` — ResCCLang, the algorithm DSL (builder + parser);
+* :mod:`repro.ir` — transmission tasks, primitives, the dependency DAG;
+* :mod:`repro.core` — the ResCCL backend: HPDS scheduling, state-based
+  TB allocation, lightweight kernel generation;
+* :mod:`repro.baselines` — NCCL-like and MSCCL-like backends;
+* :mod:`repro.algorithms` — ring / tree / mesh / hierarchical-mesh
+  expert algorithms;
+* :mod:`repro.synth` — TACCL and TECCL synthesizer stand-ins;
+* :mod:`repro.runtime` — the discrete-event runtime and correctness
+  engine;
+* :mod:`repro.training` — the Megatron-style end-to-end trainer model;
+* :mod:`repro.topology` / :mod:`repro.analysis` — cluster models and
+  result aggregation.
+
+Quickstart::
+
+    from repro import ResCCLBackend, multi_node, simulate
+    from repro.algorithms import hm_allreduce
+    from repro.runtime import MB
+
+    cluster = multi_node(2, 8)
+    backend = ResCCLBackend()
+    plan = backend.plan(cluster, hm_allreduce(2, 8), 256 * MB)
+    print(simulate(plan).summary())
+"""
+
+from .baselines import MSCCLBackend, NCCLBackend
+from .core import ResCCLBackend, ResCCLCompiler
+from .ir import Collective, CommType, Transfer
+from .lang import AlgoProgram, parse_program, validate_program
+from .runtime import MB, ExecMode, SimConfig, simulate, verify_collective
+from .topology import Cluster, multi_node, single_node
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ResCCLBackend",
+    "ResCCLCompiler",
+    "NCCLBackend",
+    "MSCCLBackend",
+    "AlgoProgram",
+    "parse_program",
+    "validate_program",
+    "Collective",
+    "CommType",
+    "Transfer",
+    "Cluster",
+    "single_node",
+    "multi_node",
+    "simulate",
+    "verify_collective",
+    "SimConfig",
+    "ExecMode",
+    "MB",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Built-in collective algorithms: ring, double binary tree, hierarchical mesh."""
+
+from .hierarchical import hm_allgather, hm_allreduce, hm_reducescatter
+from .mesh import mesh_allgather, mesh_allreduce, mesh_reducescatter
+from .registry import AlgorithmFactory, available_algorithms, build_algorithm
+from .ring import ring_allgather, ring_allreduce, ring_reducescatter
+from .tree import double_binary_tree_allreduce
+
+__all__ = [
+    "ring_allgather",
+    "ring_reducescatter",
+    "ring_allreduce",
+    "double_binary_tree_allreduce",
+    "mesh_allgather",
+    "mesh_reducescatter",
+    "mesh_allreduce",
+    "hm_allgather",
+    "hm_reducescatter",
+    "hm_allreduce",
+    "build_algorithm",
+    "available_algorithms",
+    "AlgorithmFactory",
+]

@@ -1,0 +1,203 @@
+"""Hierarchical-mesh (HM) expert algorithms from the paper's Appendix A.
+
+These are the expert-designed algorithms the paper evaluates in section
+5.2: intra-server phases use the NVSwitch full mesh (direct sends between
+every local GPU pair), inter-server phases use rings over "ring-aligned"
+peers — ranks with the same local index on consecutive servers, which
+share NIC resources in a balanced way.
+
+``hm_allreduce`` follows the Figure 16 ResCCLang listing exactly,
+generalized from the 4x8 example to any (nodes, gpus-per-node) shape.
+"""
+
+from __future__ import annotations
+
+from ..ir.task import Collective, CommType
+from ..lang.builder import AlgoProgram
+
+
+def _check_shape(nnodes: int, gpus_per_node: int) -> None:
+    if nnodes < 2:
+        raise ValueError(f"HM algorithms need >= 2 nodes, got {nnodes}")
+    if gpus_per_node < 2:
+        raise ValueError(
+            f"HM algorithms need >= 2 GPUs per node, got {gpus_per_node}"
+        )
+
+
+def hm_allgather(
+    nnodes: int, gpus_per_node: int, name: str = "hm-allgather"
+) -> AlgoProgram:
+    """HM AllGather (Appendix A): two broadcast stages.
+
+    *Broadcast 1*: every GPU full-mesh-broadcasts its own chunk to local
+    peers (one step — the sends go to distinct peers over distinct NVLink
+    pairs) and simultaneously forwards chunks around the inter-node ring of
+    ring-aligned peers.
+
+    *Broadcast 2*: chunks received from remote ring peers are re-broadcast
+    full-mesh to local GPUs.
+    """
+    _check_shape(nnodes, gpus_per_node)
+    nranks = nnodes * gpus_per_node
+    program = AlgoProgram.create(
+        nranks,
+        Collective.ALLGATHER,
+        name=name,
+        gpus_per_node=gpus_per_node,
+    )
+    # Broadcast 1 (intra): each rank sends its own chunk to every local peer.
+    for node in range(nnodes):
+        for local in range(gpus_per_node):
+            src = node * gpus_per_node + local
+            for offset in range(gpus_per_node - 1):
+                dst = node * gpus_per_node + (local + offset + 1) % gpus_per_node
+                program.transfer(src, dst, 0, src, CommType.RECV)
+    # Broadcast 1 (inter): ring over ring-aligned peers.  At ring step b,
+    # rank x forwards chunk (x - b*G) mod N to the same-local-index rank on
+    # the next node; for b = 0 that is its own chunk.
+    for src in range(nranks):
+        dst = (src + gpus_per_node) % nranks
+        for b in range(nnodes - 1):
+            chunk = (src - b * gpus_per_node) % nranks
+            program.transfer(src, dst, b, chunk, CommType.RECV)
+    # Broadcast 2: re-broadcast remote chunks locally.  Rank x received
+    # chunk (x - (b+1)*G) mod N at inter step b, and fans it out to every
+    # local peer at step (nnodes - 1) + b.
+    for node in range(nnodes):
+        for local in range(gpus_per_node):
+            src = node * gpus_per_node + local
+            for b in range(nnodes - 1):
+                chunk = (src - (b + 1) * gpus_per_node) % nranks
+                step = (nnodes - 1) + b
+                for offset in range(gpus_per_node - 1):
+                    dst = (
+                        node * gpus_per_node
+                        + (local + offset + 1) % gpus_per_node
+                    )
+                    program.transfer(src, dst, step, chunk, CommType.RECV)
+    # Stage boundaries: Broadcast 1 (intra mesh + inter ring) | Broadcast 2.
+    program.stage_starts = [0, nnodes - 1]
+    return program
+
+
+def hm_reducescatter(
+    nnodes: int, gpus_per_node: int, name: str = "hm-reducescatter"
+) -> AlgoProgram:
+    """HM ReduceScatter: intra full-mesh reduce, then inter-ring reduce.
+
+    *Intra-ReduceScatter*: for every node-group ``b`` of chunks, each GPU
+    sends its contribution for chunk ``(dst + b*G) mod N`` directly to the
+    local GPU whose index matches the chunk.
+
+    *Inter-ReduceScatter*: partial sums ride the ring of ring-aligned
+    peers; chunk ``c`` accumulates node-by-node and lands fully reduced on
+    rank ``c``.
+    """
+    _check_shape(nnodes, gpus_per_node)
+    nranks = nnodes * gpus_per_node
+    program = AlgoProgram.create(
+        nranks,
+        Collective.REDUCESCATTER,
+        name=name,
+        gpus_per_node=gpus_per_node,
+    )
+    _emit_intra_reducescatter(program, nnodes, gpus_per_node, base_step=0)
+    # Inter-ReduceScatter: at ring step b, rank x (node n, local r) sends
+    # chunk ((n - b - 1) mod nnodes)*G + r to its ring successor; the final
+    # hop delivers chunk c to rank c.
+    base = nnodes * (gpus_per_node - 1)
+    for node in range(nnodes):
+        for local in range(gpus_per_node):
+            src = node * gpus_per_node + local
+            dst = (src + gpus_per_node) % nranks
+            for b in range(nnodes - 1):
+                chunk = ((node - b - 1) % nnodes) * gpus_per_node + local
+                program.transfer(src, dst, base + b, chunk, CommType.RRC)
+    # Stage boundaries: intra-ReduceScatter | inter-ReduceScatter.
+    program.stage_starts = [0, base]
+    return program
+
+
+def _emit_intra_reducescatter(
+    program: AlgoProgram, nnodes: int, gpus_per_node: int, base_step: int
+) -> None:
+    """Figure 16 lines 5-12: full-mesh intra-node ReduceScatter."""
+    nranks = nnodes * gpus_per_node
+    for node in range(nnodes):
+        for local in range(gpus_per_node):
+            src = node * gpus_per_node + local
+            for b in range(nnodes):
+                for offset in range(gpus_per_node - 1):
+                    dst = (
+                        node * gpus_per_node
+                        + (local + offset + 1) % gpus_per_node
+                    )
+                    step = base_step + b * (gpus_per_node - 1) + offset
+                    chunk = (dst + b * gpus_per_node) % nranks
+                    program.transfer(src, dst, step, chunk, CommType.RRC)
+
+
+def hm_allreduce(
+    nnodes: int, gpus_per_node: int, name: str = "hm-allreduce"
+) -> AlgoProgram:
+    """HM AllReduce — the exact Figure 16 program, shape-generalized.
+
+    Four stages: intra-node full-mesh ReduceScatter, inter-node ring
+    ReduceScatter, inter-node ring AllGather, intra-node full-mesh
+    AllGather.
+    """
+    _check_shape(nnodes, gpus_per_node)
+    nranks = nnodes * gpus_per_node
+    program = AlgoProgram.create(
+        nranks,
+        Collective.ALLREDUCE,
+        name=name,
+        gpus_per_node=gpus_per_node,
+    )
+    # Stage 1 (Figure 16 lines 5-12): intra-node ReduceScatter.
+    _emit_intra_reducescatter(program, nnodes, gpus_per_node, base_step=0)
+    # Stage 2 (lines 13-19): inter-node ring ReduceScatter.
+    for node in range(nnodes):
+        for local in range(gpus_per_node):
+            src = node * gpus_per_node + local
+            dst = (src + gpus_per_node) % nranks
+            for b in range(nnodes - 1):
+                step = nnodes * (gpus_per_node - 1) + b
+                chunk = (src + nranks - b * gpus_per_node) % nranks
+                program.transfer(src, dst, step, chunk, CommType.RRC)
+    # Stage 3 (lines 20-27): inter-node ring AllGather.
+    for node in range(nnodes):
+        for local in range(gpus_per_node):
+            src = node * gpus_per_node + local
+            dst = (src + gpus_per_node) % nranks
+            for b in range(nnodes - 1):
+                step = nnodes * (gpus_per_node - 1) + nnodes - 1 + b
+                chunk = (
+                    src + nranks - (b + nnodes - 1) * gpus_per_node
+                ) % nranks
+                program.transfer(src, dst, step, chunk, CommType.RECV)
+    # Stage 4 (lines 28-35): intra-node full-mesh AllGather.
+    for node in range(nnodes):
+        for local in range(gpus_per_node):
+            src = node * gpus_per_node + local
+            for b in range(nnodes):
+                step = nnodes * (gpus_per_node - 1) + 2 * nnodes - 2 + b
+                chunk = (src + b * gpus_per_node) % nranks
+                for offset in range(gpus_per_node - 1):
+                    dst = (
+                        node * gpus_per_node
+                        + (local + offset + 1) % gpus_per_node
+                    )
+                    program.transfer(src, dst, step, chunk, CommType.RECV)
+    # Stage boundaries (Appendix A): intra-RS | inter-RS | inter-AG | intra-AG.
+    program.stage_starts = [
+        0,
+        nnodes * (gpus_per_node - 1),
+        nnodes * (gpus_per_node - 1) + nnodes - 1,
+        nnodes * (gpus_per_node - 1) + 2 * nnodes - 2,
+    ]
+    return program
+
+
+__all__ = ["hm_allgather", "hm_reducescatter", "hm_allreduce"]

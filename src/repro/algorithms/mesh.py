@@ -1,0 +1,75 @@
+"""Single-node full-mesh collectives over NVSwitch.
+
+Inside one server every GPU pair has a direct NVSwitch path, so the
+expert-designed single-node algorithms are one-hop full meshes — the
+"custom single-node AllReduce" of the paper's Figure 2 motivation
+experiment, and the intra-node building block of the Appendix A
+hierarchical algorithms.
+"""
+
+from __future__ import annotations
+
+from ..ir.task import Collective, CommType
+from ..lang.builder import AlgoProgram
+
+
+def _check_size(nranks: int) -> None:
+    if nranks < 2:
+        raise ValueError(f"mesh algorithms need >= 2 ranks, got {nranks}")
+
+
+def mesh_allgather(nranks: int, name: str = "mesh-allgather") -> AlgoProgram:
+    """One-hop AllGather: every rank sends its chunk to every peer.
+
+    All sends share step 0 — they go to distinct destinations over
+    distinct NVSwitch paths and write distinct buffer slots.
+    """
+    _check_size(nranks)
+    program = AlgoProgram.create(nranks, Collective.ALLGATHER, name=name)
+    for src in range(nranks):
+        for offset in range(nranks - 1):
+            dst = (src + offset + 1) % nranks
+            program.transfer(src, dst, 0, src, CommType.RECV)
+    return program
+
+
+def mesh_reducescatter(
+    nranks: int, name: str = "mesh-reducescatter"
+) -> AlgoProgram:
+    """One-hop ReduceScatter: contributions converge on each chunk's owner.
+
+    Writes into one destination slot are serialized across steps
+    ``0..nranks-2`` (reductions into the same buffer cannot race), but
+    different destinations proceed in parallel at every step.
+    """
+    _check_size(nranks)
+    program = AlgoProgram.create(nranks, Collective.REDUCESCATTER, name=name)
+    for src in range(nranks):
+        for offset in range(nranks - 1):
+            dst = (src + offset + 1) % nranks
+            program.transfer(src, dst, offset, dst, CommType.RRC)
+    return program
+
+
+def mesh_allreduce(nranks: int, name: str = "mesh-allreduce") -> AlgoProgram:
+    """Full-mesh AllReduce: one-hop ReduceScatter then one-hop AllGather.
+
+    This is the expert-designed single-node AllReduce of the Figure 2
+    motivation experiment.
+    """
+    _check_size(nranks)
+    program = AlgoProgram.create(nranks, Collective.ALLREDUCE, name=name)
+    for src in range(nranks):
+        for offset in range(nranks - 1):
+            dst = (src + offset + 1) % nranks
+            program.transfer(src, dst, offset, dst, CommType.RRC)
+    gather_step = nranks - 1
+    for src in range(nranks):
+        for offset in range(nranks - 1):
+            dst = (src + offset + 1) % nranks
+            program.transfer(src, dst, gather_step, src, CommType.RECV)
+    program.stage_starts = [0, gather_step]
+    return program
+
+
+__all__ = ["mesh_allgather", "mesh_reducescatter", "mesh_allreduce"]

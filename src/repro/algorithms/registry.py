@@ -1,0 +1,66 @@
+"""Name-based registry of built-in algorithm generators.
+
+Maps the names used throughout the benchmarks and examples to builder
+functions.  Generators take the cluster shape and return an
+:class:`~repro.lang.builder.AlgoProgram`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..lang.builder import AlgoProgram
+from ..topology import Cluster
+from .hierarchical import hm_allgather, hm_allreduce, hm_reducescatter
+from .mesh import mesh_allgather, mesh_allreduce, mesh_reducescatter
+from .ring import ring_allgather, ring_allreduce, ring_reducescatter
+from .tree import double_binary_tree_allreduce
+
+AlgorithmFactory = Callable[[Cluster], AlgoProgram]
+
+
+def _for_cluster(builder: Callable[..., AlgoProgram], hierarchical: bool):
+    def factory(cluster: Cluster) -> AlgoProgram:
+        if hierarchical:
+            if cluster.nodes < 2:
+                raise ValueError(
+                    "hierarchical-mesh algorithms need a multi-node cluster"
+                )
+            return builder(cluster.nodes, cluster.gpus_per_node)
+        return builder(cluster.world_size)
+
+    return factory
+
+
+_REGISTRY: Dict[str, AlgorithmFactory] = {
+    "ring-allgather": _for_cluster(ring_allgather, hierarchical=False),
+    "ring-reducescatter": _for_cluster(ring_reducescatter, hierarchical=False),
+    "ring-allreduce": _for_cluster(ring_allreduce, hierarchical=False),
+    "tree-allreduce": _for_cluster(
+        double_binary_tree_allreduce, hierarchical=False
+    ),
+    "mesh-allgather": _for_cluster(mesh_allgather, hierarchical=False),
+    "mesh-reducescatter": _for_cluster(mesh_reducescatter, hierarchical=False),
+    "mesh-allreduce": _for_cluster(mesh_allreduce, hierarchical=False),
+    "hm-allgather": _for_cluster(hm_allgather, hierarchical=True),
+    "hm-reducescatter": _for_cluster(hm_reducescatter, hierarchical=True),
+    "hm-allreduce": _for_cluster(hm_allreduce, hierarchical=True),
+}
+
+
+def available_algorithms() -> List[str]:
+    """Names accepted by :func:`build_algorithm`."""
+    return sorted(_REGISTRY)
+
+
+def build_algorithm(name: str, cluster: Cluster) -> AlgoProgram:
+    """Instantiate a built-in algorithm for a cluster shape."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_algorithms())
+        raise ValueError(f"unknown algorithm {name!r}; known: {known}") from None
+    return factory(cluster)
+
+
+__all__ = ["build_algorithm", "available_algorithms", "AlgorithmFactory"]

@@ -1,0 +1,73 @@
+"""Standard ring collective algorithms.
+
+These are the vendor-standard algorithms NCCL ships (section 2.1): each
+rank talks only to its ring neighbours, giving bandwidth-optimal transfer
+volume at the cost of a latency term linear in the rank count.  The
+AllGather formulation matches the paper's Figure 5(a) ResCCLang example.
+"""
+
+from __future__ import annotations
+
+from ..ir.task import Collective, CommType
+from ..lang.builder import AlgoProgram
+
+
+def ring_allgather(nranks: int, name: str = "ring-allgather") -> AlgoProgram:
+    """Ring AllGather: chunk ``c`` travels ``c -> c+1 -> ... -> c-1``.
+
+    At step ``s`` every rank ``r`` forwards chunk ``(r - s) mod N`` to its
+    successor — exactly the Figure 5(a) program.  After ``N - 1`` steps all
+    ranks hold every chunk.
+    """
+    program = AlgoProgram.create(nranks, Collective.ALLGATHER, name=name)
+    for rank in range(nranks):
+        peer = (rank + 1) % nranks
+        for step in range(nranks - 1):
+            chunk = (rank - step) % nranks
+            program.transfer(rank, peer, step, chunk, CommType.RECV)
+    return program
+
+
+def ring_reducescatter(
+    nranks: int, name: str = "ring-reducescatter"
+) -> AlgoProgram:
+    """Ring ReduceScatter: rank ``r`` ends with chunk ``r`` fully reduced.
+
+    Chunk ``c`` starts its accumulation at rank ``(c + 1) mod N`` and rides
+    the ring for ``N - 1`` reduce hops, arriving fully reduced at rank
+    ``c``.  At step ``s`` rank ``r`` sends chunk ``(r - s - 1) mod N``.
+    """
+    program = AlgoProgram.create(nranks, Collective.REDUCESCATTER, name=name)
+    for rank in range(nranks):
+        peer = (rank + 1) % nranks
+        for step in range(nranks - 1):
+            chunk = (rank - step - 1) % nranks
+            program.transfer(rank, peer, step, chunk, CommType.RRC)
+    return program
+
+
+def ring_allreduce(nranks: int, name: str = "ring-allreduce") -> AlgoProgram:
+    """Ring AllReduce: ReduceScatter followed by AllGather on the ring.
+
+    The paper implements AllReduce as "AllGather combined with its reverse
+    operation" (section 5.2); this is that composition.  Steps ``0..N-2``
+    reduce-scatter, steps ``N-1..2N-3`` all-gather the reduced chunks.
+    """
+    program = AlgoProgram.create(nranks, Collective.ALLREDUCE, name=name)
+    for rank in range(nranks):
+        peer = (rank + 1) % nranks
+        for step in range(nranks - 1):
+            chunk = (rank - step - 1) % nranks
+            program.transfer(rank, peer, step, chunk, CommType.RRC)
+    offset = nranks - 1
+    for rank in range(nranks):
+        peer = (rank + 1) % nranks
+        for step in range(nranks - 1):
+            chunk = (rank - step) % nranks
+            program.transfer(rank, peer, offset + step, chunk, CommType.RECV)
+    # Stage boundaries: ReduceScatter half | AllGather half.
+    program.stage_starts = [0, offset]
+    return program
+
+
+__all__ = ["ring_allgather", "ring_reducescatter", "ring_allreduce"]

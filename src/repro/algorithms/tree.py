@@ -1,0 +1,129 @@
+"""Double binary tree AllReduce (NCCL's latency-optimized algorithm).
+
+NCCL 2.4 introduced double binary trees: two complementary trees each
+carry half of the chunks, so every rank is an interior node in at most one
+tree and link load stays balanced.  Each chunk is reduced leaf-to-root and
+then broadcast root-to-leaves.
+
+We build heap-shaped trees over two rank permutations — the identity and
+its reversal — and route even chunks through tree 0, odd chunks through
+tree 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..ir.task import Collective, CommType
+from ..lang.builder import AlgoProgram
+
+
+def _heap_tree(ranks: Sequence[int]) -> Dict[int, Optional[int]]:
+    """Heap-shaped binary tree: maps rank -> parent rank (root -> None)."""
+    parents: Dict[int, Optional[int]] = {}
+    for position, rank in enumerate(ranks):
+        if position == 0:
+            parents[rank] = None
+        else:
+            parents[rank] = ranks[(position - 1) // 2]
+    return parents
+
+
+def _depths(parents: Dict[int, Optional[int]]) -> Dict[int, int]:
+    depths: Dict[int, int] = {}
+
+    def depth_of(rank: int) -> int:
+        if rank in depths:
+            return depths[rank]
+        parent = parents[rank]
+        value = 0 if parent is None else depth_of(parent) + 1
+        depths[rank] = value
+        return value
+
+    for rank in parents:
+        depth_of(rank)
+    return depths
+
+
+def _children(parents: Dict[int, Optional[int]]) -> Dict[int, List[int]]:
+    children: Dict[int, List[int]] = {rank: [] for rank in parents}
+    for rank, parent in parents.items():
+        if parent is not None:
+            children[parent].append(rank)
+    return children
+
+
+def _reduce_send_steps(parents: Dict[int, Optional[int]]) -> Dict[int, int]:
+    """Step at which each non-root rank reduces into its parent.
+
+    Two constraints: a rank sends only after every child's contribution
+    has landed (step strictly greater than each child's send step), and
+    siblings must write into the shared parent slot at *distinct* steps —
+    two concurrent reductions into one buffer slot would race.
+    """
+    children = _children(parents)
+    steps: Dict[int, int] = {}
+
+    def assign(rank: int) -> int:
+        kids = children[rank]
+        kid_steps = [assign(kid) for kid in kids]
+        # Serialize siblings writing into this rank's slot.
+        floor = -1
+        for kid, _ in sorted(zip(kids, kid_steps), key=lambda pair: pair[1]):
+            steps[kid] = max(steps[kid], floor + 1)
+            floor = steps[kid]
+        own = floor + 1  # after all children have been folded in
+        steps[rank] = own
+        return own
+
+    roots = [rank for rank, parent in parents.items() if parent is None]
+    for root in roots:
+        assign(root)
+    return steps
+
+
+def double_binary_tree_allreduce(
+    nranks: int, name: str = "double-binary-tree-allreduce"
+) -> AlgoProgram:
+    """AllReduce over two complementary binary trees.
+
+    For each chunk: every non-root rank reduces into its parent at a step
+    chosen so children precede parents and siblings never write the parent
+    slot concurrently; the reduced chunk is then broadcast down, the edge
+    into ``child`` firing at step ``B + depth(child)`` where ``B`` is one
+    past the last reduce step.
+    """
+    if nranks < 2:
+        raise ValueError(f"tree allreduce needs >= 2 ranks, got {nranks}")
+    program = AlgoProgram.create(nranks, Collective.ALLREDUCE, name=name)
+    permutations = (
+        list(range(nranks)),
+        list(range(nranks - 1, -1, -1)),
+    )
+    trees: List[
+        Tuple[Dict[int, Optional[int]], Dict[int, int], Dict[int, int], int]
+    ] = []
+    for ranks in permutations:
+        parents = _heap_tree(ranks)
+        depths = _depths(parents)
+        send_steps = _reduce_send_steps(parents)
+        broadcast_base = max(send_steps.values()) + 1
+        trees.append((parents, depths, send_steps, broadcast_base))
+
+    for chunk in range(nranks):
+        parents, depths, send_steps, broadcast_base = trees[chunk % len(trees)]
+        # Reduce phase: leaf-to-root accumulation.
+        for rank, parent in parents.items():
+            if parent is None:
+                continue
+            program.transfer(rank, parent, send_steps[rank], chunk, CommType.RRC)
+        # Broadcast phase: root-to-leaf distribution of the reduced chunk.
+        for rank, parent in parents.items():
+            if parent is None:
+                continue
+            step = broadcast_base + depths[rank]
+            program.transfer(parent, rank, step, chunk, CommType.RECV)
+    return program
+
+
+__all__ = ["double_binary_tree_allreduce"]

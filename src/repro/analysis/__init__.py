@@ -1,0 +1,23 @@
+"""Result analysis: table rows, per-TB breakdowns, comparison helpers."""
+
+from .timeline import ascii_gantt, to_chrome_trace, write_chrome_trace
+from .tables import (
+    TBBreakdownEntry,
+    TBUtilizationRow,
+    compare_bandwidth,
+    format_table,
+    tb_breakdown,
+    worst_idle_tb,
+)
+
+__all__ = [
+    "ascii_gantt",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "TBUtilizationRow",
+    "TBBreakdownEntry",
+    "tb_breakdown",
+    "worst_idle_tb",
+    "compare_bandwidth",
+    "format_table",
+]

@@ -1,0 +1,164 @@
+"""Result aggregation and table formatting for the evaluation harness.
+
+Turns one or more :class:`~repro.runtime.metrics.SimReport` objects into
+the rows the paper's tables and figures report: link utilization
+(Table 1), per-TB breakdowns (Figures 2 and 12), TB-utilization summary
+rows (Table 3), and aligned text tables for benchmark output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..runtime.metrics import SimReport
+
+
+@dataclass
+class TBUtilizationRow:
+    """One backend's Table 3 row for one algorithm/topology cell."""
+
+    backend: str
+    tb_count: int
+    tbs_per_rank: int
+    comm_time_fraction: float
+    avg_idle_fraction: float
+    max_idle_fraction: float
+
+    @classmethod
+    def from_report(cls, report: SimReport, backend: str = "") -> "TBUtilizationRow":
+        return cls(
+            backend=backend or report.plan_name.split("/")[0],
+            tb_count=report.tb_count(),
+            tbs_per_rank=report.max_tbs_per_rank(),
+            comm_time_fraction=report.avg_busy_fraction(),
+            avg_idle_fraction=report.avg_idle_fraction(),
+            max_idle_fraction=report.max_idle_fraction(),
+        )
+
+    def cells(self) -> List[str]:
+        return [
+            self.backend,
+            str(self.tbs_per_rank),
+            f"{self.comm_time_fraction:.1%}",
+            f"{self.avg_idle_fraction:.1%}",
+            f"{self.max_idle_fraction:.1%}",
+        ]
+
+
+@dataclass
+class TBBreakdownEntry:
+    """One TB's Figure 2 / Figure 12 time decomposition."""
+
+    rank: int
+    tb_index: int
+    label: str
+    execution_us: float
+    sync_us: float
+    data_wait_us: float
+    overhead_us: float
+    tail_us: float
+
+    @property
+    def lifetime_us(self) -> float:
+        return (
+            self.execution_us
+            + self.sync_us
+            + self.data_wait_us
+            + self.overhead_us
+            + self.tail_us
+        )
+
+    @property
+    def idle_fraction(self) -> float:
+        if self.lifetime_us <= 0:
+            return 0.0
+        return (self.sync_us + self.data_wait_us + self.tail_us) / self.lifetime_us
+
+
+def tb_breakdown(report: SimReport) -> List[TBBreakdownEntry]:
+    """Per-TB time decomposition, including the retained-SM tail.
+
+    Interpreter backends hold every TB until the kernel exits; generated
+    kernels release TBs as they finish ("Release" in Figure 12), so the
+    tail is zero.
+    """
+    entries: List[TBBreakdownEntry] = []
+    end = report.completion_time_us
+    for tb in report.tb_stats:
+        tail = 0.0 if report.early_release else max(0.0, end - tb.release_time)
+        active_span = tb.release_time
+        waits = max(0.0, active_span - tb.busy - tb.overhead)
+        # Split measured waits by their recorded causes, scaling to close
+        # any rounding gap.
+        recorded = tb.sync_wait + tb.data_wait
+        if recorded > 0:
+            sync = waits * tb.sync_wait / recorded
+            data = waits * tb.data_wait / recorded
+        else:
+            sync, data = waits, 0.0
+        entries.append(
+            TBBreakdownEntry(
+                rank=tb.rank,
+                tb_index=tb.tb_index,
+                label=tb.label,
+                execution_us=tb.busy,
+                sync_us=sync,
+                data_wait_us=data,
+                overhead_us=tb.overhead,
+                tail_us=tail,
+            )
+        )
+    return entries
+
+
+def worst_idle_tb(report: SimReport) -> TBBreakdownEntry:
+    """The most-idle TB — the paper's 98.2%-idle extra-channel headline."""
+    entries = tb_breakdown(report)
+    if not entries:
+        raise ValueError("report has no thread blocks")
+    return max(entries, key=lambda e: e.idle_fraction)
+
+
+def compare_bandwidth(
+    reports: Dict[str, SimReport], baseline: str
+) -> Dict[str, float]:
+    """Speedup of each report over the named baseline."""
+    if baseline not in reports:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(reports)}")
+    base = reports[baseline].algo_bandwidth
+    if base <= 0:
+        raise ValueError(f"baseline {baseline!r} has zero bandwidth")
+    return {
+        name: report.algo_bandwidth / base for name, report in reports.items()
+    }
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[str]], indent: str = ""
+) -> str:
+    """Align columns for terminal output (benchmarks print these)."""
+    materialized = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return indent + "  ".join(
+            str(cell).ljust(widths[i]) for i, cell in enumerate(row)
+        )
+
+    lines = [fmt(headers), indent + "  ".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "TBUtilizationRow",
+    "TBBreakdownEntry",
+    "tb_breakdown",
+    "worst_idle_tb",
+    "compare_bandwidth",
+    "format_table",
+]

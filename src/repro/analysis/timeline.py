@@ -1,0 +1,131 @@
+"""Execution-timeline rendering: ASCII Gantt charts and Chrome traces.
+
+The simulator can record per-TB activity intervals
+(``simulate(plan, record_trace=True)``); this module turns them into
+
+* an ASCII Gantt chart — the quickest way to *see* pipeline bubbles,
+  sync blocking, and early release in a terminal;
+* a Chrome trace-event JSON object — load it at ``chrome://tracing`` or
+  in Perfetto for interactive inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from ..runtime.metrics import SimReport, TraceEvent
+
+#: Gantt glyph per activity kind (later entries win on overlap).
+_GLYPHS = {
+    "wait:sync": "s",
+    "wait:data": "w",
+    "overhead": "o",
+    "recv": "r",
+    "send": "#",
+}
+
+
+def _require_trace(report: SimReport) -> None:
+    if not report.trace:
+        raise ValueError(
+            "report has no trace — run simulate(plan, record_trace=True)"
+        )
+
+
+def ascii_gantt(
+    report: SimReport,
+    width: int = 80,
+    ranks: Optional[List[int]] = None,
+    max_tbs: int = 24,
+) -> str:
+    """Render per-TB activity lanes as an ASCII Gantt chart.
+
+    Legend: ``#`` sending, ``r`` receiving, ``o`` control overhead,
+    ``w`` waiting on data dependencies, ``s`` sync-blocked, ``.`` idle.
+    """
+    _require_trace(report)
+    horizon = report.completion_time_us
+    if horizon <= 0:
+        raise ValueError("empty report")
+    scale = width / horizon
+
+    by_tb: Dict[int, List[TraceEvent]] = defaultdict(list)
+    for event in report.trace:
+        if ranks is None or event.rank in ranks:
+            by_tb[event.tb_index].append(event)
+
+    lines = [
+        f"timeline 0 .. {horizon / 1000.0:.2f} ms   "
+        "(#=send r=recv o=overhead w=data-wait s=sync-wait .=idle)"
+    ]
+    stats_by_index = {
+        i: stats for i, stats in enumerate(report.tb_stats)
+    }
+    for tb_index in sorted(by_tb)[:max_tbs]:
+        lane = ["."] * width
+        for event in by_tb[tb_index]:
+            glyph = _GLYPHS.get(event.kind, "?")
+            lo = min(width - 1, int(event.start_us * scale))
+            hi = min(width, max(lo + 1, int(event.end_us * scale)))
+            for column in range(lo, hi):
+                lane[column] = glyph
+        stats = stats_by_index.get(tb_index)
+        label = (
+            f"r{stats.rank:<3}TB{stats.tb_index:<3}" if stats else f"tb{tb_index}"
+        )
+        lines.append(f"  {label} |{''.join(lane)}|")
+    if len(by_tb) > max_tbs:
+        lines.append(f"  ... {len(by_tb) - max_tbs} more TBs")
+    return "\n".join(lines)
+
+
+def to_chrome_trace(report: SimReport) -> dict:
+    """Convert a traced report into Chrome trace-event format.
+
+    Lanes: process = rank, thread = TB index.  Durations are emitted as
+    complete ("X") events in microseconds, directly loadable in
+    ``chrome://tracing`` or Perfetto.
+    """
+    _require_trace(report)
+    events = []
+    for event in report.trace:
+        name = event.kind
+        if event.task_id >= 0:
+            name = f"{event.kind} task {event.task_id} mb {event.mb}"
+        events.append(
+            {
+                "name": name,
+                "cat": event.kind,
+                "ph": "X",
+                "ts": event.start_us,
+                "dur": event.duration_us,
+                "pid": event.rank,
+                "tid": event.tb_index,
+                "args": {"task": event.task_id, "mb": event.mb},
+            }
+        )
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": rank,
+            "args": {"name": f"rank {rank}"},
+        }
+        for rank in sorted({e.rank for e in report.trace})
+    ]
+    return {
+        "traceEvents": metadata + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"plan": report.plan_name},
+    }
+
+
+def write_chrome_trace(report: SimReport, path: str) -> None:
+    """Serialize :func:`to_chrome_trace` output to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(report), handle)
+
+
+__all__ = ["ascii_gantt", "to_chrome_trace", "write_chrome_trace"]

@@ -1,0 +1,23 @@
+"""Baseline CCL backends the paper compares against: NCCL and MSCCL models."""
+
+from .common import (
+    algorithm_level_order,
+    endpoint_of,
+    group_by_endpoint,
+    stripe_microbatches,
+    task_level_order,
+    tasks_by_stage,
+)
+from .msccl import MSCCLBackend
+from .nccl import NCCLBackend
+
+__all__ = [
+    "NCCLBackend",
+    "MSCCLBackend",
+    "algorithm_level_order",
+    "task_level_order",
+    "group_by_endpoint",
+    "endpoint_of",
+    "stripe_microbatches",
+    "tasks_by_stage",
+]

@@ -1,0 +1,335 @@
+"""Command-line interface for the ResCCL reproduction.
+
+Subcommands::
+
+    resccl algos                         # list built-in algorithms
+    resccl verify ALGO [options]         # parse/validate/verify a program
+    resccl compile ALGO [--rank R]       # show phases + generated kernel
+    resccl run ALGO [--backend B]        # simulate one collective call
+    resccl compare ALGO [options]        # all three backends side by side
+
+``ALGO`` is either a built-in algorithm name (see ``resccl algos``), a
+synthesizer spec (``taccl:allreduce`` / ``teccl:allgather``), or a path
+to a textual ResCCLang file.  The cluster defaults to the paper's
+2-server x 8-GPU A100 testbed; override with ``--nodes/--gpus/--profile``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .algorithms import available_algorithms, build_algorithm
+from .analysis import format_table
+from .baselines import MSCCLBackend, NCCLBackend
+from .core import ResCCLBackend, ResCCLCompiler
+from .experiments import available_experiments, run_experiment
+from .ir.task import parse_collective
+from .lang import AlgoProgram, parse_program, validate_program
+from .analysis import ascii_gantt, write_chrome_trace
+from .runtime import MB, simulate, verify_collective
+from .synth import (
+    TACCLSynthesizer,
+    TECCLSynthesizer,
+    read_msccl_xml,
+    write_msccl_xml,
+)
+from .topology import Cluster, profile_by_name
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=2, help="server count")
+    parser.add_argument(
+        "--gpus", type=int, default=8, help="GPUs per server"
+    )
+    parser.add_argument(
+        "--profile", default="A100", help="GPU profile (A100 or V100)"
+    )
+
+
+def _cluster_from(args: argparse.Namespace) -> Cluster:
+    return Cluster(
+        nodes=args.nodes,
+        gpus_per_node=args.gpus,
+        profile=profile_by_name(args.profile),
+    )
+
+
+def _resolve_algorithm(spec: str, cluster: Cluster) -> AlgoProgram:
+    """Name, synthesizer spec, or DSL file path -> elaborated program."""
+    if spec in available_algorithms():
+        return build_algorithm(spec, cluster)
+    if ":" in spec:
+        synth_name, _, coll_name = spec.partition(":")
+        synthesizers = {"taccl": TACCLSynthesizer, "teccl": TECCLSynthesizer}
+        if synth_name.lower() in synthesizers:
+            collective = parse_collective(coll_name)
+            return synthesizers[synth_name.lower()]().synthesize(
+                cluster, collective
+            )
+    path = Path(spec)
+    if path.exists():
+        if path.suffix == ".xml":
+            return read_msccl_xml(str(path))
+        return parse_program(path.read_text())
+    raise SystemExit(
+        f"error: {spec!r} is not a built-in algorithm, a synthesizer spec "
+        f"(taccl:/teccl:<collective>), or a readable file.\n"
+        f"Built-ins: {', '.join(available_algorithms())}"
+    )
+
+
+def _make_backend(name: str, max_microbatches: int):
+    name = name.lower()
+    if name == "resccl":
+        return ResCCLBackend(max_microbatches=max_microbatches)
+    if name == "msccl":
+        return MSCCLBackend(max_microbatches=max_microbatches)
+    if name == "nccl":
+        return NCCLBackend(max_microbatches=max_microbatches)
+    raise SystemExit(f"error: unknown backend {name!r} (resccl/msccl/nccl)")
+
+
+def _simulate(backend, cluster, program, buffer_bytes):
+    if isinstance(backend, NCCLBackend):
+        plan = backend.plan(cluster, program.collective, buffer_bytes)
+    else:
+        plan = backend.plan(cluster, program, buffer_bytes)
+    return simulate(plan)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_algos(args: argparse.Namespace) -> int:
+    del args
+    for name in available_algorithms():
+        print(name)
+    print("taccl:<collective>  (synthesized)")
+    print("teccl:<collective>  (synthesized)")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    cluster = _cluster_from(args)
+    program = _resolve_algorithm(args.algorithm, cluster)
+    print(f"program: {program!r}")
+    report = validate_program(program, cluster)
+    if not report.ok:
+        print("static validation FAILED:")
+        for issue in report.issues[:20]:
+            print(f"  - {issue}")
+        return 1
+    print("static validation: ok")
+    result = verify_collective(program)
+    if not result.ok:
+        print("collective semantics FAILED:")
+        for error in result.errors[:20]:
+            print(f"  - {error}")
+        return 1
+    print(f"collective semantics: ok ({program.collective.value} "
+          "postcondition established)")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    cluster = _cluster_from(args)
+    program = _resolve_algorithm(args.algorithm, cluster)
+    compiled = ResCCLCompiler(scheduler=args.scheduler).compile(
+        program, cluster
+    )
+    print(f"compiled {program.name!r} for {cluster}")
+    for phase, micros in compiled.phase_times_us.items():
+        print(f"  {phase:<11} {micros / 1000.0:9.2f} ms")
+    print(
+        f"pipeline: {compiled.pipeline.task_count} tasks in "
+        f"{compiled.pipeline.depth} sub-pipelines; "
+        f"{compiled.tb_count()} thread blocks"
+    )
+    if args.kernel:
+        print()
+        print(compiled.kernel_source(args.rank, n_microbatches=args.mbs))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cluster = _cluster_from(args)
+    program = _resolve_algorithm(args.algorithm, cluster)
+    backend = _make_backend(args.backend, args.mbs)
+    report = _simulate(backend, cluster, program, args.buffer_mb * MB)
+    print(report.summary())
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    cluster = _cluster_from(args)
+    program = _resolve_algorithm(args.algorithm, cluster)
+    out = Path(args.output)
+    if out.suffix == ".xml":
+        write_msccl_xml(program, str(out))
+        print(f"wrote MSCCL-XML: {out} ({len(program)} transfers)")
+    else:
+        out.write_text(program.to_source())
+        print(f"wrote ResCCLang: {out} ({len(program)} transfers)")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    cluster = _cluster_from(args)
+    program = _resolve_algorithm(args.algorithm, cluster)
+    backend = _make_backend(args.backend, args.mbs)
+    if isinstance(backend, NCCLBackend):
+        plan = backend.plan(cluster, program.collective, args.buffer_mb * MB)
+    else:
+        plan = backend.plan(cluster, program, args.buffer_mb * MB)
+    report = simulate(plan, record_trace=True)
+    print(report.summary())
+    print()
+    ranks = None if args.rank is None or args.rank < 0 else [args.rank]
+    print(ascii_gantt(report, width=args.width, ranks=ranks))
+    if args.output:
+        write_chrome_trace(report, args.output)
+        print(f"\nChrome trace written to {args.output} "
+              "(load in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.list:
+        for name in available_experiments():
+            print(name)
+        return 0
+    if not args.name:
+        raise SystemExit(
+            "error: give an experiment id or --list; known: "
+            + ", ".join(available_experiments())
+        )
+    result = run_experiment(args.name)
+    print(result.render())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    cluster = _cluster_from(args)
+    program = _resolve_algorithm(args.algorithm, cluster)
+    rows = []
+    baseline: Optional[float] = None
+    for name in ("NCCL", "MSCCL", "ResCCL"):
+        backend = _make_backend(name, args.mbs)
+        report = _simulate(backend, cluster, program, args.buffer_mb * MB)
+        if baseline is None:
+            baseline = report.algo_bandwidth
+        rows.append(
+            [
+                name,
+                f"{report.algo_bandwidth_gbps:.1f}",
+                f"{report.completion_time_us / 1000.0:.2f}",
+                f"{report.algo_bandwidth / baseline:.2f}x",
+                str(report.max_tbs_per_rank()),
+                f"{report.avg_idle_fraction():.1%}",
+            ]
+        )
+    print(f"{program.name} on {cluster}, {args.buffer_mb} MB:\n")
+    print(
+        format_table(
+            ["backend", "algbw GB/s", "time ms", "vs NCCL", "TBs/rank",
+             "TB idle"],
+            rows,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="resccl",
+        description="ResCCL reproduction: compile, verify, and simulate "
+        "collective communication algorithms.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("algos", help="list built-in algorithms")
+
+    p_verify = sub.add_parser("verify", help="validate + verify a program")
+    p_verify.add_argument("algorithm")
+    _add_cluster_args(p_verify)
+
+    p_compile = sub.add_parser("compile", help="compile and inspect")
+    p_compile.add_argument("algorithm")
+    p_compile.add_argument("--scheduler", default="hpds", choices=["hpds", "rr"])
+    p_compile.add_argument("--kernel", action="store_true",
+                           help="print the generated kernel listing")
+    p_compile.add_argument("--rank", type=int, default=0)
+    p_compile.add_argument("--mbs", type=int, default=8,
+                           help="micro-batches in the kernel listing")
+    _add_cluster_args(p_compile)
+
+    p_run = sub.add_parser("run", help="simulate one collective call")
+    p_run.add_argument("algorithm")
+    p_run.add_argument("--backend", default="resccl")
+    p_run.add_argument("--buffer-mb", type=int, default=256)
+    p_run.add_argument("--mbs", type=int, default=16,
+                       help="micro-batch cap")
+    _add_cluster_args(p_run)
+
+    p_cmp = sub.add_parser("compare", help="all three backends side by side")
+    p_cmp.add_argument("algorithm")
+    p_cmp.add_argument("--buffer-mb", type=int, default=256)
+    p_cmp.add_argument("--mbs", type=int, default=16)
+    _add_cluster_args(p_cmp)
+
+    p_export = sub.add_parser(
+        "export",
+        help="write an algorithm as ResCCLang text or MSCCL-XML",
+    )
+    p_export.add_argument("algorithm")
+    p_export.add_argument("output",
+                          help=".rescclang or .xml destination path")
+    _add_cluster_args(p_export)
+
+    p_trace = sub.add_parser(
+        "trace", help="execution timeline (ASCII Gantt / Chrome trace)"
+    )
+    p_trace.add_argument("algorithm")
+    p_trace.add_argument("--backend", default="resccl")
+    p_trace.add_argument("--buffer-mb", type=int, default=64)
+    p_trace.add_argument("--mbs", type=int, default=8)
+    p_trace.add_argument("--rank", type=int, default=0,
+                         help="rank whose TBs to chart (-1 for all)")
+    p_trace.add_argument("--width", type=int, default=100)
+    p_trace.add_argument("--output", help="write Chrome trace JSON here")
+    _add_cluster_args(p_trace)
+
+    p_exp = sub.add_parser(
+        "experiment", help="reproduce one of the paper's tables/figures"
+    )
+    p_exp.add_argument("name", nargs="?", help="experiment id (see --list)")
+    p_exp.add_argument("--list", action="store_true",
+                       help="list available experiments")
+
+    return parser
+
+
+_COMMANDS = {
+    "algos": cmd_algos,
+    "verify": cmd_verify,
+    "compile": cmd_compile,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "export": cmd_export,
+    "trace": cmd_trace,
+    "experiment": cmd_experiment,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Hierarchical Priority-based Dynamic Scheduling — the paper's Algorithm 1.
+
+HPDS builds the global task pipeline by repeatedly constructing
+sub-pipelines.  Within one sub-pipeline it visits per-chunk DAGs ``G[C]``
+in priority order, extracting every task whose data dependencies are
+already scheduled (in *earlier* sub-pipelines) and whose link is not yet
+claimed by the current sub-pipeline.  Chunks that contributed recently
+lose priority ("tasks with lower execution frequency — underutilized
+chunks — are assigned higher priority"), which balances load across
+chunks and keeps inter- and intra-machine task chains in separate
+wavefronts — the bubble-minimization property of section 4.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.dag import DependencyDAG
+from .pipeline import GlobalPipeline, SubPipeline
+
+
+class _ChunkQueue:
+    """Hierarchical priority queue over chunks.
+
+    The priority is a two-level hierarchy (the "Hierarchical" in HPDS):
+
+    1. **execution frequency** — chunks served fewer times rank first
+       ("tasks with lower execution frequency — underutilized chunks —
+       are assigned higher priority", section 4.3), which balances chunk
+       progress;
+    2. **critical-path urgency** — among equally-served chunks, the one
+       whose pending work heads the longest remaining dependency chain
+       ranks first, so long reduction chains are never starved behind
+       short ones.
+
+    Ties break on ascending chunk id, making the schedule deterministic.
+    """
+
+    def __init__(self, chunks: List[int]) -> None:
+        self._served: Dict[int, int] = {c: 0 for c in chunks}
+        self._urgency: Dict[int, int] = {c: 0 for c in chunks}
+        self._chunks = sorted(chunks)
+
+    def priority(self, chunk: int) -> int:
+        return -self._served[chunk]
+
+    def decrease(self, chunk: int) -> None:
+        self._served[chunk] += 1
+
+    def set_urgency(self, chunk: int, value: int) -> None:
+        self._urgency[chunk] = value
+
+    def highest_with_flag(self, flags: Dict[int, bool]) -> int:
+        """Highest-priority chunk whose flag is still true, or -1."""
+        best = -1
+        best_key = None
+        for chunk in self._chunks:
+            if not flags.get(chunk, False):
+                continue
+            key = (self._served[chunk], -self._urgency[chunk], chunk)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = chunk
+        return best
+
+
+def hpds_schedule(dag: DependencyDAG) -> GlobalPipeline:
+    """Run Algorithm 1 over a dependency DAG.
+
+    Returns the global pipeline ``Pr``; raises if the DAG is cyclic (the
+    outer loop would otherwise never terminate).
+    """
+    dag.topological_order()  # raises CyclicDependencyError on bad input
+
+    remaining: Set[int] = {t.task_id for t in dag.tasks}
+    unscheduled_preds: Dict[int, int] = {
+        t.task_id: len(dag.preds[t.task_id]) for t in dag.tasks
+    }
+    # Algorithm 1 removes scheduled nodes from G immediately (line 22), so
+    # a task becomes data-ready as soon as its producers are scheduled —
+    # possibly within the *current* sub-pipeline, which is how one
+    # sub-pipeline packs multi-stage chains (Figure 5(c)).
+    ready: Set[int] = {tid for tid, n in unscheduled_preds.items() if n == 0}
+
+    # Critical-path height of each task: length of the longest dependency
+    # chain it heads.  Drives the urgency level of the priority hierarchy.
+    height: Dict[int, int] = {}
+    for tid in reversed(dag.topological_order()):
+        height[tid] = 1 + max((height[s] for s in dag.succs[tid]), default=0)
+
+    chunks = [c for c, members in dag.chunk_tasks.items() if members]
+    queue = _ChunkQueue(chunks)
+    chunk_remaining: Dict[int, List[int]] = {
+        c: list(dag.chunk_tasks[c]) for c in chunks
+    }
+    ready_by_chunk: Dict[int, Set[int]] = {c: set() for c in chunks}
+    # Communication-dependency arbitration: when several ready tasks of
+    # different chunks contend for one link, the algorithm's step order
+    # decides — a later-step task must not claim the link first, or the
+    # earlier-step chain (and everything behind it) stalls.
+    ready_by_link: Dict[str, Set[int]] = {}
+    for tid in ready:
+        ready_by_chunk[dag.task(tid).chunk].add(tid)
+        ready_by_link.setdefault(dag.task(tid).link, set()).add(tid)
+
+    def link_has_earlier_ready(task_id: int) -> bool:
+        task = dag.task(task_id)
+        key = (task.step, task_id)
+        return any(
+            (dag.task(other).step, other) < key
+            for other in ready_by_link.get(task.link, ())
+            if other != task_id
+        )
+
+    def refresh_urgency(chunk: int) -> None:
+        queue.set_urgency(
+            chunk,
+            max((height[t] for t in ready_by_chunk[chunk]), default=0),
+        )
+
+    for chunk in chunks:
+        refresh_urgency(chunk)
+
+    sub_pipelines: List[SubPipeline] = []
+    while remaining:
+        current = SubPipeline(index=len(sub_pipelines))
+        used_links: Set[str] = set()
+        flags: Dict[int, bool] = {
+            c: bool(chunk_remaining[c]) for c in chunks
+        }
+        while any(flags.values()):
+            chunk = queue.highest_with_flag(flags)
+            if chunk < 0:
+                break
+            node_list: List[int] = []
+            for task_id in chunk_remaining[chunk]:
+                if task_id not in ready:
+                    continue
+                link = dag.task(task_id).link
+                if link in used_links:
+                    continue
+                if link_has_earlier_ready(task_id):
+                    continue  # the link belongs to an earlier-step chain
+                node_list.append(task_id)
+                used_links.add(link)
+            if not node_list:
+                flags[chunk] = False
+                continue
+            current.task_ids.extend(node_list)
+            picked = set(node_list)
+            chunk_remaining[chunk] = [
+                t for t in chunk_remaining[chunk] if t not in picked
+            ]
+            remaining.difference_update(picked)
+            touched = {chunk}
+            for task_id in node_list:
+                ready.discard(task_id)
+                ready_by_chunk[chunk].discard(task_id)
+                ready_by_link[dag.task(task_id).link].discard(task_id)
+                for succ in dag.succs[task_id]:
+                    unscheduled_preds[succ] -= 1
+                    if unscheduled_preds[succ] == 0:
+                        ready.add(succ)
+                        succ_task = dag.task(succ)
+                        ready_by_chunk[succ_task.chunk].add(succ)
+                        ready_by_link.setdefault(succ_task.link, set()).add(succ)
+                        touched.add(succ_task.chunk)
+                        # A chunk that regained eligible work is revisited.
+                        flags[succ_task.chunk] = True
+            for touched_chunk in touched:
+                refresh_urgency(touched_chunk)
+            queue.decrease(chunk)
+        if not current.task_ids:
+            raise RuntimeError(
+                "HPDS made no progress — the ready set is empty although "
+                f"{len(remaining)} task(s) remain (inconsistent DAG state)"
+            )
+        sub_pipelines.append(current)
+
+    return GlobalPipeline(sub_pipelines=sub_pipelines, scheduler="hpds")
+
+
+__all__ = ["hpds_schedule"]

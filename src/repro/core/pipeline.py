@@ -1,0 +1,118 @@
+"""Pipeline structures produced by primitive-level scheduling (section 4.3).
+
+A **sub-pipeline** is a set of transmission tasks that simultaneously
+satisfy both dependency kinds: none has an unscheduled data-dependency
+predecessor, and no two share a communication link.  The **global
+pipeline** concatenates sub-pipelines; a task's sub-pipeline index is its
+position in the execution wavefront — under task-level execution,
+micro-batches of consecutive sub-pipelines overlap, masking
+data-dependency bubbles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..ir.dag import DependencyDAG
+
+
+@dataclass
+class SubPipeline:
+    """One scheduling wavefront: link-disjoint, dependency-ready tasks."""
+
+    index: int
+    task_ids: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.task_ids)
+
+
+@dataclass
+class GlobalPipeline:
+    """The scheduler's output ``Pr``: ordered sub-pipelines covering the DAG."""
+
+    sub_pipelines: List[SubPipeline] = field(default_factory=list)
+    scheduler: str = ""
+
+    def __post_init__(self) -> None:
+        self._position: Dict[int, int] = {}
+        self._order: Dict[int, tuple] = {}
+        for sp in self.sub_pipelines:
+            for slot, task_id in enumerate(sp.task_ids):
+                self._position[task_id] = sp.index
+                self._order[task_id] = (sp.index, slot)
+
+    def position(self, task_id: int) -> int:
+        """Sub-pipeline index of a task (its wavefront position)."""
+        return self._position[task_id]
+
+    def order_key(self, task_id: int) -> tuple:
+        """Total scheduling order: (sub-pipeline index, slot within it)."""
+        return self._order[task_id]
+
+    @property
+    def depth(self) -> int:
+        """Number of sub-pipelines — the pipeline-fill length."""
+        return len(self.sub_pipelines)
+
+    @property
+    def task_count(self) -> int:
+        return len(self._position)
+
+    def ordered_task_ids(self) -> List[int]:
+        """All tasks in (sub-pipeline, insertion) order."""
+        return [tid for sp in self.sub_pipelines for tid in sp.task_ids]
+
+    # ------------------------------------------------------------------
+    # Invariant checks (used by the test suite and the compiler)
+    # ------------------------------------------------------------------
+
+    def check_complete(self, dag: DependencyDAG) -> None:
+        """Every task scheduled exactly once."""
+        scheduled = self.ordered_task_ids()
+        if len(scheduled) != len(set(scheduled)):
+            raise ValueError("a task appears in more than one sub-pipeline")
+        missing = {t.task_id for t in dag.tasks} - set(scheduled)
+        if missing:
+            raise ValueError(
+                f"{len(missing)} task(s) never scheduled, e.g. "
+                f"{sorted(missing)[:5]}"
+            )
+
+    def check_dependencies(self, dag: DependencyDAG) -> None:
+        """Data deps respect the scheduling order.
+
+        A producer must be scheduled strictly before its consumer — either
+        in an earlier sub-pipeline or earlier within the same sub-pipeline
+        (one sub-pipeline may pack a multi-stage chain, Figure 5(c)).
+        """
+        for producer, consumer in dag.edges():
+            if self.order_key(producer) >= self.order_key(consumer):
+                raise ValueError(
+                    f"task {consumer} at {self.order_key(consumer)} depends "
+                    f"on task {producer} scheduled later/equal at "
+                    f"{self.order_key(producer)}"
+                )
+
+    def check_comm_conflicts(self, dag: DependencyDAG) -> None:
+        """No two tasks of one sub-pipeline share a communication link."""
+        for sp in self.sub_pipelines:
+            links: Set[str] = set()
+            for task_id in sp.task_ids:
+                link = dag.task(task_id).link
+                if link in links:
+                    raise ValueError(
+                        f"sub-pipeline {sp.index} schedules two tasks on "
+                        f"link {link}"
+                    )
+                links.add(link)
+
+    def check_all(self, dag: DependencyDAG) -> None:
+        """Run every pipeline invariant check."""
+        self.check_complete(dag)
+        self.check_dependencies(dag)
+        self.check_comm_conflicts(dag)
+
+
+__all__ = ["SubPipeline", "GlobalPipeline"]

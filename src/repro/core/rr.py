@@ -1,0 +1,82 @@
+"""Round-robin scheduling baseline (the Figure 10(b) comparison).
+
+The paper's ablation baseline: "traverse each chunk's DAG in ascending
+chunk-ID order, visit the chunks in a circular queue, and schedule them
+in that same immutable sequence".  Each sub-pipeline is built with a
+single fixed-order pass over the chunks — no priority adaptation, no
+re-visiting — which under-fills wavefronts and unbalances chunk progress
+relative to HPDS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ..ir.dag import DependencyDAG
+from .pipeline import GlobalPipeline, SubPipeline
+
+
+def rr_schedule(dag: DependencyDAG) -> GlobalPipeline:
+    """Round-robin counterpart of :func:`~repro.core.hpds.hpds_schedule`."""
+    dag.topological_order()  # raises CyclicDependencyError on bad input
+
+    remaining: Set[int] = {t.task_id for t in dag.tasks}
+    unscheduled_preds: Dict[int, int] = {
+        t.task_id: len(dag.preds[t.task_id]) for t in dag.tasks
+    }
+    ready: Set[int] = {tid for tid, n in unscheduled_preds.items() if n == 0}
+
+    chunks = sorted(c for c, members in dag.chunk_tasks.items() if members)
+    chunk_remaining: Dict[int, List[int]] = {
+        c: list(dag.chunk_tasks[c]) for c in chunks
+    }
+    cursor = 0  # circular-queue position, persists across sub-pipelines
+
+    sub_pipelines: List[SubPipeline] = []
+    stalls = 0
+    while remaining:
+        # One circular-queue visit schedules one chunk's currently
+        # eligible tasks as one sub-pipeline — the fixed, priority-free
+        # sequence of the paper's RR baseline.  Chunks with nothing
+        # eligible at their turn are skipped, never reordered.
+        chunk = chunks[cursor % len(chunks)]
+        cursor += 1
+        node_list: List[int] = []
+        used_links: Set[str] = set()
+        for task_id in chunk_remaining[chunk]:
+            if task_id not in ready:
+                continue
+            link = dag.task(task_id).link
+            if link in used_links:
+                continue
+            node_list.append(task_id)
+            used_links.add(link)
+        if not node_list:
+            stalls += 1
+            if stalls > len(chunks):
+                raise RuntimeError(
+                    "round-robin made no progress — inconsistent DAG state "
+                    f"with {len(remaining)} task(s) remaining"
+                )
+            continue
+        stalls = 0
+        current = SubPipeline(
+            index=len(sub_pipelines), task_ids=list(node_list)
+        )
+        picked = set(node_list)
+        chunk_remaining[chunk] = [
+            t for t in chunk_remaining[chunk] if t not in picked
+        ]
+        remaining.difference_update(picked)
+        for task_id in node_list:
+            ready.discard(task_id)
+            for succ in dag.succs[task_id]:
+                unscheduled_preds[succ] -= 1
+                if unscheduled_preds[succ] == 0:
+                    ready.add(succ)
+        sub_pipelines.append(current)
+
+    return GlobalPipeline(sub_pipelines=sub_pipelines, scheduler="rr")
+
+
+__all__ = ["rr_schedule"]

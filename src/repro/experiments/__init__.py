@@ -1,0 +1,62 @@
+"""Programmatic reproductions of every evaluation table and figure.
+
+Each experiment is a pytest-free callable returning an
+:class:`~repro.experiments.base.ExperimentResult`; the benchmark suite
+wraps these with shape assertions, and the CLI exposes them as
+``resccl experiment <id>``::
+
+    from repro.experiments import run_experiment
+    print(run_experiment("fig6").render())
+"""
+
+from typing import Callable, Dict, List
+
+from . import ablations, fig2, fig3, fig4, fig6, fig7, fig8, fig9, fig10
+from . import fig11, fig12, fig13, table1, table3
+from .base import ExperimentResult
+
+#: Experiment id -> runner (call with defaults for the paper's setup).
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10a": fig10.run_phases,
+    "fig10b": fig10.run_schedulers,
+    "fig11": fig11.run,
+    "table3": table3.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "granularity": ablations.run_granularity,
+    "tb-merge": ablations.run_tb_merge,
+    "contention": ablations.run_contention,
+    "protocols": ablations.run_protocols,
+    "chunk-size": ablations.run_chunk_size,
+}
+
+
+def available_experiments() -> List[str]:
+    """Ids accepted by :func:`run_experiment`."""
+    return sorted(REGISTRY)
+
+
+def run_experiment(name: str, **params) -> ExperimentResult:
+    """Run one experiment by id with the paper's default parameters."""
+    try:
+        runner = REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_experiments())
+        raise ValueError(f"unknown experiment {name!r}; known: {known}") from None
+    return runner(**params)
+
+
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "available_experiments",
+    "run_experiment",
+]

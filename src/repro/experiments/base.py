@@ -1,0 +1,118 @@
+"""Common machinery for the paper's evaluation experiments.
+
+Every experiment module exposes ``run(**params) -> ExperimentResult``:
+a self-contained, pytest-free reproduction of one table or figure that
+returns both the formatted rows (for printing) and the raw data (for
+the benchmark assertions or further analysis).
+
+The registry at :mod:`repro.experiments` maps experiment ids
+(``"table1"``, ``"fig6"``, ...) to these runners; the CLI exposes them
+as ``resccl experiment <id>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis import format_table
+from ..baselines import MSCCLBackend, NCCLBackend
+from ..core import ResCCLBackend
+from ..ir.task import Collective
+from ..lang.builder import AlgoProgram
+from ..runtime import MB, SimReport, simulate
+from ..topology import Cluster, multi_node, v100_profile
+
+#: Micro-batch cap used across experiments: enough pipelining for the
+#: effects to show, small enough to keep the discrete-event runs fast.
+DEFAULT_MAX_MICROBATCHES = 16
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes:
+        name: experiment id (``"fig6"``).
+        title: human-readable headline.
+        headers: column names of the formatted table.
+        rows: formatted table rows (strings).
+        data: the raw measurement structure (experiment-specific).
+        paper_note: the paper's reported numbers, one line.
+    """
+
+    name: str
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    data: Any = None
+    paper_note: str = ""
+
+    def table(self) -> str:
+        return format_table(self.headers, self.rows)
+
+    def render(self) -> str:
+        parts = [f"{self.title}", "", self.table()]
+        if self.paper_note:
+            parts.append(f"paper: {self.paper_note}")
+        return "\n".join(parts)
+
+
+def a100_cluster(nodes: int, gpus: int) -> Cluster:
+    """The paper's A100 testbed at the given shape."""
+    return multi_node(nodes, gpus)
+
+
+def v100_cluster(nodes: int, gpus: int) -> Cluster:
+    """The heterogeneous V100 / 100G RoCE testbed of Figure 11."""
+    return multi_node(nodes, gpus, profile=v100_profile())
+
+
+def make_backends(
+    msccl_instances: int = 1,
+    max_microbatches: int = DEFAULT_MAX_MICROBATCHES,
+) -> Dict[str, object]:
+    """One instance of each backend at experiment settings."""
+    return {
+        "NCCL": NCCLBackend(max_microbatches=max_microbatches),
+        "MSCCL": MSCCLBackend(
+            instances=msccl_instances, max_microbatches=max_microbatches
+        ),
+        "ResCCL": ResCCLBackend(max_microbatches=max_microbatches),
+    }
+
+
+def run_backend(
+    backend,
+    cluster: Cluster,
+    buffer_bytes: float,
+    program: Optional[AlgoProgram] = None,
+    collective: Optional[Collective] = None,
+    background_traffic=None,
+) -> SimReport:
+    """Plan + simulate one collective call on any backend."""
+    if isinstance(backend, NCCLBackend):
+        if collective is None:
+            collective = program.collective if program else Collective.ALLREDUCE
+        plan = backend.plan(cluster, collective, buffer_bytes)
+    else:
+        if program is None:
+            raise ValueError("custom backends need an algorithm program")
+        plan = backend.plan(cluster, program, buffer_bytes)
+    return simulate(plan, background_traffic=background_traffic)
+
+
+def sweep_sizes(sizes_mb: Sequence[int]) -> List[float]:
+    return [size * MB for size in sizes_mb]
+
+
+__all__ = [
+    "ExperimentResult",
+    "DEFAULT_MAX_MICROBATCHES",
+    "a100_cluster",
+    "v100_cluster",
+    "make_backends",
+    "run_backend",
+    "sweep_sizes",
+    "MB",
+]

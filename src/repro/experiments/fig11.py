@@ -1,0 +1,60 @@
+"""Figure 11: custom algorithms on the heterogeneous V100 cluster."""
+
+from __future__ import annotations
+
+from ..algorithms import hm_allgather, hm_allreduce, hm_reducescatter
+from ..ir.task import Collective
+from .base import MB, ExperimentResult, make_backends, run_backend, v100_cluster
+
+
+def run(sizes_mb=(32, 128, 512, 2048), nodes: int = 2, gpus: int = 8) -> ExperimentResult:
+    """``data`` maps (operator, size_mb) -> {backend: GB/s}."""
+    cluster = v100_cluster(nodes, gpus)
+    programs = {
+        "HM-AllGather": (hm_allgather(nodes, gpus), Collective.ALLGATHER),
+        "HM-ReduceScatter": (
+            hm_reducescatter(nodes, gpus),
+            Collective.REDUCESCATTER,
+        ),
+        "HM-AllReduce": (hm_allreduce(nodes, gpus), Collective.ALLREDUCE),
+    }
+    results = {}
+    for name, (program, collective) in programs.items():
+        backends = make_backends()
+        for size in sizes_mb:
+            results[(name, size)] = {
+                backend_name: run_backend(
+                    backend,
+                    cluster,
+                    size * MB,
+                    program=program,
+                    collective=collective,
+                ).algo_bandwidth_gbps
+                for backend_name, backend in backends.items()
+            }
+
+    rows = [
+        [
+            name,
+            f"{size} MB",
+            f"{bws['NCCL']:.1f}",
+            f"{bws['MSCCL']:.1f}",
+            f"{bws['ResCCL']:.1f}",
+            f"{bws['ResCCL'] / bws['NCCL']:.2f}x",
+            f"{bws['ResCCL'] / bws['MSCCL']:.2f}x",
+        ]
+        for (name, size), bws in sorted(results.items())
+    ]
+    return ExperimentResult(
+        name="fig11",
+        title="Figure 11 — custom algorithms on the V100 / 100G RoCE cluster",
+        headers=["operator", "buffer", "NCCL", "MSCCL", "ResCCL", "vs NCCL",
+                 "vs MSCCL"],
+        rows=rows,
+        data=results,
+        paper_note="ResCCL up to 2.1-4.2x over NCCL and up to 1.3-2.7x over "
+        "MSCCL, per operator",
+    )
+
+
+__all__ = ["run"]

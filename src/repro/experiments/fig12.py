@@ -1,0 +1,68 @@
+"""Figure 12: per-TB time breakdown on the V100 cluster."""
+
+from __future__ import annotations
+
+from ..algorithms import hm_allreduce
+from ..analysis import tb_breakdown
+from ..baselines import MSCCLBackend
+from ..core import ResCCLBackend
+from ..ir.task import Collective
+from ..synth import TACCLSynthesizer
+from .base import (
+    DEFAULT_MAX_MICROBATCHES,
+    MB,
+    ExperimentResult,
+    run_backend,
+    v100_cluster,
+)
+
+
+def occupancy_us(report) -> float:
+    """Total SM occupancy: sum of TB lifetimes (with retained tails)."""
+    return sum(entry.lifetime_us for entry in tb_breakdown(report))
+
+
+def run(buffer_mb: int = 128, nodes: int = 2, gpus: int = 8) -> ExperimentResult:
+    """``data`` maps algorithm kind -> {backend: SimReport}."""
+    cluster = v100_cluster(nodes, gpus)
+    expert = hm_allreduce(nodes, gpus)
+    synthesized = TACCLSynthesizer().synthesize(cluster, Collective.ALLREDUCE)
+    results = {}
+    for name, program, instances in (
+        ("expert", expert, 1),
+        ("synthesized", synthesized, 4),
+    ):
+        msccl = MSCCLBackend(
+            instances=instances, max_microbatches=DEFAULT_MAX_MICROBATCHES
+        )
+        resccl = ResCCLBackend(max_microbatches=DEFAULT_MAX_MICROBATCHES)
+        results[name] = {
+            "MSCCL": run_backend(msccl, cluster, buffer_mb * MB, program=program),
+            "ResCCL": run_backend(
+                resccl, cluster, buffer_mb * MB, program=program
+            ),
+        }
+
+    rows = []
+    for algo, reports in results.items():
+        msccl, resccl = reports["MSCCL"], reports["ResCCL"]
+        rows.append(
+            [
+                algo,
+                f"{1 - resccl.tb_count() / msccl.tb_count():.0%}",
+                f"{occupancy_us(resccl) / occupancy_us(msccl):.1%}",
+                f"{resccl.avg_busy_fraction() - msccl.avg_busy_fraction():+.1%}",
+            ]
+        )
+    return ExperimentResult(
+        name="fig12",
+        title="Figure 12 — per-TB breakdown summary (ResCCL vs MSCCL, V100)",
+        headers=["algorithm", "TB saving", "occupancy ratio", "util gain"],
+        rows=rows,
+        data=results,
+        paper_note="up to 75% fewer TBs, occupancy as low as 3.8%, "
+        "+43.4-66.9% utilization",
+    )
+
+
+__all__ = ["run", "occupancy_us"]

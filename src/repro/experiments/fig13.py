@@ -1,0 +1,80 @@
+"""Figure 13: end-to-end Megatron training throughput, GPT-3 and T5."""
+
+from __future__ import annotations
+
+from ..baselines import MSCCLBackend, NCCLBackend
+from ..core import ResCCLBackend
+from ..training import (
+    GPT3_MODELS,
+    MegatronSimulator,
+    ParallelConfig,
+    T5_MODELS,
+)
+from .base import ExperimentResult, a100_cluster
+
+
+def default_jobs():
+    """The paper's section 5.5 deployment matrix."""
+    cluster16 = a100_cluster(2, 8)
+    cluster32 = a100_cluster(4, 8)
+    jobs = []
+    for model in T5_MODELS:
+        jobs.append(
+            (model, ParallelConfig(tp=1, dp=16, batch_size=16), cluster16)
+        )
+    for model in GPT3_MODELS[:2]:
+        jobs.append(
+            (
+                model,
+                ParallelConfig(tp=8, dp=2, batch_size=16, microbatch_size=4),
+                cluster16,
+            )
+        )
+    for model in GPT3_MODELS[2:]:
+        jobs.append(
+            (
+                model,
+                ParallelConfig(tp=8, dp=4, batch_size=32, microbatch_size=4),
+                cluster32,
+            )
+        )
+    return jobs
+
+
+def run(jobs=None, max_microbatches: int = 8) -> ExperimentResult:
+    """``data`` maps model name -> {backend: samples/s}."""
+    results = {}
+    for model, parallel, cluster in jobs or default_jobs():
+        throughputs = {}
+        for name, backend in (
+            ("NCCL", NCCLBackend(max_microbatches=max_microbatches)),
+            ("MSCCL", MSCCLBackend(max_microbatches=max_microbatches)),
+            ("ResCCL", ResCCLBackend(max_microbatches=max_microbatches)),
+        ):
+            simulator = MegatronSimulator(cluster, backend)
+            throughputs[name] = simulator.throughput(model, parallel)
+        results[model.name] = throughputs
+
+    rows = [
+        [
+            model,
+            f"{bws['NCCL']:.1f}",
+            f"{bws['MSCCL']:.1f}",
+            f"{bws['ResCCL']:.1f}",
+            f"{bws['ResCCL'] / bws['NCCL'] - 1:+.1%}",
+            f"{bws['ResCCL'] / bws['MSCCL'] - 1:+.1%}",
+        ]
+        for model, bws in results.items()
+    ]
+    return ExperimentResult(
+        name="fig13",
+        title="Figure 13 — Megatron training throughput (samples/s)",
+        headers=["model", "NCCL", "MSCCL", "ResCCL", "vs NCCL", "vs MSCCL"],
+        rows=rows,
+        data=results,
+        paper_note="T5 +18-39% vs NCCL; GPT-3 +11-20% vs NCCL; "
+        "+7.1%-1.8x / +7.5-29.3% vs MSCCL",
+    )
+
+
+__all__ = ["run", "default_jobs"]

@@ -1,0 +1,63 @@
+"""Figure 2: primitive time breakdown on the existing (MSCCL) runtime."""
+
+from __future__ import annotations
+
+from ..algorithms import mesh_allreduce
+from ..analysis import tb_breakdown, worst_idle_tb
+from ..baselines import MSCCLBackend
+from ..ir.task import Collective
+from ..synth import TACCLSynthesizer
+from ..topology import single_node
+from .base import DEFAULT_MAX_MICROBATCHES, MB, ExperimentResult, run_backend
+
+
+def summarize(report):
+    """(worst TB idle fraction, sync share of total TB lifetime)."""
+    entries = tb_breakdown(report)
+    total_lifetime = sum(e.lifetime_us for e in entries)
+    total_sync = sum(e.sync_us + e.tail_us for e in entries)
+    worst = worst_idle_tb(report)
+    return worst.idle_fraction, total_sync / total_lifetime
+
+
+def run(buffer_mb: int = 128, gpus: int = 8) -> ExperimentResult:
+    """Run custom + synthesized single-node AllReduce on MSCCL.
+
+    ``data`` maps algorithm kind -> SimReport.
+    """
+    cluster = single_node(gpus)
+    expert = mesh_allreduce(gpus)
+    synthesized = TACCLSynthesizer().synthesize(cluster, Collective.ALLREDUCE)
+    reports = {}
+    for name, program in (("custom", expert), ("synthesized", synthesized)):
+        backend = MSCCLBackend(
+            instances=4, max_microbatches=DEFAULT_MAX_MICROBATCHES
+        )
+        reports[name] = run_backend(
+            backend, cluster, buffer_mb * MB, program=program
+        )
+
+    rows = []
+    for name, report in reports.items():
+        worst_idle, sync_share = summarize(report)
+        rows.append(
+            [
+                name,
+                str(report.tb_count()),
+                f"{worst_idle:.1%}",
+                f"{sync_share:.1%}",
+                f"{report.avg_idle_fraction():.1%}",
+            ]
+        )
+    return ExperimentResult(
+        name="fig2",
+        title="Figure 2 — MSCCL single-node AllReduce primitive breakdown",
+        headers=["algorithm", "TBs", "worst TB idle", "sync share", "avg idle"],
+        rows=rows,
+        data=reports,
+        paper_note="worst extra-channel TB idle 98.2% (custom); "
+        "sync blocking up to 67.1% (synthesized)",
+    )
+
+
+__all__ = ["run", "summarize"]

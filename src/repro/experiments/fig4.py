@@ -1,0 +1,98 @@
+"""Figure 4: impact of TB parallelism on P2P bandwidth over one NIC."""
+
+from __future__ import annotations
+
+from ..ir.dag import build_dag
+from ..ir.task import Collective, CommType, Transfer
+from ..lang.builder import AlgoProgram
+from ..runtime import simulate
+from ..runtime.plan import (
+    ExecutionPlan,
+    Invocation,
+    Side,
+    SimConfig,
+    TBProgram,
+)
+from .base import MB, ExperimentResult, a100_cluster
+
+CHUNK = MB
+N_MB = 24
+WARPS_PER_TB = 4  # the default (small) blocks of the motivation study
+
+
+def p2p_plan(tb_count: int) -> ExecutionPlan:
+    """Rank 0 -> rank 8 (different servers): one NIC, ``tb_count`` TBs.
+
+    The payload splits into ``tb_count`` parallel streams (distinct
+    chunk ids), one per sending TB — the emulated two-GPU AllGather of
+    the paper's study.
+    """
+    cluster = a100_cluster(2, 8)
+    program = AlgoProgram.create(
+        16, Collective.ALLGATHER, name=f"p2p-{tb_count}tb"
+    )
+    for stream in range(tb_count):
+        program.transfers.append(
+            Transfer(src=0, dst=8, step=0, chunk=stream, op=CommType.RECV)
+        )
+    dag = build_dag(program.transfers, cluster)
+    tbs = []
+    for stream, task in enumerate(dag.tasks):
+        tbs.append(
+            TBProgram(
+                rank=0,
+                tb_index=stream,
+                invocations=[
+                    Invocation(task.task_id, Side.SEND, mb)
+                    for mb in range(N_MB)
+                ],
+                nwarps=WARPS_PER_TB,
+            )
+        )
+        tbs.append(
+            TBProgram(
+                rank=8,
+                tb_index=stream,
+                invocations=[
+                    Invocation(task.task_id, Side.RECV, mb)
+                    for mb in range(N_MB)
+                ],
+                nwarps=WARPS_PER_TB,
+            )
+        )
+    return ExecutionPlan(
+        name=f"p2p-{tb_count}tb",
+        cluster=cluster,
+        program=program,
+        dag=dag,
+        n_microbatches=N_MB,
+        chunk_bytes=CHUNK,
+        tb_programs=tbs,
+        config=SimConfig(fifo_depth=4),
+        chunks_per_microbatch=tb_count,
+    )
+
+
+def run(tb_counts=(1, 2, 3, 4, 6, 8, 12, 16)) -> ExperimentResult:
+    """``data`` is a list of (tb_count, algo_bandwidth_gbps)."""
+    results = []
+    for tb_count in tb_counts:
+        report = simulate(p2p_plan(tb_count))
+        results.append((tb_count, report.algo_bandwidth_gbps))
+
+    peak = max(bw for _, bw in results)
+    rows = [
+        [str(count), f"{bw:.2f}", "#" * int(30 * bw / peak)]
+        for count, bw in results
+    ]
+    return ExperimentResult(
+        name="fig4",
+        title="Figure 4 — P2P bandwidth over one NIC vs TB count (4-warp TBs)",
+        headers=["TBs", "GB/s", ""],
+        rows=rows,
+        data=results,
+        paper_note="bandwidth rises to 4 TBs, then declines",
+    )
+
+
+__all__ = ["run", "p2p_plan"]

@@ -1,0 +1,90 @@
+"""Table 1: global link utilization of existing algorithms on MSCCL."""
+
+from __future__ import annotations
+
+from ..algorithms import (
+    hm_allgather,
+    hm_allreduce,
+    mesh_allgather,
+    mesh_allreduce,
+)
+from ..baselines import MSCCLBackend
+from ..ir.task import Collective
+from ..synth import TACCLSynthesizer, TECCLSynthesizer
+from ..topology import single_node
+from .base import (
+    DEFAULT_MAX_MICROBATCHES,
+    MB,
+    ExperimentResult,
+    a100_cluster,
+    run_backend,
+)
+
+PAPER_ROWS = {
+    8: (0.767, 0.710, 0.516, 0.457, 0.527),
+    16: (0.675, 0.618, 0.343, 0.318, 0.332),
+    32: (0.668, 0.461, 0.446, 0.419, 0.381),
+}
+
+
+def _expert_programs(cluster):
+    if cluster.nodes == 1:
+        return (
+            mesh_allgather(cluster.world_size),
+            mesh_allreduce(cluster.world_size),
+        )
+    return (
+        hm_allgather(cluster.nodes, cluster.gpus_per_node),
+        hm_allreduce(cluster.nodes, cluster.gpus_per_node),
+    )
+
+
+def run(buffer_mb: int = 256, scales=(1, 2, 4)) -> ExperimentResult:
+    """Measure MS/TA/TE link utilization under the MSCCL backend.
+
+    ``data`` maps world size -> (MS-AG, MS-AR, TA-AG, TA-AR, TE-AG)
+    utilization fractions.
+    """
+    buffer_bytes = buffer_mb * MB
+    results = {}
+    for nodes in scales:
+        cluster = single_node(8) if nodes == 1 else a100_cluster(nodes, 8)
+        expert = MSCCLBackend(max_microbatches=DEFAULT_MAX_MICROBATCHES)
+        synth_backend = MSCCLBackend(
+            instances=4, max_microbatches=DEFAULT_MAX_MICROBATCHES
+        )
+        ms_ag, ms_ar = _expert_programs(cluster)
+        ta_ag = TACCLSynthesizer().synthesize(cluster, Collective.ALLGATHER)
+        ta_ar = TACCLSynthesizer().synthesize(cluster, Collective.ALLREDUCE)
+        te_ag = TECCLSynthesizer().synthesize(cluster, Collective.ALLGATHER)
+        results[cluster.world_size] = tuple(
+            run_backend(
+                backend, cluster, buffer_bytes, program=program
+            ).link_utilization()
+            for backend, program in (
+                (expert, ms_ag),
+                (expert, ms_ar),
+                (synth_backend, ta_ag),
+                (synth_backend, ta_ar),
+                (synth_backend, te_ag),
+            )
+        )
+
+    rows = []
+    for scale, values in results.items():
+        rows.append([f"{scale} GPUs"] + [f"{v:.1%}" for v in values])
+        if scale in PAPER_ROWS:
+            rows.append(
+                ["  (paper)"] + [f"{v:.1%}" for v in PAPER_ROWS[scale]]
+            )
+    return ExperimentResult(
+        name="table1",
+        title="Table 1 — global link utilization under the MSCCL backend",
+        headers=["Topo", "MS-AG", "MS-AR", "TA-AG", "TA-AR", "TE-AG"],
+        rows=rows,
+        data=results,
+        paper_note="expert 46-77%, synthesized 32-53%, degrading with scale",
+    )
+
+
+__all__ = ["run", "PAPER_ROWS"]

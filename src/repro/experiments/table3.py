@@ -1,0 +1,80 @@
+"""Table 3: TB resource utilization, ResCCL vs MSCCL, four topologies."""
+
+from __future__ import annotations
+
+from ..algorithms import hm_allgather, hm_allreduce
+from ..analysis import TBUtilizationRow
+from ..baselines import MSCCLBackend
+from ..core import ResCCLBackend
+from ..ir.task import Collective
+from ..synth import TACCLSynthesizer
+from .base import (
+    DEFAULT_MAX_MICROBATCHES,
+    MB,
+    ExperimentResult,
+    a100_cluster,
+    run_backend,
+)
+
+TOPOLOGIES = {
+    "Topo1": (2, 4),
+    "Topo2": (2, 8),
+    "Topo3": (4, 4),
+    "Topo4": (4, 8),
+}
+
+
+def run(buffer_mb: int = 128) -> ExperimentResult:
+    """``data`` maps (topo, algorithm) -> {backend: TBUtilizationRow}."""
+    buffer_bytes = buffer_mb * MB
+    results = {}
+    for topo_name, (nodes, gpus) in TOPOLOGIES.items():
+        cluster = a100_cluster(nodes, gpus)
+        algorithms = {
+            "Expert AR": (hm_allreduce(nodes, gpus), 1),
+            "Expert AG": (hm_allgather(nodes, gpus), 1),
+            "Synth AR": (
+                TACCLSynthesizer().synthesize(cluster, Collective.ALLREDUCE),
+                4,
+            ),
+            "Synth AG": (
+                TACCLSynthesizer().synthesize(cluster, Collective.ALLGATHER),
+                4,
+            ),
+        }
+        for algo_name, (program, instances) in algorithms.items():
+            msccl = MSCCLBackend(
+                instances=instances,
+                max_microbatches=DEFAULT_MAX_MICROBATCHES,
+            )
+            resccl = ResCCLBackend(max_microbatches=DEFAULT_MAX_MICROBATCHES)
+            results[(topo_name, algo_name)] = {
+                "MSCCL": TBUtilizationRow.from_report(
+                    run_backend(msccl, cluster, buffer_bytes, program=program),
+                    "MSCCL",
+                ),
+                "ResCCL": TBUtilizationRow.from_report(
+                    run_backend(
+                        resccl, cluster, buffer_bytes, program=program
+                    ),
+                    "ResCCL",
+                ),
+            }
+
+    rows = []
+    for (topo, algo), backends in sorted(results.items()):
+        for name in ("MSCCL", "ResCCL"):
+            rows.append([topo, algo] + backends[name].cells())
+    return ExperimentResult(
+        name="table3",
+        title="Table 3 — TB utilization: MSCCL vs ResCCL (per-rank TB counts)",
+        headers=["topo", "algorithm", "backend", "TB/rank", "comm time",
+                 "avg idle", "max idle"],
+        rows=rows,
+        data=results,
+        paper_note="ResCCL cuts TBs by up to 77.8% and avg idle by 41.6 pts; "
+        "expert TB counts 14->8 (Topo1) and 30->16 (Topo2)",
+    )
+
+
+__all__ = ["run", "TOPOLOGIES"]

@@ -1,0 +1,30 @@
+"""Intermediate representation: transfers, tasks, primitives, dependency DAG."""
+
+from .dag import CyclicDependencyError, DependencyDAG, build_dag
+from .primitives import PrimKind, Primitive, translate_task, translate_tasks
+from .task import (
+    Collective,
+    CommType,
+    Transfer,
+    TransmissionTask,
+    chunk_count,
+    parse_collective,
+    parse_comm_type,
+)
+
+__all__ = [
+    "Collective",
+    "CommType",
+    "Transfer",
+    "TransmissionTask",
+    "chunk_count",
+    "parse_collective",
+    "parse_comm_type",
+    "PrimKind",
+    "Primitive",
+    "translate_task",
+    "translate_tasks",
+    "DependencyDAG",
+    "CyclicDependencyError",
+    "build_dag",
+]

@@ -1,0 +1,208 @@
+"""Global dependency analysis: transfers -> dependency DAG.
+
+Section 4.1: ResCCL performs a global dependency analysis on the input
+algorithm, generating a DAG whose nodes are transmission tasks and whose
+edges are *data dependencies*.  Tasks touching the same buffer slot —
+the (rank, chunkId) pair — in different steps are ordered by classic
+hazard rules (read-after-write, write-after-read, write-after-write).
+Tasks sharing a bottleneck link carry a *communication dependency*, which
+is not an edge (it does not force an order, it forbids concurrency) and is
+therefore kept as per-link groupings for the scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..topology import Cluster
+from .task import Transfer, TransmissionTask
+
+
+class CyclicDependencyError(ValueError):
+    """Raised when an algorithm's data dependencies contain a cycle.
+
+    A cyclic algorithm would deadlock on real hardware (section 4.1 notes
+    the absence of cycles is what makes the analysis a DAG).
+    """
+
+
+@dataclass
+class _SlotState:
+    """Hazard-tracking state for one (rank, chunk) buffer slot."""
+
+    last_writers: List[int] = field(default_factory=list)
+    readers_since_write: List[int] = field(default_factory=list)
+
+
+class DependencyDAG:
+    """The task-level dependency DAG ``G_A = (V_T, E)`` of section 3.
+
+    Attributes:
+        tasks: all transmission tasks, indexed by ``task_id``.
+        preds: ``task_id -> set of task_ids it depends on``.
+        succs: ``task_id -> set of task_ids depending on it``.
+        chunk_tasks: per-chunk sub-DAG membership ``G[C]`` used by HPDS.
+        link_tasks: per-link groupings encoding communication dependencies.
+    """
+
+    def __init__(self, tasks: Sequence[TransmissionTask]) -> None:
+        self.tasks: List[TransmissionTask] = list(tasks)
+        self.preds: Dict[int, Set[int]] = {t.task_id: set() for t in self.tasks}
+        self.succs: Dict[int, Set[int]] = {t.task_id: set() for t in self.tasks}
+        self.chunk_tasks: Dict[int, List[int]] = defaultdict(list)
+        self.link_tasks: Dict[str, List[int]] = defaultdict(list)
+        for task in self.tasks:
+            self.chunk_tasks[task.chunk].append(task.task_id)
+            self.link_tasks[task.link].append(task.task_id)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def task(self, task_id: int) -> TransmissionTask:
+        """Look up a task by id."""
+        return self.tasks[task_id]
+
+    def add_edge(self, producer: int, consumer: int) -> None:
+        """Record that ``consumer`` depends on data produced by ``producer``."""
+        if producer == consumer:
+            return
+        self.preds[consumer].add(producer)
+        self.succs[producer].add(consumer)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(s) for s in self.succs.values())
+
+    def edges(self) -> Iterable[Tuple[int, int]]:
+        """Iterate (producer, consumer) data-dependency pairs."""
+        for producer, consumers in self.succs.items():
+            for consumer in consumers:
+                yield producer, consumer
+
+    def roots(self) -> List[int]:
+        """Tasks with no data dependencies — immediately schedulable."""
+        return [t.task_id for t in self.tasks if not self.preds[t.task_id]]
+
+    def comm_conflicts(self, task_id: int) -> List[int]:
+        """Other tasks that share this task's bottleneck link."""
+        link = self.tasks[task_id].link
+        return [t for t in self.link_tasks[link] if t != task_id]
+
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> List[int]:
+        """Kahn topological order; raises on cyclic dependencies."""
+        indegree = {tid: len(p) for tid, p in self.preds.items()}
+        frontier = [tid for tid, deg in indegree.items() if deg == 0]
+        order: List[int] = []
+        while frontier:
+            tid = frontier.pop()
+            order.append(tid)
+            for succ in self.succs[tid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    frontier.append(succ)
+        if len(order) != len(self.tasks):
+            stuck = sorted(tid for tid, deg in indegree.items() if deg > 0)
+            raise CyclicDependencyError(
+                f"data-dependency cycle involving tasks {stuck[:8]}"
+                + ("..." if len(stuck) > 8 else "")
+            )
+        return order
+
+    def is_acyclic(self) -> bool:
+        """True when the data dependencies form a DAG."""
+        try:
+            self.topological_order()
+        except CyclicDependencyError:
+            return False
+        return True
+
+    def critical_path_length(self) -> int:
+        """Longest dependency chain, in tasks (a lower bound on steps)."""
+        depth: Dict[int, int] = {}
+        for tid in self.topological_order():
+            preds = self.preds[tid]
+            depth[tid] = 1 + max((depth[p] for p in preds), default=0)
+        return max(depth.values(), default=0)
+
+    def to_networkx(self) -> "nx.DiGraph":
+        """Export as a networkx DiGraph (nodes carry their task objects)."""
+        graph = nx.DiGraph()
+        for task in self.tasks:
+            graph.add_node(task.task_id, task=task)
+        graph.add_edges_from(self.edges())
+        return graph
+
+
+def _slot_accesses(
+    task: TransmissionTask,
+) -> List[Tuple[Tuple[int, int], bool]]:
+    """Buffer slots a task touches: ((rank, chunk), is_write) pairs.
+
+    The source rank reads its copy of the chunk.  A ``recv`` destination
+    overwrites its slot; an ``rrc`` destination reads and writes it (the
+    write subsumes the read for hazard purposes).
+    """
+    reads_src = ((task.src, task.chunk), False)
+    writes_dst = ((task.dst, task.chunk), True)
+    return [reads_src, writes_dst]
+
+
+def build_dag(transfers: Sequence[Transfer], cluster: Cluster) -> DependencyDAG:
+    """Construct the dependency DAG for an algorithm on a cluster.
+
+    Tasks get dense ids in input order.  Data-dependency edges follow the
+    hazard rules per buffer slot, ordered by the DSL ``step`` value;
+    accesses sharing a step are considered concurrent and get no edge.
+    """
+    tasks = [
+        TransmissionTask(
+            task_id=index,
+            transfer=transfer,
+            link=cluster.link_name(transfer.src, transfer.dst),
+            intra_node=cluster.same_node(transfer.src, transfer.dst),
+        )
+        for index, transfer in enumerate(transfers)
+    ]
+    dag = DependencyDAG(tasks)
+
+    # Group accesses by slot, then by step, and apply hazard rules between
+    # consecutive step groups.
+    per_slot: Dict[Tuple[int, int], Dict[int, List[Tuple[int, bool]]]] = (
+        defaultdict(lambda: defaultdict(list))
+    )
+    for task in tasks:
+        for slot, is_write in _slot_accesses(task):
+            per_slot[slot][task.step].append((task.task_id, is_write))
+
+    for slot, by_step in per_slot.items():
+        state = _SlotState()
+        for step in sorted(by_step):
+            group = by_step[step]
+            writes = [tid for tid, w in group if w]
+            reads = [tid for tid, w in group if not w]
+            for tid in writes:
+                for producer in state.last_writers:
+                    dag.add_edge(producer, tid)  # write-after-write
+                for reader in state.readers_since_write:
+                    dag.add_edge(reader, tid)  # write-after-read
+            for tid in reads:
+                for producer in state.last_writers:
+                    dag.add_edge(producer, tid)  # read-after-write
+            if writes:
+                state.last_writers = writes
+                state.readers_since_write = list(reads)
+            else:
+                state.readers_since_write.extend(reads)
+
+    return dag
+
+
+__all__ = ["DependencyDAG", "CyclicDependencyError", "build_dag"]

@@ -1,0 +1,97 @@
+"""Communication primitives: what a thread block actually executes.
+
+Section 4.3 ("Task-to-primitive translation") maps every transmission task
+to a pair of primitives — a ``send`` on the source rank and a ``recv`` or
+``recvReduceCopy`` on the destination rank.  The runtime executes
+primitives; the scheduler reasons about tasks.  This module defines the
+primitive records and the task-to-primitive translation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .task import CommType, TransmissionTask
+
+
+class PrimKind(enum.Enum):
+    """The primitive vocabulary the ResCCL runtime extends from NCCL."""
+
+    SEND = "send"
+    RECV = "recv"
+    RECV_REDUCE_COPY = "recvReduceCopy"
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One side of a transmission task, bound to the rank that runs it.
+
+    Attributes:
+        kind: which primitive the TB executes.
+        task_id: the transmission task this primitive belongs to.
+        rank: the GPU that executes the primitive.
+        peer: the GPU on the other side of the transfer.
+        chunk: global chunk id being moved.
+        step: the originating DSL step (kept for diagnostics).
+    """
+
+    kind: PrimKind
+    task_id: int
+    rank: int
+    peer: int
+    chunk: int
+    step: int
+
+    @property
+    def is_sender(self) -> bool:
+        return self.kind is PrimKind.SEND
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.kind.value}(task={self.task_id}, rank={self.rank}, "
+            f"peer={self.peer}, chunk={self.chunk})"
+        )
+
+
+def translate_task(task: TransmissionTask) -> Tuple[Primitive, Primitive]:
+    """Map one transmission task to its (send, receive-side) primitive pair.
+
+    The mapping is one-to-one (section 4.3): the source rank runs ``send``;
+    the destination runs ``recv`` for copy semantics or ``recvReduceCopy``
+    for reduce semantics.
+    """
+    send = Primitive(
+        kind=PrimKind.SEND,
+        task_id=task.task_id,
+        rank=task.src,
+        peer=task.dst,
+        chunk=task.chunk,
+        step=task.step,
+    )
+    recv_kind = (
+        PrimKind.RECV_REDUCE_COPY if task.op is CommType.RRC else PrimKind.RECV
+    )
+    recv = Primitive(
+        kind=recv_kind,
+        task_id=task.task_id,
+        rank=task.dst,
+        peer=task.src,
+        chunk=task.chunk,
+        step=task.step,
+    )
+    return send, recv
+
+
+def translate_tasks(tasks: List[TransmissionTask]) -> List[Primitive]:
+    """Translate a task list into the flat global primitive set ``R``."""
+    primitives: List[Primitive] = []
+    for task in tasks:
+        send, recv = translate_task(task)
+        primitives.append(send)
+        primitives.append(recv)
+    return primitives
+
+
+__all__ = ["PrimKind", "Primitive", "translate_task", "translate_tasks"]

@@ -1,0 +1,146 @@
+"""Transmission-task intermediate representation.
+
+Section 3 of the paper abstracts any communication algorithm as a set of
+transmission tasks ``t(e, d)``: a chunk transfer between GPU peers, carrying
+the link it occupies and its dependencies on other tasks.  This module
+defines the :class:`Transfer` record produced by ResCCLang and the
+:class:`TransmissionTask` node used by the dependency DAG and scheduler.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+class CommType(enum.Enum):
+    """The ResCCLang ``commType`` terminal (Figure 14 BNF).
+
+    ``RECV`` is a plain copy into the destination buffer slot; ``RRC``
+    (receive-reduce-copy) combines the incoming data with what the
+    destination already holds, which is how ReduceScatter-style phases
+    accumulate partial sums.
+    """
+
+    RECV = "recv"
+    RRC = "rrc"
+
+
+class Collective(enum.Enum):
+    """The ResCCLang ``opType`` terminal: which collective the program is."""
+
+    ALLGATHER = "Allgather"
+    ALLREDUCE = "Allreduce"
+    REDUCESCATTER = "Reducescatter"
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One ResCCLang ``transfer(...)`` call.
+
+    A transfer uniquely identifies a transmission task: source and
+    destination ranks, the logical step that orders it relative to other
+    actions on the same buffer slots, the global chunk id it moves, and
+    whether the destination copies (``recv``) or reduces (``rrc``).
+    """
+
+    src: int
+    dst: int
+    step: int
+    chunk: int
+    op: CommType
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"transfer from rank {self.src} to itself")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(f"negative rank in transfer {self!r}")
+        if self.step < 0:
+            raise ValueError(f"negative step in transfer {self!r}")
+        if self.chunk < 0:
+            raise ValueError(f"negative chunk id in transfer {self!r}")
+
+
+@dataclass
+class TransmissionTask:
+    """A scheduled unit: one chunk transfer between one GPU pair.
+
+    Attributes:
+        task_id: dense index of this task within its program.
+        transfer: the originating DSL transfer.
+        link: identifier of the bottleneck resource the transfer occupies
+            (``Cluster.link_name``); tasks sharing a ``link`` have a
+            *communication dependency* and must not run concurrently.
+        intra_node: whether the transfer stays inside one server.
+    """
+
+    task_id: int
+    transfer: Transfer
+    link: str
+    intra_node: bool
+
+    @property
+    def src(self) -> int:
+        return self.transfer.src
+
+    @property
+    def dst(self) -> int:
+        return self.transfer.dst
+
+    @property
+    def step(self) -> int:
+        return self.transfer.step
+
+    @property
+    def chunk(self) -> int:
+        return self.transfer.chunk
+
+    @property
+    def op(self) -> CommType:
+        return self.transfer.op
+
+    def __repr__(self) -> str:
+        return (
+            f"Task#{self.task_id}(r{self.src}->r{self.dst}, step={self.step}, "
+            f"chunk={self.chunk}, {self.op.value}, link={self.link})"
+        )
+
+
+def parse_comm_type(text: str) -> CommType:
+    """Parse a ``commType`` terminal, accepting the paper's spellings."""
+    normalized = text.strip().strip('"').lower()
+    for member in CommType:
+        if member.value == normalized:
+            return member
+    raise ValueError(f"unknown commType {text!r}; expected 'recv' or 'rrc'")
+
+
+def parse_collective(text: str) -> Collective:
+    """Parse an ``opType`` terminal, accepting the paper's spellings."""
+    normalized = text.strip().strip('"').lower()
+    for member in Collective:
+        if member.value.lower() == normalized:
+            return member
+    known = ", ".join(m.value for m in Collective)
+    raise ValueError(f"unknown opType {text!r}; expected one of: {known}")
+
+
+def chunk_count(collective: Collective, nranks: int) -> int:
+    """Number of chunks a rank's buffer is partitioned into.
+
+    ResCCLang fixes the number of chunks per rank to the total number of
+    ranks (section 4.2), so each (rank, chunkId) pair addresses a unique
+    slot of the global buffer.
+    """
+    del collective  # every collective uses the same partitioning rule
+    return nranks
+
+
+__all__ = [
+    "CommType",
+    "Collective",
+    "Transfer",
+    "TransmissionTask",
+    "parse_comm_type",
+    "parse_collective",
+    "chunk_count",
+]

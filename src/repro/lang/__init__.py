@@ -1,0 +1,43 @@
+"""ResCCLang: the DSL for describing collective communication algorithms."""
+
+from .ast import (
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    Header,
+    Module,
+    Name,
+    Num,
+    ResCCLangError,
+    ResCCLangEvalError,
+    ResCCLangSyntaxError,
+    Stmt,
+    TransferStmt,
+)
+from .builder import AlgoProgram, evaluate_module
+from .parser import parse_module, parse_program
+from .validate import ProgramValidationError, ValidationReport, validate_program
+
+__all__ = [
+    "AlgoProgram",
+    "evaluate_module",
+    "parse_module",
+    "parse_program",
+    "validate_program",
+    "ValidationReport",
+    "ProgramValidationError",
+    "Header",
+    "Module",
+    "Assign",
+    "ForLoop",
+    "TransferStmt",
+    "BinOp",
+    "Name",
+    "Num",
+    "Expr",
+    "Stmt",
+    "ResCCLangError",
+    "ResCCLangSyntaxError",
+    "ResCCLangEvalError",
+]

@@ -1,0 +1,197 @@
+"""Abstract syntax tree for ResCCLang (Figure 14 of the paper).
+
+The language is deliberately tiny: a single ``ResCCLAlgo`` definition whose
+body is a sequence of assignments, integer ``for`` loops over ``range``,
+and ``transfer`` calls.  Expressions are integer arithmetic over literals
+and identifiers with ``+ - * / %`` (division is integer division — the DSL
+has no floats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Union
+
+from ..ir.task import Collective, CommType
+
+
+class ResCCLangError(ValueError):
+    """Base class for ResCCLang parse/evaluation errors."""
+
+
+class ResCCLangSyntaxError(ResCCLangError):
+    """Raised when source text does not match the Figure 14 grammar."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class ResCCLangEvalError(ResCCLangError):
+    """Raised when a syntactically valid program fails at evaluation time."""
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num:
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Name:
+    """Identifier reference."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """Binary arithmetic: ``left op right`` with op in ``+ - * / %``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Num, Name, BinOp]
+
+
+def eval_expr(expr: Expr, env: Dict[str, int]) -> int:
+    """Evaluate an expression in an integer environment."""
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Name):
+        try:
+            return env[expr.ident]
+        except KeyError:
+            raise ResCCLangEvalError(f"undefined identifier {expr.ident!r}") from None
+    if isinstance(expr, BinOp):
+        left = eval_expr(expr.left, env)
+        right = eval_expr(expr.right, env)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if right == 0:
+                raise ResCCLangEvalError("division by zero")
+            return left // right
+        if expr.op == "%":
+            if right == 0:
+                raise ResCCLangEvalError("modulo by zero")
+            return left % right
+        raise ResCCLangEvalError(f"unknown operator {expr.op!r}")
+    raise ResCCLangEvalError(f"not an expression: {expr!r}")
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Assign:
+    """``id = exp``."""
+
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ForLoop:
+    """``for id in range(exp+): stat`` — 1 to 3 range arguments."""
+
+    var: str
+    range_args: Tuple[Expr, ...]
+    body: Tuple["Stmt", ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.range_args) <= 3:
+            raise ResCCLangError(
+                f"range() takes 1-3 arguments, got {len(self.range_args)}"
+            )
+
+
+@dataclass(frozen=True)
+class TransferStmt:
+    """``transfer(src, dst, step, chunkId, commType)``."""
+
+    src: Expr
+    dst: Expr
+    step: Expr
+    chunk: Expr
+    comm_type: CommType
+
+
+Stmt = Union[Assign, ForLoop, TransferStmt]
+
+
+# ----------------------------------------------------------------------
+# Module
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Header:
+    """The ``ResCCLAlgo(paramList)`` signature.
+
+    Defaults mirror the paper's Table 2 CCL configuration (4 channels,
+    16 warps).
+    """
+
+    nranks: int
+    algo_name: str = "anonymous"
+    collective: Collective = Collective.ALLGATHER
+    nchannels: int = 4
+    nwarps: int = 16
+    gpus_per_node: int = 8
+    nics_per_node: int = 4
+
+    def __post_init__(self) -> None:
+        if self.nranks < 2:
+            raise ResCCLangError(f"nRanks must be >= 2, got {self.nranks}")
+        if self.nchannels < 1 or self.nwarps < 1:
+            raise ResCCLangError("nChannels and nWarps must be positive")
+
+
+@dataclass
+class Module:
+    """A parsed ResCCLang program: header plus statement body."""
+
+    header: Header
+    body: List[Stmt] = field(default_factory=list)
+
+
+def walk_statements(body: Sequence[Stmt]):
+    """Depth-first iteration over all statements, including loop bodies."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, ForLoop):
+            yield from walk_statements(stmt.body)
+
+
+__all__ = [
+    "ResCCLangError",
+    "ResCCLangSyntaxError",
+    "ResCCLangEvalError",
+    "Num",
+    "Name",
+    "BinOp",
+    "Expr",
+    "eval_expr",
+    "Assign",
+    "ForLoop",
+    "TransferStmt",
+    "Stmt",
+    "Header",
+    "Module",
+    "walk_statements",
+]

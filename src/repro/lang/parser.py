@@ -1,0 +1,407 @@
+"""Recursive-descent parser for textual ResCCLang (Figure 14 BNF).
+
+The surface syntax is Python-like and indentation-structured, exactly as
+the paper's Figure 16 example program:
+
+    def ResCCLAlgo(nRanks=32, nChannels=4, nWarps=16, AlgoName="HM",
+                   OpType="Allreduce", GPUPerNode=8, NICPerNode=8):
+        nNodes = 4
+        for n in range(0, nNodes):
+            transfer(srcRank, dstRank, step, chunkId, rrc)
+
+The grammar terminals: identifiers, integer literals, quoted strings (for
+``AlgoName`` and ``OpType``), the arithmetic operators ``+ - * / %``,
+parentheses, and the keywords ``def``, ``for``, ``in``, ``range``,
+``transfer``.  ``commType`` may be written bare (``recv`` / ``rrc``, as in
+Figure 16) or quoted (as in the BNF).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir.task import parse_collective, parse_comm_type
+from .ast import (
+    Assign,
+    BinOp,
+    Expr,
+    ForLoop,
+    Header,
+    Module,
+    Name,
+    Num,
+    ResCCLangSyntaxError,
+    Stmt,
+    TransferStmt,
+)
+from .builder import AlgoProgram, evaluate_module
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<string>"[^"\n]*")
+  | (?P<number>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op>[+\-*/%(),:=])
+  | (?P<space>[ \t]+)
+  | (?P<bad>.)
+    """,
+    re.VERBOSE,
+)
+
+_ADD_OPS = ("+", "-")
+_MUL_OPS = ("*", "/", "%")
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "string" | "number" | "name" | "op"
+    text: str
+    line: int
+
+
+@dataclass(frozen=True)
+class _Line:
+    indent: int
+    tokens: Tuple[_Token, ...]
+    number: int
+
+
+def _tokenize_line(text: str, line_number: int) -> Tuple[_Token, ...]:
+    tokens: List[_Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        if kind == "space":
+            continue
+        if kind == "bad":
+            raise ResCCLangSyntaxError(
+                f"unexpected character {match.group()!r}", line_number
+            )
+        tokens.append(_Token(kind=kind, text=match.group(), line=line_number))
+    return tuple(tokens)
+
+
+def _logical_lines(source: str) -> List[_Line]:
+    """Split source into indented token lines, dropping blanks/comments.
+
+    A trailing backslash or an unclosed parenthesis joins physical lines,
+    which lets long headers wrap as in the paper's listing.
+    """
+    lines: List[_Line] = []
+    pending = ""
+    pending_start = 0
+    depth = 0
+    for number, raw in enumerate(source.splitlines(), start=1):
+        code = raw.split("#", 1)[0].rstrip()
+        if not pending and not code.strip():
+            continue
+        if not pending:
+            pending_start = number
+        continued = code.endswith("\\")
+        if continued:
+            code = code[:-1]
+        pending += code if not pending else " " + code.lstrip()
+        depth += code.count("(") - code.count(")")
+        if continued or depth > 0:
+            continue
+        stripped = pending.lstrip(" \t")
+        indent_text = pending[: len(pending) - len(stripped)]
+        indent = len(indent_text.replace("\t", "    "))
+        tokens = _tokenize_line(stripped, pending_start)
+        if tokens:
+            lines.append(_Line(indent=indent, tokens=tokens, number=pending_start))
+        pending = ""
+        depth = 0
+    if pending.strip():
+        tokens = _tokenize_line(pending.lstrip(), pending_start)
+        if tokens:
+            raise ResCCLangSyntaxError("unbalanced parentheses at end of file", pending_start)
+    return lines
+
+
+class _TokenCursor:
+    """Sequential reader over one logical line's tokens."""
+
+    def __init__(self, line: _Line) -> None:
+        self._tokens = line.tokens
+        self._index = 0
+        self.line_number = line.number
+
+    def peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise ResCCLangSyntaxError("unexpected end of line", self.line_number)
+        self._index += 1
+        return token
+
+    def expect(self, text: str) -> _Token:
+        token = self.next()
+        if token.text != text:
+            raise ResCCLangSyntaxError(
+                f"expected {text!r}, found {token.text!r}", self.line_number
+            )
+        return token
+
+    def expect_name(self, expected: Optional[str] = None) -> _Token:
+        token = self.next()
+        if token.kind != "name":
+            raise ResCCLangSyntaxError(
+                f"expected identifier, found {token.text!r}", self.line_number
+            )
+        if expected is not None and token.text != expected:
+            raise ResCCLangSyntaxError(
+                f"expected {expected!r}, found {token.text!r}", self.line_number
+            )
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek() is None
+
+    def require_end(self) -> None:
+        token = self.peek()
+        if token is not None:
+            raise ResCCLangSyntaxError(
+                f"trailing tokens starting at {token.text!r}", self.line_number
+            )
+
+
+def _parse_expr(cursor: _TokenCursor) -> Expr:
+    return _parse_add(cursor)
+
+
+def _parse_add(cursor: _TokenCursor) -> Expr:
+    node = _parse_mul(cursor)
+    while True:
+        token = cursor.peek()
+        if token is None or token.text not in _ADD_OPS:
+            return node
+        cursor.next()
+        node = BinOp(op=token.text, left=node, right=_parse_mul(cursor))
+
+
+def _parse_mul(cursor: _TokenCursor) -> Expr:
+    node = _parse_atom(cursor)
+    while True:
+        token = cursor.peek()
+        if token is None or token.text not in _MUL_OPS:
+            return node
+        cursor.next()
+        node = BinOp(op=token.text, left=node, right=_parse_atom(cursor))
+
+
+def _parse_atom(cursor: _TokenCursor) -> Expr:
+    token = cursor.next()
+    if token.kind == "number":
+        return Num(int(token.text))
+    if token.kind == "name":
+        return Name(token.text)
+    if token.text == "(":
+        inner = _parse_expr(cursor)
+        cursor.expect(")")
+        return inner
+    if token.text == "-":
+        # Unary minus, e.g. ``(offset-step)`` style rewrites: ``0 - x``.
+        return BinOp(op="-", left=Num(0), right=_parse_atom(cursor))
+    raise ResCCLangSyntaxError(
+        f"expected expression, found {token.text!r}", cursor.line_number
+    )
+
+
+_HEADER_PARAMS = {
+    "nRanks": "nranks",
+    "nChannels": "nchannels",
+    "nWarps": "nwarps",
+    "AlgoName": "algo_name",
+    "OpType": "collective",
+    "GPUPerNode": "gpus_per_node",
+    "NICPerNode": "nics_per_node",
+}
+
+
+def _parse_header(cursor: _TokenCursor) -> Header:
+    cursor.expect_name("def")
+    cursor.expect_name("ResCCLAlgo")
+    cursor.expect("(")
+    values = {}
+    while True:
+        token = cursor.peek()
+        if token is not None and token.text == ")":
+            cursor.next()
+            break
+        key_token = cursor.expect_name()
+        if key_token.text not in _HEADER_PARAMS:
+            known = ", ".join(sorted(_HEADER_PARAMS))
+            raise ResCCLangSyntaxError(
+                f"unknown parameter {key_token.text!r}; known: {known}",
+                cursor.line_number,
+            )
+        cursor.expect("=")
+        value_token = cursor.next()
+        field = _HEADER_PARAMS[key_token.text]
+        if field == "algo_name":
+            if value_token.kind != "string":
+                raise ResCCLangSyntaxError(
+                    "AlgoName expects a quoted string", cursor.line_number
+                )
+            values[field] = value_token.text.strip('"')
+        elif field == "collective":
+            if value_token.kind != "string":
+                raise ResCCLangSyntaxError(
+                    "OpType expects a quoted string", cursor.line_number
+                )
+            values[field] = parse_collective(value_token.text)
+        else:
+            if value_token.kind != "number":
+                raise ResCCLangSyntaxError(
+                    f"{key_token.text} expects an integer", cursor.line_number
+                )
+            values[field] = int(value_token.text)
+        separator = cursor.peek()
+        if separator is not None and separator.text == ",":
+            cursor.next()
+    cursor.expect(":")
+    cursor.require_end()
+    if "nranks" not in values:
+        raise ResCCLangSyntaxError("header is missing nRanks", cursor.line_number)
+    return Header(**values)
+
+
+def _parse_transfer(cursor: _TokenCursor) -> TransferStmt:
+    cursor.expect("(")
+    args: List[Expr] = []
+    for position in range(4):
+        args.append(_parse_expr(cursor))
+        cursor.expect(",")
+    comm_token = cursor.next()
+    if comm_token.kind not in ("name", "string"):
+        raise ResCCLangSyntaxError(
+            f"expected commType, found {comm_token.text!r}", cursor.line_number
+        )
+    comm_type = parse_comm_type(comm_token.text)
+    cursor.expect(")")
+    cursor.require_end()
+    return TransferStmt(
+        src=args[0], dst=args[1], step=args[2], chunk=args[3], comm_type=comm_type
+    )
+
+
+def _parse_for(cursor: _TokenCursor) -> Tuple[str, Tuple[Expr, ...]]:
+    var = cursor.expect_name().text
+    cursor.expect_name("in")
+    cursor.expect_name("range")
+    cursor.expect("(")
+    range_args: List[Expr] = [_parse_expr(cursor)]
+    while True:
+        token = cursor.next()
+        if token.text == ")":
+            break
+        if token.text != ",":
+            raise ResCCLangSyntaxError(
+                f"expected ',' or ')', found {token.text!r}", cursor.line_number
+            )
+        range_args.append(_parse_expr(cursor))
+    if len(range_args) > 3:
+        raise ResCCLangSyntaxError(
+            "range() takes at most 3 arguments", cursor.line_number
+        )
+    cursor.expect(":")
+    cursor.require_end()
+    return var, tuple(range_args)
+
+
+class _BlockParser:
+    """Parses the indentation-structured statement body."""
+
+    def __init__(self, lines: Sequence[_Line]) -> None:
+        self._lines = list(lines)
+        self._position = 0
+
+    def peek(self) -> Optional[_Line]:
+        if self._position < len(self._lines):
+            return self._lines[self._position]
+        return None
+
+    def parse_block(self, indent: int) -> List[Stmt]:
+        """Parse statements at exactly ``indent`` until dedent."""
+        statements: List[Stmt] = []
+        while True:
+            line = self.peek()
+            if line is None or line.indent < indent:
+                return statements
+            if line.indent > indent:
+                raise ResCCLangSyntaxError(
+                    f"unexpected indent (expected {indent} spaces, got "
+                    f"{line.indent})",
+                    line.number,
+                )
+            self._position += 1
+            statements.append(self._parse_statement(line))
+
+    def _parse_statement(self, line: _Line) -> Stmt:
+        cursor = _TokenCursor(line)
+        head = cursor.peek()
+        if head is None:
+            raise ResCCLangSyntaxError("empty statement", line.number)
+        if head.kind == "name" and head.text == "for":
+            cursor.next()
+            var, range_args = _parse_for(cursor)
+            body = self._parse_indented_body(line)
+            return ForLoop(var=var, range_args=range_args, body=tuple(body))
+        if head.kind == "name" and head.text == "transfer":
+            cursor.next()
+            return _parse_transfer(cursor)
+        if head.kind == "name":
+            target = cursor.next().text
+            cursor.expect("=")
+            value = _parse_expr(cursor)
+            cursor.require_end()
+            return Assign(target=target, value=value)
+        raise ResCCLangSyntaxError(
+            f"expected statement, found {head.text!r}", line.number
+        )
+
+    def _parse_indented_body(self, opener: _Line) -> List[Stmt]:
+        nxt = self.peek()
+        if nxt is None or nxt.indent <= opener.indent:
+            raise ResCCLangSyntaxError(
+                "expected an indented block after ':'", opener.number
+            )
+        return self.parse_block(nxt.indent)
+
+
+def parse_module(source: str) -> Module:
+    """Parse ResCCLang source text into an AST module."""
+    lines = _logical_lines(source)
+    if not lines:
+        raise ResCCLangSyntaxError("empty program", 1)
+    header_line = lines[0]
+    if header_line.indent != 0:
+        raise ResCCLangSyntaxError("the def must start at column 0", header_line.number)
+    header = _parse_header(_TokenCursor(header_line))
+    block = _BlockParser(lines[1:])
+    nxt = block.peek()
+    if nxt is None:
+        raise ResCCLangSyntaxError(
+            "the algorithm body is empty", header_line.number
+        )
+    body = block.parse_block(nxt.indent)
+    remaining = block.peek()
+    if remaining is not None:
+        raise ResCCLangSyntaxError(
+            "statement outside of the ResCCLAlgo body", remaining.number
+        )
+    return Module(header=header, body=body)
+
+
+def parse_program(source: str) -> AlgoProgram:
+    """Parse and evaluate ResCCLang text into an elaborated program."""
+    return evaluate_module(parse_module(source))
+
+
+__all__ = ["parse_module", "parse_program"]

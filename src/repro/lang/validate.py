@@ -1,0 +1,120 @@
+"""Static validation of elaborated ResCCLang programs.
+
+Run before compilation, these checks catch the errors that would deadlock
+or corrupt a collective on real hardware: out-of-range ranks/chunks,
+duplicate transmission tasks, same-step write conflicts on one buffer
+slot, and cyclic data dependencies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.dag import CyclicDependencyError, build_dag
+from ..topology import Cluster
+from .builder import AlgoProgram
+
+
+class ProgramValidationError(ValueError):
+    """Raised when a program fails validation; carries every issue found."""
+
+    def __init__(self, issues: List[str]) -> None:
+        preview = "\n  - ".join(issues[:12])
+        suffix = "" if len(issues) <= 12 else f"\n  ... and {len(issues) - 12} more"
+        super().__init__(f"{len(issues)} validation issue(s):\n  - {preview}{suffix}")
+        self.issues = issues
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one program."""
+
+    issues: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def raise_if_failed(self) -> None:
+        if self.issues:
+            raise ProgramValidationError(self.issues)
+
+
+def _default_cluster(program: AlgoProgram) -> Cluster:
+    """A topology consistent with the program header, for analysis only."""
+    gpus_per_node = program.header.gpus_per_node
+    if program.nranks % gpus_per_node != 0:
+        return Cluster(nodes=1, gpus_per_node=program.nranks)
+    nodes = program.nranks // gpus_per_node
+    nics = min(program.header.nics_per_node, gpus_per_node)
+    return Cluster(nodes=nodes, gpus_per_node=gpus_per_node, nics_per_node=nics)
+
+
+def validate_program(
+    program: AlgoProgram, cluster: Optional[Cluster] = None
+) -> ValidationReport:
+    """Validate a program, optionally against a concrete cluster.
+
+    Returns a report; call ``report.raise_if_failed()`` to make failures
+    fatal.  When ``cluster`` is omitted, a topology is inferred from the
+    program header for the dependency-cycle check.
+    """
+    report = ValidationReport()
+    issues = report.issues
+    nranks = program.nranks
+    nchunks = program.nchunks
+
+    if not program.transfers:
+        issues.append("program contains no transfers")
+        return report
+
+    if cluster is not None and cluster.world_size != nranks:
+        issues.append(
+            f"program declares nRanks={nranks} but the cluster has "
+            f"{cluster.world_size} GPUs"
+        )
+
+    seen: Counter = Counter()
+    writes_per_slot_step: Dict[Tuple[int, int, int], List[int]] = defaultdict(list)
+    for index, t in enumerate(program.transfers):
+        if t.src >= nranks:
+            issues.append(f"transfer #{index}: src rank {t.src} >= nRanks {nranks}")
+        if t.dst >= nranks:
+            issues.append(f"transfer #{index}: dst rank {t.dst} >= nRanks {nranks}")
+        if t.chunk >= nchunks:
+            issues.append(
+                f"transfer #{index}: chunk {t.chunk} >= chunk count {nchunks}"
+            )
+        seen[(t.src, t.dst, t.step, t.chunk)] += 1
+        writes_per_slot_step[(t.dst, t.chunk, t.step)].append(index)
+
+    for key, count in seen.items():
+        if count > 1:
+            src, dst, step, chunk = key
+            issues.append(
+                f"duplicate transfer r{src}->r{dst} step={step} chunk={chunk} "
+                f"appears {count} times"
+            )
+
+    for (dst, chunk, step), writers in writes_per_slot_step.items():
+        if len(writers) > 1:
+            issues.append(
+                f"write conflict: transfers {writers} all write chunk {chunk} "
+                f"on rank {dst} at step {step}"
+            )
+
+    if issues:
+        # Rank/chunk range errors make DAG construction meaningless.
+        return report
+
+    analysis_cluster = cluster if cluster is not None else _default_cluster(program)
+    try:
+        build_dag(program.transfers, analysis_cluster).topological_order()
+    except CyclicDependencyError as exc:
+        issues.append(str(exc))
+    return report
+
+
+__all__ = ["validate_program", "ValidationReport", "ProgramValidationError"]

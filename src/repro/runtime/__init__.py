@@ -1,0 +1,55 @@
+"""Discrete-event runtime: flows, plans, simulator, symbolic semantics."""
+
+from .flows import Flow, FlowNetwork
+from .memory import (
+    SemanticsError,
+    VerificationResult,
+    execute_sequential,
+    execute_symbolic,
+    initial_state,
+    verify_collective,
+    verify_completion_order,
+)
+from .metrics import LinkStats, SimReport, TBStats
+from .plan import (
+    MB,
+    ExecMode,
+    ExecutionPlan,
+    Invocation,
+    Protocol,
+    Side,
+    SimConfig,
+    TBProgram,
+    plan_microbatches,
+)
+from .lint import LintResult, lint_plan
+from .simulator import SimulationDeadlock, Simulator, simulate
+
+__all__ = [
+    "Flow",
+    "FlowNetwork",
+    "SimReport",
+    "TBStats",
+    "LinkStats",
+    "MB",
+    "Side",
+    "ExecMode",
+    "Protocol",
+    "Invocation",
+    "TBProgram",
+    "SimConfig",
+    "ExecutionPlan",
+    "plan_microbatches",
+    "Simulator",
+    "SimulationDeadlock",
+    "simulate",
+    "lint_plan",
+    "LintResult",
+    "verify_collective",
+    "verify_completion_order",
+    "execute_symbolic",
+    "execute_sequential",
+    "initial_state",
+    "VerificationResult",
+    "SemanticsError",
+]

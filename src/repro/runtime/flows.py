@@ -1,0 +1,189 @@
+"""Fluid-flow link model with contention-aware rate allocation.
+
+A transfer invocation becomes a *flow* over the contention edges of its
+route (NVLink ports intra-node, NIC directions inter-node).  Rates follow
+the paper's Equation 1 cost model:
+
+* each flow is capped by the issuing thread block's copy capability
+  (``warps * warp_copy_bandwidth`` — Figure 4 shows a 4-warp TB moving
+  about a quarter of NIC line rate);
+* an edge carrying ``k`` flows shares its capacity fairly, and beyond one
+  flow pays the contention penalty ``gamma * L(z)``: effective capacity is
+  ``C / (1 + gamma * (k - 1))``, so aggregate throughput *decreases* as
+  over-subscription grows — reproducing the Figure 4 roll-off beyond four
+  TBs.
+
+The allocation is per-edge fair share with a per-flow cap: a flow's rate
+is ``min(tb_cap, min over edges of share(e))``.  Spare share from capped
+flows is redistributed among the uncapped flows of each edge (one
+water-filling round per edge), which keeps rate updates local to the
+edges a starting/finishing flow touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+
+@dataclass
+class Flow:
+    """One in-flight chunk transfer.
+
+    Attributes:
+        flow_id: unique id.
+        edges: contention edges the flow occupies for its whole lifetime.
+        nbytes: payload size.
+        cap: per-flow rate ceiling from the sending TB (bytes/us).
+        start_time: when the flow was admitted (after path latency).
+        remaining: bytes still to move (updated lazily).
+        rate: current allocated rate (bytes/us).
+        last_update: sim time at which ``remaining`` was last reconciled.
+    """
+
+    flow_id: int
+    edges: Tuple[str, ...]
+    nbytes: float
+    cap: float
+    start_time: float
+    remaining: float = field(init=False)
+    rate: float = 0.0
+    last_update: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.remaining = float(self.nbytes)
+        self.last_update = self.start_time
+
+    def advance_to(self, now: float) -> None:
+        """Reconcile remaining bytes up to ``now`` at the current rate."""
+        if now > self.last_update:
+            self.remaining = max(0.0, self.remaining - self.rate * (now - self.last_update))
+            self.last_update = now
+
+    def eta(self) -> float:
+        """Projected completion time at the current rate."""
+        if self.remaining <= 1e-9:
+            return self.last_update
+        if self.rate <= 0.0:
+            return float("inf")
+        return self.last_update + self.remaining / self.rate
+
+
+class FlowNetwork:
+    """Tracks active flows and allocates contended edge bandwidth."""
+
+    def __init__(self, edge_capacity: Dict[str, float], gamma: float = 0.03) -> None:
+        if gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {gamma}")
+        self._capacity = dict(edge_capacity)
+        self._gamma = gamma
+        self._flows: Dict[int, Flow] = {}
+        self._edge_flows: Dict[str, Set[int]] = {}
+        self._next_id = 0
+
+    @property
+    def gamma(self) -> float:
+        return self._gamma
+
+    def active_count(self) -> int:
+        return len(self._flows)
+
+    def edge_load(self, edge: str) -> int:
+        """Number of flows currently crossing an edge."""
+        return len(self._edge_flows.get(edge, ()))
+
+    def effective_capacity(self, edge: str) -> float:
+        """Capacity after the Equation 1 contention penalty."""
+        k = self.edge_load(edge)
+        base = self._capacity[edge]
+        if k <= 1:
+            return base
+        return base / (1.0 + self._gamma * (k - 1))
+
+    # ------------------------------------------------------------------
+
+    def start_flow(
+        self, edges: Tuple[str, ...], nbytes: float, cap: float, now: float
+    ) -> Tuple[Flow, List[Flow]]:
+        """Admit a flow; returns it plus every flow whose rate changed."""
+        for edge in edges:
+            if edge not in self._capacity:
+                raise KeyError(f"unknown contention edge {edge!r}")
+        flow = Flow(
+            flow_id=self._next_id,
+            edges=tuple(edges),
+            nbytes=nbytes,
+            cap=cap,
+            start_time=now,
+        )
+        self._next_id += 1
+        self._flows[flow.flow_id] = flow
+        for edge in flow.edges:
+            self._edge_flows.setdefault(edge, set()).add(flow.flow_id)
+        changed = self._reallocate(self._affected_flows(flow.edges), now)
+        return flow, changed
+
+    def finish_flow(self, flow: Flow, now: float) -> List[Flow]:
+        """Remove a completed flow; returns flows whose rate changed."""
+        flow.advance_to(now)
+        del self._flows[flow.flow_id]
+        for edge in flow.edges:
+            peers = self._edge_flows.get(edge)
+            if peers is not None:
+                peers.discard(flow.flow_id)
+                if not peers:
+                    del self._edge_flows[edge]
+        return self._reallocate(self._affected_flows(flow.edges), now)
+
+    # ------------------------------------------------------------------
+
+    def _affected_flows(self, edges: Iterable[str]) -> List[Flow]:
+        seen: Set[int] = set()
+        result: List[Flow] = []
+        for edge in edges:
+            for flow_id in self._edge_flows.get(edge, ()):
+                if flow_id not in seen:
+                    seen.add(flow_id)
+                    result.append(self._flows[flow_id])
+        return result
+
+    def _edge_share(self, edge: str) -> float:
+        """Per-flow share on one edge after one water-filling round.
+
+        Flows capped below the equal share donate their spare capacity to
+        the remaining flows of the edge.
+        """
+        flow_ids = self._edge_flows.get(edge, ())
+        k = len(flow_ids)
+        if k == 0:
+            return self._capacity[edge]
+        capacity = self.effective_capacity(edge)
+        equal = capacity / k
+        capped = [
+            self._flows[fid].cap
+            for fid in flow_ids
+            if self._flows[fid].cap < equal
+        ]
+        uncapped = k - len(capped)
+        if uncapped == 0:
+            return equal
+        return (capacity - sum(capped)) / uncapped
+
+    def _reallocate(self, flows: List[Flow], now: float) -> List[Flow]:
+        """Recompute rates for ``flows``; returns those that changed."""
+        changed: List[Flow] = []
+        shares = {
+            edge: self._edge_share(edge)
+            for flow in flows
+            for edge in flow.edges
+        }
+        for flow in flows:
+            new_rate = min(flow.cap, min(shares[edge] for edge in flow.edges))
+            if abs(new_rate - flow.rate) > 1e-12:
+                flow.advance_to(now)
+                flow.rate = new_rate
+                changed.append(flow)
+        return changed
+
+
+__all__ = ["Flow", "FlowNetwork"]

@@ -1,0 +1,212 @@
+"""Symbolic buffer-state engine: verifies collective correctness.
+
+Timing aside, an algorithm is *correct* when executing its transfers in
+step order establishes the collective's postcondition.  This engine
+tracks, for every (rank, chunk) buffer slot, the set of ranks whose
+contribution has been folded into that slot:
+
+* ``recv`` overwrites the destination slot with the source slot;
+* ``rrc`` (receive-reduce-copy) unions the source slot into the
+  destination slot.
+
+Initial state and postcondition depend on the collective:
+
+* AllGather — rank ``r`` starts holding only chunk ``r`` (contribution
+  ``{r}``); afterwards every rank holds every chunk ``c`` with
+  contribution ``{c}``.
+* AllReduce — every rank starts with contribution ``{r}`` in every chunk;
+  afterwards every slot holds all ranks.
+* ReduceScatter — same start; afterwards rank ``r``'s chunk ``r`` holds
+  all ranks.
+
+Every backend must preserve the program's data dependencies, so a single
+symbolic check of the program certifies all of them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..ir.task import Collective, CommType
+from ..lang.builder import AlgoProgram
+
+#: state[rank][chunk] -> frozenset of contributing ranks.
+BufferState = List[List[FrozenSet[int]]]
+
+
+class SemanticsError(ValueError):
+    """Raised when a program is symbolically executable but ill-formed."""
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of symbolically executing and checking one program."""
+
+    ok: bool
+    errors: List[str] = field(default_factory=list)
+    final_state: BufferState = field(default_factory=list)
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            preview = "\n  - ".join(self.errors[:10])
+            raise SemanticsError(
+                f"{len(self.errors)} correctness issue(s):\n  - {preview}"
+            )
+
+
+def initial_state(program: AlgoProgram) -> BufferState:
+    """Pre-collective buffer contents for the program's collective."""
+    nranks, nchunks = program.nranks, program.nchunks
+    collective = program.collective
+    state: BufferState = []
+    for rank in range(nranks):
+        row: List[FrozenSet[int]] = []
+        for chunk in range(nchunks):
+            if collective is Collective.ALLGATHER:
+                row.append(frozenset({chunk}) if chunk == rank else frozenset())
+            else:
+                row.append(frozenset({rank}))
+        state.append(row)
+    return state
+
+
+def execute_symbolic(program: AlgoProgram) -> Tuple[BufferState, List[str]]:
+    """Run the program step-by-step over symbolic buffers.
+
+    Transfers within one step are concurrent: all reads observe the
+    pre-step state, and two writes to the same slot in one step are an
+    error.  Returns the final state and any errors encountered.
+    """
+    state = initial_state(program)
+    errors: List[str] = []
+    by_step: Dict[int, List] = defaultdict(list)
+    for transfer in program.transfers:
+        by_step[transfer.step].append(transfer)
+
+    for step in sorted(by_step):
+        writes: Dict[Tuple[int, int], FrozenSet[int]] = {}
+        writers: Dict[Tuple[int, int], List] = defaultdict(list)
+        for t in by_step[step]:
+            payload = state[t.src][t.chunk]
+            if not payload:
+                errors.append(
+                    f"step {step}: rank {t.src} sends chunk {t.chunk} "
+                    "before holding any data for it"
+                )
+            slot = (t.dst, t.chunk)
+            writers[slot].append(t)
+            if t.op is CommType.RRC:
+                writes[slot] = state[t.dst][t.chunk] | payload
+            else:
+                writes[slot] = payload
+        for slot, slot_writers in writers.items():
+            if len(slot_writers) > 1:
+                errors.append(
+                    f"step {step}: {len(slot_writers)} concurrent writes to "
+                    f"chunk {slot[1]} on rank {slot[0]}"
+                )
+        for (dst, chunk), value in writes.items():
+            state[dst][chunk] = value
+    return state, errors
+
+
+def _check_postcondition(
+    program: AlgoProgram, state: BufferState
+) -> List[str]:
+    errors: List[str] = []
+    nranks = program.nranks
+    everyone = frozenset(range(nranks))
+    collective = program.collective
+    for rank in range(nranks):
+        for chunk in range(program.nchunks):
+            value = state[rank][chunk]
+            if collective is Collective.ALLGATHER:
+                expected = frozenset({chunk})
+                if value != expected:
+                    errors.append(
+                        f"AllGather: rank {rank} chunk {chunk} holds "
+                        f"{sorted(value)}, expected {sorted(expected)}"
+                    )
+            elif collective is Collective.ALLREDUCE:
+                if value != everyone:
+                    errors.append(
+                        f"AllReduce: rank {rank} chunk {chunk} reduced over "
+                        f"{sorted(value)}, expected all {nranks} ranks"
+                    )
+            elif collective is Collective.REDUCESCATTER:
+                if chunk == rank and value != everyone:
+                    errors.append(
+                        f"ReduceScatter: rank {rank} chunk {chunk} reduced "
+                        f"over {sorted(value)}, expected all {nranks} ranks"
+                    )
+    return errors
+
+
+def verify_collective(program: AlgoProgram) -> VerificationResult:
+    """Symbolically execute a program and check its postcondition."""
+    state, errors = execute_symbolic(program)
+    errors.extend(_check_postcondition(program, state))
+    return VerificationResult(ok=not errors, errors=errors, final_state=state)
+
+
+def execute_sequential(
+    program: AlgoProgram, order: List[int]
+) -> Tuple[BufferState, List[str]]:
+    """Apply transfers one at a time in an explicit (dynamic) order.
+
+    ``order`` lists indices into ``program.transfers`` — e.g. the order a
+    runtime actually completed them in.  Unlike :func:`execute_symbolic`,
+    each transfer observes every earlier one's writes, which is exactly
+    the memory model of a serialized completion trace.
+    """
+    state = initial_state(program)
+    errors: List[str] = []
+    if sorted(order) != list(range(len(program.transfers))):
+        errors.append(
+            f"order covers {len(set(order))} of "
+            f"{len(program.transfers)} transfers"
+        )
+        return state, errors
+    for position, index in enumerate(order):
+        t = program.transfers[index]
+        payload = state[t.src][t.chunk]
+        if not payload:
+            errors.append(
+                f"position {position}: rank {t.src} sends chunk {t.chunk} "
+                "before holding any data for it"
+            )
+        if t.op is CommType.RRC:
+            state[t.dst][t.chunk] = state[t.dst][t.chunk] | payload
+        else:
+            state[t.dst][t.chunk] = payload
+    return state, errors
+
+
+def verify_completion_order(
+    program: AlgoProgram, order: List[int]
+) -> VerificationResult:
+    """Verify that a dynamic completion order realizes the collective.
+
+    This is the end-to-end soundness check of a *runtime execution*: the
+    simulator reports the order in which task invocations completed;
+    replaying that order sequentially through the symbolic buffers must
+    still establish the collective's postcondition, or the execution
+    violated a data dependency.
+    """
+    state, errors = execute_sequential(program, order)
+    errors.extend(_check_postcondition(program, state))
+    return VerificationResult(ok=not errors, errors=errors, final_state=state)
+
+
+__all__ = [
+    "BufferState",
+    "SemanticsError",
+    "VerificationResult",
+    "initial_state",
+    "execute_symbolic",
+    "execute_sequential",
+    "verify_collective",
+    "verify_completion_order",
+]

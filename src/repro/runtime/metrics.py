@@ -1,0 +1,206 @@
+"""Measurement results of one simulated collective execution.
+
+The report captures exactly the quantities the paper's evaluation tracks:
+
+* **algorithm bandwidth** — total synchronized bytes over completion time
+  (footnote 3 of section 5.2: bandwidth and latency are equivalent);
+* **per-TB time breakdown** — busy (execution), control overhead,
+  sync-blocking (waiting for peers/credits), data stalls, and the tail a
+  TB spends occupying its SM after finishing, when the backend cannot
+  release it early (Figure 2, Figure 12, Table 3);
+* **per-link activity** — busy intervals and bytes, from which global
+  link utilization (Table 1) is derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .plan import ExecMode
+
+
+@dataclass
+class TBStats:
+    """Time breakdown for one thread block.
+
+    All durations are in microseconds.  ``sync_wait`` counts time blocked
+    on peers (missing data at a receiver, exhausted FIFO credits at a
+    sender); ``data_wait`` counts time blocked on unsatisfied data
+    dependencies; ``overhead`` is control-plane cost (interpreter decode
+    or one-time kernel load).
+    """
+
+    rank: int
+    tb_index: int
+    label: str
+    nwarps: int
+    busy: float = 0.0
+    overhead: float = 0.0
+    data_wait: float = 0.0
+    sync_wait: float = 0.0
+    release_time: float = 0.0
+    invocations: int = 0
+
+    def lifetime(self, global_end: float, early_release: bool) -> float:
+        """SM occupancy span: until release (ResCCL) or kernel end."""
+        return self.release_time if early_release else global_end
+
+    def idle_time(self, global_end: float, early_release: bool) -> float:
+        """Occupied-but-not-executing time within the TB's lifetime."""
+        span = self.lifetime(global_end, early_release)
+        return max(0.0, span - self.busy - self.overhead)
+
+    def idle_fraction(self, global_end: float, early_release: bool) -> float:
+        span = self.lifetime(global_end, early_release)
+        if span <= 0:
+            return 0.0
+        return self.idle_time(global_end, early_release) / span
+
+    def busy_fraction(self, global_end: float, early_release: bool) -> float:
+        span = self.lifetime(global_end, early_release)
+        if span <= 0:
+            return 0.0
+        return (self.busy + self.overhead) / span
+
+
+@dataclass
+class LinkStats:
+    """Activity of one logical link (NVLink pair or NIC direction)."""
+
+    link: str
+    busy_time: float = 0.0
+    bytes_moved: float = 0.0
+    flows_carried: int = 0
+
+    def utilization(self, total_time: float) -> float:
+        """Fraction of the run during which the link was moving data."""
+        if total_time <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / total_time)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded thread-block activity interval (optional tracing).
+
+    ``kind`` is one of ``send``, ``recv``, ``overhead``, ``wait:data``,
+    ``wait:sync``.  ``task_id`` and ``mb`` are -1 for non-transfer
+    intervals.
+    """
+
+    tb_index: int
+    rank: int
+    kind: str
+    start_us: float
+    end_us: float
+    task_id: int = -1
+    mb: int = -1
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class SimReport:
+    """Full outcome of simulating one execution plan."""
+
+    plan_name: str
+    mode: ExecMode
+    completion_time_us: float
+    total_bytes: float
+    tb_stats: List[TBStats] = field(default_factory=list)
+    link_stats: Dict[str, LinkStats] = field(default_factory=dict)
+    #: (task_id, micro_batch) pairs in dynamic completion order — the
+    #: executed schedule, replayable through the symbolic engine.
+    completion_order: List[Tuple[int, int]] = field(default_factory=list)
+    #: Per-TB activity intervals; populated only when the simulator runs
+    #: with ``record_trace=True``.
+    trace: List["TraceEvent"] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def algo_bandwidth(self) -> float:
+        """Algorithm bandwidth in bytes/us (== GB/s * 1e-3 * 1e3)."""
+        if self.completion_time_us <= 0:
+            return 0.0
+        return self.total_bytes / self.completion_time_us
+
+    @property
+    def algo_bandwidth_gbps(self) -> float:
+        """Algorithm bandwidth in GB/s."""
+        return self.algo_bandwidth / 1000.0
+
+    @property
+    def early_release(self) -> bool:
+        """Generated kernels release finished TBs; interpreters do not."""
+        return self.mode is ExecMode.KERNEL
+
+    # ------------------------------------------------------------------
+    # Aggregates used by the paper's tables
+    # ------------------------------------------------------------------
+
+    def tb_count(self) -> int:
+        return len(self.tb_stats)
+
+    def max_tbs_per_rank(self) -> int:
+        per_rank: Dict[int, int] = {}
+        for tb in self.tb_stats:
+            per_rank[tb.rank] = per_rank.get(tb.rank, 0) + 1
+        return max(per_rank.values(), default=0)
+
+    def avg_busy_fraction(self) -> float:
+        """Mean "Comm Time" share across TBs (Table 3)."""
+        if not self.tb_stats:
+            return 0.0
+        end = self.completion_time_us
+        return sum(
+            tb.busy_fraction(end, self.early_release) for tb in self.tb_stats
+        ) / len(self.tb_stats)
+
+    def avg_idle_fraction(self) -> float:
+        """Mean TB idle ratio (Table 3 "Avg Idle")."""
+        if not self.tb_stats:
+            return 0.0
+        end = self.completion_time_us
+        return sum(
+            tb.idle_fraction(end, self.early_release) for tb in self.tb_stats
+        ) / len(self.tb_stats)
+
+    def max_idle_fraction(self) -> float:
+        """Worst TB idle ratio (Table 3 "Max Idle")."""
+        end = self.completion_time_us
+        return max(
+            (tb.idle_fraction(end, self.early_release) for tb in self.tb_stats),
+            default=0.0,
+        )
+
+    def link_utilization(self) -> float:
+        """Global link utilization: mean busy fraction over active links.
+
+        This is Table 1's metric — how much of the run each link that the
+        algorithm uses actually spends transferring.
+        """
+        active = [ls for ls in self.link_stats.values() if ls.flows_carried > 0]
+        if not active:
+            return 0.0
+        return sum(
+            ls.utilization(self.completion_time_us) for ls in active
+        ) / len(active)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.plan_name}: {self.algo_bandwidth_gbps:.2f} GB/s algbw, "
+            f"{self.completion_time_us / 1000.0:.2f} ms, "
+            f"{self.tb_count()} TBs ({self.max_tbs_per_rank()}/rank), "
+            f"link util {self.link_utilization():.1%}, "
+            f"avg TB idle {self.avg_idle_fraction():.1%}"
+        )
+
+
+__all__ = ["TBStats", "LinkStats", "SimReport", "TraceEvent"]

@@ -1,0 +1,241 @@
+"""Execution plans: what each thread block runs, in what order.
+
+A backend (ResCCL, NCCL-like, MSCCL-like) turns an algorithm into an
+:class:`ExecutionPlan`: a set of per-rank thread-block programs, each an
+ordered list of primitive :class:`Invocation`\\ s — one side of one
+transmission task for one micro-batch.  The plan also fixes the runtime
+mode:
+
+* ``kernel`` — ResCCL's generated lightweight kernels: a one-time
+  pipeline-load cost per TB, then zero per-invocation control overhead;
+* ``interpreter`` — the MSCCL-style runtime interpreter: every primitive
+  invocation pays a fixed decode cost (the Figure 3 overhead).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..ir.dag import DependencyDAG
+from ..lang.builder import AlgoProgram
+from ..topology import Cluster
+
+MB = float(1 << 20)
+
+
+class Side(enum.Enum):
+    """Which half of a transmission task an invocation executes."""
+
+    SEND = "send"
+    RECV = "recv"
+
+
+class ExecMode(enum.Enum):
+    """Runtime control-plane style."""
+
+    KERNEL = "kernel"
+    INTERPRETER = "interpreter"
+
+
+class Protocol(enum.Enum):
+    """Transport protocol (Table 2): the latency/bandwidth trade-off.
+
+    * ``SIMPLE`` — rendezvous transport, full bandwidth, full startup
+      latency (the paper's evaluation protocol);
+    * ``LL`` — 8-byte flag-interleaved low-latency protocol: half the
+      startup latency, but flags consume half the wire (50% efficiency);
+    * ``LL128`` — 128-byte-line variant: low latency with 120/128 of the
+      wire carrying payload.
+    """
+
+    SIMPLE = "Simple"
+    LL = "LL"
+    LL128 = "LL128"
+
+    @property
+    def latency_factor(self) -> float:
+        return 1.0 if self is Protocol.SIMPLE else 0.5
+
+    @property
+    def bandwidth_efficiency(self) -> float:
+        if self is Protocol.SIMPLE:
+            return 1.0
+        if self is Protocol.LL:
+            return 0.5
+        return 120.0 / 128.0
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """One primitive execution: (task, side, micro-batch)."""
+
+    task_id: int
+    side: Side
+    mb: int
+
+
+@dataclass
+class TBProgram:
+    """An ordered primitive program bound to one thread block.
+
+    Attributes:
+        rank: the GPU the TB runs on.
+        tb_index: TB slot within the rank (dense, for reporting).
+        invocations: the program, executed strictly in order.
+        nwarps: warp count — sets the TB's copy bandwidth.
+        label: human-readable provenance (connection/stage/pipeline).
+    """
+
+    rank: int
+    tb_index: int
+    invocations: List[Invocation]
+    nwarps: int = 4
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.invocations)
+
+
+@dataclass
+class SimConfig:
+    """Runtime constants of the simulated backend execution.
+
+    Attributes:
+        gamma: Equation 1 link-contention penalty coefficient.
+        fifo_depth: connection FIFO depth in chunks — how far a sender
+            may run ahead of its receiver before blocking on credits.
+        interp_cost_us: per-invocation decode cost in interpreter mode
+            (continuous loading/parsing of the algorithm, section 2.2).
+        kernel_load_us: one-time pipeline-load cost ``t_Load`` per TB in
+            kernel mode (Equation 5).
+        protocol: transport protocol; the paper evaluates with Simple
+            (highest sustained bandwidth).
+    """
+
+    gamma: float = 0.03
+    fifo_depth: int = 2
+    interp_cost_us: float = 10.0
+    kernel_load_us: float = 5.0
+    protocol: Protocol = Protocol.SIMPLE
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything the simulator needs to execute one collective call.
+
+    ``chunks_per_microbatch`` is the size of the plan's chunk-id space —
+    normally the program's chunk count, but backends that slice data
+    across parallel channel instances (NCCL) extend it to
+    ``nchannels * nchunks``.
+    """
+
+    name: str
+    cluster: Cluster
+    program: AlgoProgram
+    dag: DependencyDAG
+    n_microbatches: int
+    chunk_bytes: float
+    tb_programs: List[TBProgram]
+    mode: ExecMode = ExecMode.KERNEL
+    config: SimConfig = field(default_factory=SimConfig)
+    chunks_per_microbatch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.chunks_per_microbatch <= 0:
+            self.chunks_per_microbatch = self.program.nchunks
+
+    @property
+    def total_bytes(self) -> float:
+        """Per-rank buffer size this plan synchronizes."""
+        return self.n_microbatches * self.chunks_per_microbatch * self.chunk_bytes
+
+    @property
+    def total_invocations(self) -> int:
+        return sum(len(tb) for tb in self.tb_programs)
+
+    def max_tbs_per_rank(self) -> int:
+        """Peak TB footprint on any one GPU (the SM-overhead metric)."""
+        per_rank: Dict[int, int] = {}
+        for tb in self.tb_programs:
+            per_rank[tb.rank] = per_rank.get(tb.rank, 0) + 1
+        return max(per_rank.values(), default=0)
+
+    def validate(self) -> None:
+        """Check plan completeness and side placement.
+
+        Every (task, micro-batch) must have exactly one SEND invocation on
+        the task's source rank and one RECV invocation on its destination
+        rank.
+        """
+        expected = len(self.dag) * self.n_microbatches
+        seen: Dict[Tuple[int, int, Side], int] = {}
+        for tb in self.tb_programs:
+            for inv in tb.invocations:
+                key = (inv.task_id, inv.mb, inv.side)
+                if key in seen:
+                    raise ValueError(
+                        f"plan {self.name!r}: duplicate invocation {key}"
+                    )
+                seen[key] = tb.rank
+                task = self.dag.task(inv.task_id)
+                owner = task.src if inv.side is Side.SEND else task.dst
+                if tb.rank != owner:
+                    raise ValueError(
+                        f"plan {self.name!r}: {inv.side.value} of task "
+                        f"{inv.task_id} placed on rank {tb.rank}, expected "
+                        f"rank {owner}"
+                    )
+                if not 0 <= inv.mb < self.n_microbatches:
+                    raise ValueError(
+                        f"plan {self.name!r}: micro-batch {inv.mb} out of "
+                        f"range [0, {self.n_microbatches})"
+                    )
+        sends = sum(1 for key in seen if key[2] is Side.SEND)
+        recvs = sum(1 for key in seen if key[2] is Side.RECV)
+        if sends != expected or recvs != expected:
+            raise ValueError(
+                f"plan {self.name!r}: expected {expected} send and recv "
+                f"invocations, found {sends} sends / {recvs} recvs"
+            )
+
+
+def plan_microbatches(
+    buffer_bytes: float,
+    nchunks: int,
+    target_chunk_bytes: float = MB,
+    max_microbatches: int = 64,
+) -> Tuple[int, float]:
+    """Split a buffer into micro-batches of ``nchunks`` chunks each.
+
+    The paper fixes the transfer chunk at 1 MB (Table 2); one micro-batch
+    moves ``nchunks`` chunks, so a buffer of ``B`` bytes yields roughly
+    ``B / (nchunks * 1MB)`` micro-batches.  The count is clamped to
+    ``max_microbatches`` (scaling the chunk up instead, as real backends
+    do for very large buffers) and to a minimum of one (scaling the chunk
+    down for small buffers).
+
+    Returns ``(n_microbatches, chunk_bytes)``.
+    """
+    if buffer_bytes <= 0:
+        raise ValueError(f"buffer must be positive, got {buffer_bytes}")
+    if nchunks < 1:
+        raise ValueError(f"need at least one chunk, got {nchunks}")
+    raw = buffer_bytes / (nchunks * target_chunk_bytes)
+    n_mb = max(1, min(max_microbatches, int(round(raw))))
+    chunk_bytes = buffer_bytes / (nchunks * n_mb)
+    return n_mb, chunk_bytes
+
+
+__all__ = [
+    "MB",
+    "Side",
+    "ExecMode",
+    "Protocol",
+    "Invocation",
+    "TBProgram",
+    "SimConfig",
+    "ExecutionPlan",
+    "plan_microbatches",
+]

@@ -1,0 +1,547 @@
+"""Discrete-event execution of a plan over the fluid-flow fabric model.
+
+Execution semantics (mirroring an RDMA-write, credit-based transport —
+NCCL's Simple protocol):
+
+* Every thread block executes its invocation list strictly in order.
+* A **send** invocation waits for its task's data dependencies (the DAG
+  predecessors, same micro-batch) and for a FIFO credit on its
+  connection, then streams the chunk as a flow; the TB is busy for the
+  flow's duration.  Credits let a sender run ahead of its receiver by
+  ``fifo_depth`` chunks — running further ahead blocks (sync wait).
+* A **recv** invocation waits for the data to have arrived and for its
+  own data dependencies, then copies the chunk out of the communication
+  buffer (busy at the TB's copy bandwidth, plus the reduction cost for
+  ``recvReduceCopy``).  Completion of the copy completes the task
+  invocation: dependents unblock and the FIFO credit is released.
+* Interpreter mode charges every invocation a decode cost; kernel mode
+  charges a one-time pipeline load per TB (Equation 5's ``t_Load``).
+
+The simulator reports a :class:`~repro.runtime.metrics.SimReport` and
+raises :class:`SimulationDeadlock` (with per-TB diagnostics) if progress
+stops — which turns plan-construction bugs into loud failures instead of
+silent hangs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import defaultdict, deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..ir.task import CommType
+from .flows import Flow, FlowNetwork
+from .metrics import LinkStats, SimReport, TBStats, TraceEvent
+from .plan import ExecMode, ExecutionPlan, Invocation, Side
+
+
+class SimulationDeadlock(RuntimeError):
+    """The event queue drained while thread blocks were still blocked."""
+
+
+_EPS = 1e-6
+
+# TB phases.
+_FETCH = "fetch"  # about to pay control overhead for the next invocation
+_READY = "ready"  # overhead paid; waiting to satisfy start conditions
+_INFLIGHT = "inflight"  # streaming a flow / copying out a chunk
+_DONE = "done"
+
+
+class _TB:
+    """Mutable execution state of one thread block."""
+
+    __slots__ = (
+        "index",
+        "program",
+        "pc",
+        "phase",
+        "blocked_on",
+        "wait_start",
+        "wait_kind",
+        "stats",
+    )
+
+    def __init__(self, index: int, program, stats: TBStats) -> None:
+        self.index = index
+        self.program = program
+        self.pc = 0
+        self.phase = _FETCH
+        self.blocked_on: Optional[Tuple[str, object]] = None
+        self.wait_start: float = 0.0
+        self.wait_kind: str = ""
+        self.stats = stats
+
+    def current(self) -> Optional[Invocation]:
+        if self.pc < len(self.program.invocations):
+            return self.program.invocations[self.pc]
+        return None
+
+
+class Simulator:
+    """Executes one :class:`ExecutionPlan` and gathers metrics."""
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        background_traffic: Optional[List[Tuple[Tuple[str, ...], float]]] = None,
+        record_trace: bool = False,
+    ) -> None:
+        """Args:
+            plan: the execution plan to run.
+            background_traffic: optional external congestors — a list of
+                ``(edges, rate_cap)`` persistent flows occupying the
+                given contention edges for the whole run (e.g. another
+                job's traffic sharing a NIC).  Used by the
+                network-contention experiments of section 4.4.
+            record_trace: collect per-TB activity intervals into
+                ``report.trace`` (timeline/Chrome-trace export).
+        """
+        plan.validate()
+        self.plan = plan
+        self.cluster = plan.cluster
+        self.config = plan.config
+        self.dag = plan.dag
+        self.network = FlowNetwork(
+            {e: self.cluster.edge_capacity(e) for e in self.cluster.edges},
+            gamma=self.config.gamma,
+        )
+        self.now = 0.0
+        self._heap: List[Tuple[float, int, str, object]] = []
+        self._seq = itertools.count()
+        for edges, cap in background_traffic or ():
+            # Effectively-infinite payload: the congestor never drains.
+            self.network.start_flow(
+                edges=tuple(edges), nbytes=float("inf"), cap=cap, now=0.0
+            )
+
+        self.tbs = [
+            _TB(
+                i,
+                tbp,
+                TBStats(
+                    rank=tbp.rank,
+                    tb_index=tbp.tb_index,
+                    label=tbp.label,
+                    nwarps=tbp.nwarps,
+                ),
+            )
+            for i, tbp in enumerate(plan.tb_programs)
+        ]
+
+        # Data-dependency tracking (per micro-batch; micro-batches are
+        # data-independent, so dependencies never cross them).
+        self._deps_left: Dict[Tuple[int, int], int] = {}
+        self._completed: Set[Tuple[int, int]] = set()
+        self._dep_waiters: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+
+        # Flow-progress tracking.  ``_flow_started`` marks (task, mb) whose
+        # sender began streaming (a receiver may then start its overlapped
+        # copy); ``_flow_done`` marks fully-arrived payloads.
+        self._flow_started: Set[Tuple[int, int]] = set()
+        self._flow_done: Set[Tuple[int, int]] = set()
+        self._data_waiters: Dict[Tuple[int, int], int] = {}
+        # In-progress receives: key -> [tb_index, start_time, copy_elapsed].
+        self._recv_state: Dict[Tuple[int, int], list] = {}
+
+        # FIFO credits, per (sender TB, destination rank): each sending TB
+        # owns a private chunk FIFO towards each peer, as NCCL channels do.
+        self._credits: Dict[Tuple[int, int], int] = defaultdict(
+            lambda: self.config.fifo_depth
+        )
+        self._credit_queue: Dict[Tuple[int, int], Deque[int]] = defaultdict(deque)
+        # Which credit key each in-flight (task, mb) must release.
+        self._credit_owner: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+        # Active flows: flow_id -> (flow, task_id, mb, sender tb index).
+        self._flows: Dict[int, Tuple[Flow, int, int, int]] = {}
+        self._flow_version: Dict[int, int] = {}
+
+        # Completed (task, mb) invocations in completion order — lets
+        # callers replay the dynamic schedule through the symbolic
+        # correctness engine.
+        self._completion_log: List[Tuple[int, int]] = []
+
+        self._record_trace = record_trace
+        self._trace: List[TraceEvent] = []
+
+        # Per-logical-link activity.
+        self._link_stats: Dict[str, LinkStats] = {}
+        self._link_active: Dict[str, int] = defaultdict(int)
+        self._link_busy_since: Dict[str, float] = {}
+
+        self._unfinished = len(self.tbs)
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+
+    def _post(self, time: float, kind: str, payload: object) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+
+    def _trace_event(
+        self,
+        tb: "_TB",
+        kind: str,
+        start: float,
+        end: float,
+        task_id: int = -1,
+        mb: int = -1,
+    ) -> None:
+        if self._record_trace and end > start:
+            self._trace.append(
+                TraceEvent(
+                    tb_index=tb.index,
+                    rank=tb.program.rank,
+                    kind=kind,
+                    start_us=start,
+                    end_us=end,
+                    task_id=task_id,
+                    mb=mb,
+                )
+            )
+
+    def run(self) -> SimReport:
+        """Run to completion and return the measurement report."""
+        for tb in self.tbs:
+            self._advance(tb)
+        while self._heap:
+            time, _, kind, payload = heapq.heappop(self._heap)
+            self.now = max(self.now, time)
+            if kind == "tb":
+                tb = self.tbs[payload]  # type: ignore[index]
+                self._advance(tb)
+            elif kind == "flow":
+                flow_id, version = payload  # type: ignore[misc]
+                self._maybe_finish_flow(flow_id, version)
+            elif kind == "recv_copy":
+                self._recv_copy_elapsed(payload)  # type: ignore[arg-type]
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {kind!r}")
+        if self._unfinished:
+            raise SimulationDeadlock(self._deadlock_report())
+        return self._report()
+
+    # ------------------------------------------------------------------
+    # TB state machine
+    # ------------------------------------------------------------------
+
+    def _advance(self, tb: _TB) -> None:
+        """Drive a TB forward as far as it can go at the current time."""
+        while True:
+            if tb.phase == _DONE or tb.phase == _INFLIGHT:
+                return
+            inv = tb.current()
+            if inv is None:
+                tb.phase = _DONE
+                tb.stats.release_time = self.now
+                self._unfinished -= 1
+                return
+            if tb.phase == _FETCH:
+                overhead = self._control_overhead(tb)
+                tb.phase = _READY
+                if overhead > 0.0:
+                    tb.stats.overhead += overhead
+                    self._trace_event(tb, "overhead", self.now, self.now + overhead)
+                    self._post(self.now + overhead, "tb", tb.index)
+                    return
+                continue
+            # _READY: try to start the invocation.
+            if inv.side is Side.SEND:
+                if not self._try_start_send(tb, inv):
+                    return
+            else:
+                if not self._try_start_recv(tb, inv):
+                    return
+
+    def _control_overhead(self, tb: _TB) -> float:
+        """Per-invocation decode cost, or one-time kernel pipeline load."""
+        if self.plan.mode is ExecMode.INTERPRETER:
+            return self.config.interp_cost_us
+        if tb.pc == 0:
+            return self.config.kernel_load_us
+        return 0.0
+
+    def _block(self, tb: _TB, kind: str, key: object, wait_kind: str) -> None:
+        tb.blocked_on = (kind, key)
+        tb.wait_start = self.now
+        tb.wait_kind = wait_kind
+
+    def _unblock(self, tb: _TB) -> None:
+        if tb.blocked_on is None:
+            return
+        waited = self.now - tb.wait_start
+        if waited > 0:
+            if tb.wait_kind == "data":
+                tb.stats.data_wait += waited
+            else:
+                tb.stats.sync_wait += waited
+            self._trace_event(
+                tb, f"wait:{tb.wait_kind}", tb.wait_start, self.now
+            )
+        tb.blocked_on = None
+        tb.wait_kind = ""
+
+    # ------------------------------------------------------------------
+    # Send side
+    # ------------------------------------------------------------------
+
+    def _deps_satisfied(self, task_id: int, mb: int) -> bool:
+        key = (task_id, mb)
+        left = self._deps_left.get(key)
+        if left is None:
+            preds = self.dag.preds[task_id]
+            left = sum(1 for p in preds if (p, mb) not in self._completed)
+            self._deps_left[key] = left
+        return left == 0
+
+    def _try_start_send(self, tb: _TB, inv: Invocation) -> bool:
+        task = self.dag.task(inv.task_id)
+        key = (inv.task_id, inv.mb)
+        if not self._deps_satisfied(inv.task_id, inv.mb):
+            if tb.blocked_on is None:
+                self._block(tb, "deps", key, "data")
+                self._dep_waiters[key].append(tb.index)
+            return False
+        credit_key = (tb.index, task.dst)
+        if self._credits[credit_key] <= 0:
+            if tb.blocked_on is None or tb.blocked_on[0] != "credit":
+                # May transition from a deps wait into a credit wait.
+                self._unblock(tb)
+                self._block(tb, "credit", credit_key, "sync")
+                self._credit_queue[credit_key].append(tb.index)
+            return False
+        self._unblock(tb)
+        self._credits[credit_key] -= 1
+        self._credit_owner[(inv.task_id, inv.mb)] = credit_key
+        self._start_flow(tb, inv, task)
+        return True
+
+    def _start_flow(self, tb: _TB, inv: Invocation, task) -> None:
+        route = self.cluster.path(task.src, task.dst)
+        protocol = self.config.protocol
+        cap = (
+            self.cluster.profile.tb_copy_bandwidth(tb.program.nwarps)
+            * protocol.bandwidth_efficiency
+        )
+        flow, changed = self.network.start_flow(
+            edges=route.edges,
+            nbytes=self.plan.chunk_bytes,
+            cap=cap,
+            now=self.now + route.latency_us * protocol.latency_factor,
+        )
+        self._flows[flow.flow_id] = (flow, inv.task_id, inv.mb, tb.index)
+        self._flow_version[flow.flow_id] = 0
+        tb.phase = _INFLIGHT
+        self._link_enter(task.link)
+        self._post_flow_eta(flow)
+        for other in changed:
+            if other.flow_id != flow.flow_id:
+                self._post_flow_eta(other)
+        # The receiver may begin its overlapped copy as soon as the stream
+        # is in flight (recvCopySend semantics).
+        key = (inv.task_id, inv.mb)
+        self._flow_started.add(key)
+        waiter = self._data_waiters.pop(key, None)
+        if waiter is not None:
+            self._advance(self.tbs[waiter])
+
+    def _post_flow_eta(self, flow: Flow) -> None:
+        self._flow_version[flow.flow_id] = (
+            self._flow_version.get(flow.flow_id, 0) + 1
+        )
+        eta = flow.eta()
+        if eta != float("inf"):
+            self._post(
+                max(eta, self.now),
+                "flow",
+                (flow.flow_id, self._flow_version[flow.flow_id]),
+            )
+
+    def _maybe_finish_flow(self, flow_id: int, version: int) -> None:
+        entry = self._flows.get(flow_id)
+        if entry is None or self._flow_version.get(flow_id) != version:
+            return
+        flow, task_id, mb, sender_index = entry
+        flow.advance_to(self.now)
+        if flow.remaining > _EPS:
+            self._post_flow_eta(flow)
+            return
+        del self._flows[flow_id]
+        del self._flow_version[flow_id]
+        changed = self.network.finish_flow(flow, self.now)
+        for other in changed:
+            self._post_flow_eta(other)
+
+        task = self.dag.task(task_id)
+        self._link_exit(task.link, flow)
+
+        sender = self.tbs[sender_index]
+        send_start = flow.start_time - self._route_latency(task)
+        sender.stats.busy += self.now - send_start
+        self._trace_event(sender, "send", send_start, self.now, task_id, mb)
+        sender.stats.invocations += 1
+        sender.phase = _FETCH
+        sender.pc += 1
+        self._advance(sender)
+
+        key = (task_id, mb)
+        self._flow_done.add(key)
+        state = self._recv_state.get(key)
+        if state is not None and state[2]:
+            # The receiver's copy clock already elapsed: the recv completes
+            # the moment the last byte lands.
+            self._finish_recv(key)
+
+    def _route_latency(self, task) -> float:
+        return (
+            self.cluster.path(task.src, task.dst).latency_us
+            * self.config.protocol.latency_factor
+        )
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+
+    def _try_start_recv(self, tb: _TB, inv: Invocation) -> bool:
+        key = (inv.task_id, inv.mb)
+        if key not in self._flow_started:
+            if tb.blocked_on is None:
+                self._block(tb, "data", key, "sync")
+                self._data_waiters[key] = tb.index
+            return False
+        if not self._deps_satisfied(inv.task_id, inv.mb):
+            if tb.blocked_on is None or tb.blocked_on[0] != "deps":
+                self._unblock(tb)
+                self._block(tb, "deps", key, "data")
+                self._dep_waiters[key].append(tb.index)
+            return False
+        self._unblock(tb)
+        task = self.dag.task(inv.task_id)
+        copy_bw = self.cluster.profile.tb_copy_bandwidth(tb.program.nwarps)
+        duration = self.plan.chunk_bytes / copy_bw
+        if task.op is CommType.RRC:
+            duration += (
+                self.plan.chunk_bytes * self.cluster.profile.reduce_cost_per_byte_us
+            )
+        tb.phase = _INFLIGHT
+        self._recv_state[key] = [tb.index, self.now, False]
+        self._post(self.now + duration, "recv_copy", key)
+        return True
+
+    def _recv_copy_elapsed(self, key: Tuple[int, int]) -> None:
+        """The receiver's copy clock ran out; finish if the data is in."""
+        state = self._recv_state.get(key)
+        if state is None:  # pragma: no cover - defensive
+            return
+        if key in self._flow_done:
+            self._finish_recv(key)
+        else:
+            state[2] = True  # now gated on flow completion only
+
+    def _finish_recv(self, key: Tuple[int, int]) -> None:
+        task_id, mb = key
+        tb_index, start_time, _ = self._recv_state.pop(key)
+        tb = self.tbs[tb_index]
+        tb.stats.busy += self.now - start_time
+        self._trace_event(tb, "recv", start_time, self.now, task_id, mb)
+        tb.stats.invocations += 1
+        tb.phase = _FETCH
+        tb.pc += 1
+
+        # Task invocation complete: release the FIFO credit and satisfy
+        # dependents.
+        credit_key = self._credit_owner.pop(key)
+        self._credits[credit_key] += 1
+        queue = self._credit_queue[credit_key]
+        if queue and self._credits[credit_key] > 0:
+            self._advance(self.tbs[queue.popleft()])
+
+        self._completed.add(key)
+        self._completion_log.append(key)
+        for succ in self.dag.succs[task_id]:
+            succ_key = (succ, mb)
+            left = self._deps_left.get(succ_key)
+            if left is not None and left > 0:
+                self._deps_left[succ_key] = left - 1
+                if left - 1 == 0:
+                    for waiter in self._dep_waiters.pop(succ_key, ()):
+                        self._advance(self.tbs[waiter])
+        self._advance(tb)
+
+    # ------------------------------------------------------------------
+    # Link activity accounting
+    # ------------------------------------------------------------------
+
+    def _link_enter(self, link: str) -> None:
+        stats = self._link_stats.get(link)
+        if stats is None:
+            stats = self._link_stats[link] = LinkStats(link=link)
+        stats.flows_carried += 1
+        if self._link_active[link] == 0:
+            self._link_busy_since[link] = self.now
+        self._link_active[link] += 1
+
+    def _link_exit(self, link: str, flow: Flow) -> None:
+        stats = self._link_stats[link]
+        stats.bytes_moved += flow.nbytes
+        self._link_active[link] -= 1
+        if self._link_active[link] == 0:
+            stats.busy_time += self.now - self._link_busy_since.pop(link)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _report(self) -> SimReport:
+        # Completion is when the last TB retires; stale (version-
+        # invalidated) flow events may leave self.now slightly past that.
+        completion = max(
+            (tb.stats.release_time for tb in self.tbs), default=self.now
+        )
+        return SimReport(
+            plan_name=self.plan.name,
+            mode=self.plan.mode,
+            completion_time_us=completion,
+            total_bytes=self.plan.total_bytes,
+            tb_stats=[tb.stats for tb in self.tbs],
+            link_stats=self._link_stats,
+            completion_order=self._completion_log,
+            trace=self._trace,
+        )
+
+    def _deadlock_report(self) -> str:
+        lines = [
+            f"deadlock at t={self.now:.1f}us: "
+            f"{self._unfinished} TB(s) never finished"
+        ]
+        for tb in self.tbs:
+            if tb.phase == _DONE:
+                continue
+            inv = tb.current()
+            lines.append(
+                f"  rank {tb.program.rank} TB{tb.program.tb_index} "
+                f"({tb.program.label}) pc={tb.pc}/{len(tb.program.invocations)} "
+                f"phase={tb.phase} blocked_on={tb.blocked_on} at {inv}"
+            )
+            if len(lines) > 20:
+                lines.append("  ...")
+                break
+        return "\n".join(lines)
+
+
+def simulate(
+    plan: ExecutionPlan,
+    background_traffic: Optional[List[Tuple[Tuple[str, ...], float]]] = None,
+    record_trace: bool = False,
+) -> SimReport:
+    """Convenience wrapper: build a simulator, run it, return the report."""
+    return Simulator(
+        plan,
+        background_traffic=background_traffic,
+        record_trace=record_trace,
+    ).run()
+
+
+__all__ = ["Simulator", "SimulationDeadlock", "simulate"]

@@ -1,0 +1,33 @@
+"""Synthesizer stand-ins: TACCL (sketch-guided) and TECCL (flow-based)."""
+
+from .base import (
+    GreedyStepScheduler,
+    SynthesisError,
+    assemble_allreduce,
+    make_reducescatter,
+    reverse_to_reducescatter,
+)
+from .msccl_xml import (
+    MscclXmlError,
+    from_msccl_xml,
+    read_msccl_xml,
+    to_msccl_xml,
+    write_msccl_xml,
+)
+from .taccl import TACCLSynthesizer
+from .teccl import TECCLSynthesizer
+
+__all__ = [
+    "TACCLSynthesizer",
+    "TECCLSynthesizer",
+    "GreedyStepScheduler",
+    "SynthesisError",
+    "assemble_allreduce",
+    "make_reducescatter",
+    "reverse_to_reducescatter",
+    "MscclXmlError",
+    "to_msccl_xml",
+    "from_msccl_xml",
+    "write_msccl_xml",
+    "read_msccl_xml",
+]

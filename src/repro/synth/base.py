@@ -1,0 +1,179 @@
+"""Shared machinery for the synthesizer stand-ins.
+
+The real TACCL and TECCL are MILP/flow solvers; the paper uses them only
+as *sources of input algorithms* for the backends.  These stand-ins keep
+the solvers' observable properties — valid transfer programs, per-step
+contention-free link usage, and the uneven link load the paper calls out
+in section 5.4 — while replacing the solver with greedy list scheduling.
+
+Key pieces:
+
+* :class:`GreedyStepScheduler` — assigns each routed hop the earliest
+  step at which its data is available and its link is free, exactly the
+  discrete-time model synthesizers emit schedules in;
+* :func:`reverse_to_reducescatter` — the transpose trick: reversing an
+  AllGather (and flipping copies into reductions) yields a
+  ReduceScatter;
+* :func:`assemble_allreduce` — the "general assembly technique" of
+  section 5.2 the authors used to extend TECCL: AllReduce =
+  ReduceScatter followed by AllGather.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+from ..ir.task import Collective, CommType, Transfer
+from ..lang.builder import AlgoProgram
+from ..topology import Cluster
+
+
+class SynthesisError(RuntimeError):
+    """Raised when a stand-in synthesizer produces an inconsistent route."""
+
+
+class GreedyStepScheduler:
+    """Earliest-step list scheduling of routed hops.
+
+    Tracks, per (rank, chunk), the first step at which the rank holds the
+    chunk, and per link, which steps are already occupied — one transfer
+    per link per step, the contention-free discipline synthesized
+    schedules follow.
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+        self._available: Dict[Tuple[int, int], int] = {}
+        self._link_busy: Dict[str, Set[int]] = defaultdict(set)
+        self.transfers: List[Transfer] = []
+
+    def seed(self, rank: int, chunk: int) -> None:
+        """Declare that ``rank`` holds ``chunk`` from the start."""
+        self._available[(rank, chunk)] = 0
+
+    def holds(self, rank: int, chunk: int) -> bool:
+        return (rank, chunk) in self._available
+
+    def available_at(self, rank: int, chunk: int) -> int:
+        try:
+            return self._available[(rank, chunk)]
+        except KeyError:
+            raise SynthesisError(
+                f"rank {rank} never receives chunk {chunk}; routing bug"
+            ) from None
+
+    def schedule_hop(
+        self, src: int, dst: int, chunk: int, op: CommType = CommType.RECV
+    ) -> Transfer:
+        """Route one hop at the earliest feasible step and record it."""
+        ready = self.available_at(src, chunk)
+        link = self._cluster.link_name(src, dst)
+        step = ready
+        while step in self._link_busy[link]:
+            step += 1
+        self._link_busy[link].add(step)
+        transfer = Transfer(src=src, dst=dst, step=step, chunk=chunk, op=op)
+        self.transfers.append(transfer)
+        arrival = step + 1
+        key = (dst, chunk)
+        if key not in self._available or self._available[key] > arrival:
+            self._available[key] = arrival
+        return transfer
+
+    def link_load(self) -> Dict[str, int]:
+        """Transfers per link — the (im)balance profile of the schedule."""
+        return {link: len(steps) for link, steps in self._link_busy.items()}
+
+
+def reverse_to_reducescatter(
+    allgather: List[Transfer], step_offset: int = 0
+) -> List[Transfer]:
+    """Transpose an AllGather schedule into a ReduceScatter.
+
+    Every copy ``src -> dst`` becomes a reduction ``dst -> src`` at the
+    mirrored step.  Reversal can put several reductions into one buffer
+    slot at the same mirrored step, which would race; steps are dilated
+    by the worst fan-in and conflicting writes serialized within each
+    dilated block.
+    """
+    if not allgather:
+        return []
+    max_step = max(t.step for t in allgather)
+    groups: Dict[Tuple[int, int, int], List[Transfer]] = defaultdict(list)
+    for t in allgather:
+        mirrored = max_step - t.step
+        groups[(t.src, t.chunk, mirrored)].append(t)
+    dilation = max(len(g) for g in groups.values())
+    reversed_transfers: List[Transfer] = []
+    for (new_dst, chunk, mirrored), members in sorted(
+        groups.items(), key=lambda kv: (kv[0][2], kv[0][0], kv[0][1])
+    ):
+        for index, t in enumerate(members):
+            reversed_transfers.append(
+                Transfer(
+                    src=t.dst,
+                    dst=new_dst,
+                    step=step_offset + mirrored * dilation + index,
+                    chunk=chunk,
+                    op=CommType.RRC,
+                )
+            )
+    return reversed_transfers
+
+
+def assemble_allreduce(
+    allgather_program: AlgoProgram, name: str
+) -> AlgoProgram:
+    """AllReduce = transpose-ReduceScatter + the original AllGather."""
+    rs = reverse_to_reducescatter(allgather_program.transfers)
+    rs_end = max((t.step for t in rs), default=-1)
+    program = AlgoProgram.create(
+        allgather_program.nranks,
+        Collective.ALLREDUCE,
+        name=name,
+        gpus_per_node=allgather_program.header.gpus_per_node,
+        nics_per_node=allgather_program.header.nics_per_node,
+    )
+    program.transfers.extend(rs)
+    for t in allgather_program.transfers:
+        program.transfers.append(
+            Transfer(
+                src=t.src,
+                dst=t.dst,
+                step=rs_end + 1 + t.step,
+                chunk=t.chunk,
+                op=t.op,
+            )
+        )
+    # Synthesized algorithms execute at algorithm level (section 2.1):
+    # one stage, no manual channel division.
+    program.stage_starts = [0]
+    return program
+
+
+def make_reducescatter(
+    allgather_program: AlgoProgram, name: str
+) -> AlgoProgram:
+    """Standalone transpose-ReduceScatter of a synthesized AllGather."""
+    program = AlgoProgram.create(
+        allgather_program.nranks,
+        Collective.REDUCESCATTER,
+        name=name,
+        gpus_per_node=allgather_program.header.gpus_per_node,
+        nics_per_node=allgather_program.header.nics_per_node,
+    )
+    program.transfers.extend(
+        reverse_to_reducescatter(allgather_program.transfers)
+    )
+    program.stage_starts = [0]
+    return program
+
+
+__all__ = [
+    "SynthesisError",
+    "GreedyStepScheduler",
+    "reverse_to_reducescatter",
+    "assemble_allreduce",
+    "make_reducescatter",
+]

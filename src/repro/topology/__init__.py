@@ -1,0 +1,26 @@
+"""Cluster topology substrate: hardware profiles, routing, contention edges."""
+
+from .cluster import Cluster, Path, multi_node, single_node
+from .hardware import (
+    GpuProfile,
+    LinkSpec,
+    a100_profile,
+    gbits_to_bytes_per_us,
+    gbps_to_bytes_per_us,
+    profile_by_name,
+    v100_profile,
+)
+
+__all__ = [
+    "Cluster",
+    "Path",
+    "GpuProfile",
+    "LinkSpec",
+    "a100_profile",
+    "v100_profile",
+    "profile_by_name",
+    "gbps_to_bytes_per_us",
+    "gbits_to_bytes_per_us",
+    "single_node",
+    "multi_node",
+]

@@ -1,0 +1,34 @@
+"""End-to-end Megatron-style training throughput model."""
+
+from .megatron import (
+    IterationBreakdown,
+    MegatronSimulator,
+    collective_time_us,
+    expert_program,
+)
+from .models import GPT3_MODELS, T5_MODELS, ModelConfig, model_by_name
+from .parallelism import (
+    CommDemand,
+    ParallelConfig,
+    dp_allreduce_bytes,
+    iteration_demands,
+    tp_allreduce_bytes,
+    tp_allreduce_count,
+)
+
+__all__ = [
+    "MegatronSimulator",
+    "IterationBreakdown",
+    "collective_time_us",
+    "expert_program",
+    "ModelConfig",
+    "GPT3_MODELS",
+    "T5_MODELS",
+    "model_by_name",
+    "ParallelConfig",
+    "CommDemand",
+    "tp_allreduce_bytes",
+    "tp_allreduce_count",
+    "dp_allreduce_bytes",
+    "iteration_demands",
+]

@@ -1,0 +1,202 @@
+"""Megatron-LM-style end-to-end training throughput model.
+
+Iteration time = compute + non-overlapped communication, with every
+communication term measured by *executing the collective on the chosen
+backend* in the discrete-event runtime:
+
+* tensor-parallel activation AllReduces run on the TP group (one server,
+  NVSwitch only) and sit on the critical path — Megatron's TP collectives
+  block the matmuls around them;
+* the data-parallel gradient AllReduce runs on the full cluster and
+  partially overlaps the backward pass (``dp_overlap``).
+
+Compute time comes from the standard ``6 * params * tokens`` FLOPs
+estimate against the A100's peak throughput at a fixed model FLOPs
+utilization.  Swapping the communication backend (NCCL / MSCCL / ResCCL)
+is the experiment of Figure 13: the compute term is identical, so
+throughput differences isolate the communication stack.
+
+The paper reports a plain relink suffices to put ResCCL under Megatron;
+here the backend is likewise a constructor argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from ..algorithms import (
+    hm_allgather,
+    hm_allreduce,
+    hm_reducescatter,
+    mesh_allgather,
+    mesh_allreduce,
+    mesh_reducescatter,
+)
+from ..baselines import MSCCLBackend, NCCLBackend
+from ..core import ResCCLBackend
+from ..ir.task import Collective
+from ..lang.builder import AlgoProgram
+from ..runtime.simulator import simulate
+from ..topology import Cluster, single_node
+from .models import ModelConfig
+from .parallelism import ParallelConfig, iteration_demands
+
+#: A100 peak bf16 tensor throughput, FLOPs per microsecond.
+A100_PEAK_FLOPS_PER_US = 312e12 / 1e6
+
+
+def expert_program(cluster: Cluster, collective: Collective) -> AlgoProgram:
+    """The expert algorithm a custom backend runs on this cluster shape."""
+    if cluster.nodes == 1:
+        builders = {
+            Collective.ALLGATHER: mesh_allgather,
+            Collective.REDUCESCATTER: mesh_reducescatter,
+            Collective.ALLREDUCE: mesh_allreduce,
+        }
+        return builders[collective](cluster.world_size)
+    builders = {
+        Collective.ALLGATHER: hm_allgather,
+        Collective.REDUCESCATTER: hm_reducescatter,
+        Collective.ALLREDUCE: hm_allreduce,
+    }
+    return builders[collective](cluster.nodes, cluster.gpus_per_node)
+
+
+Backend = Union[NCCLBackend, MSCCLBackend, ResCCLBackend]
+
+
+def collective_time_us(
+    backend: Backend,
+    cluster: Cluster,
+    collective: Collective,
+    nbytes: float,
+) -> float:
+    """Measured completion time of one collective call on a backend."""
+    if isinstance(backend, NCCLBackend):
+        plan = backend.plan(cluster, collective, nbytes)
+    else:
+        program = expert_program(cluster, collective)
+        plan = backend.plan(cluster, program, nbytes)
+    return simulate(plan).completion_time_us
+
+
+@dataclass
+class IterationBreakdown:
+    """Timing decomposition of one training iteration (microseconds)."""
+
+    compute_us: float
+    tp_comm_us: float
+    dp_comm_us: float
+    dp_exposed_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.compute_us + self.tp_comm_us + self.dp_exposed_us
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of iteration time spent in exposed communication."""
+        if self.total_us <= 0:
+            return 0.0
+        return (self.tp_comm_us + self.dp_exposed_us) / self.total_us
+
+
+@dataclass
+class MegatronSimulator:
+    """End-to-end trainer model parameterized by the CCL backend.
+
+    Args:
+        cluster: the full training cluster.
+        backend: communication backend under test.
+        mfu: model FLOPs utilization of the compute phase.
+        dp_overlap: fraction of the gradient AllReduce hidden behind the
+            backward pass (Megatron does not overlap gradient
+            all-reduce unless ``--overlap-grad-reduce`` is set, so the
+            default exposes it fully).
+    """
+
+    cluster: Cluster
+    backend: Backend
+    mfu: float = 0.5
+    dp_overlap: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.mfu <= 1.0:
+            raise ValueError(f"mfu must be in (0, 1], got {self.mfu}")
+        if not 0.0 <= self.dp_overlap <= 1.0:
+            raise ValueError(
+                f"dp_overlap must be in [0, 1], got {self.dp_overlap}"
+            )
+        self._comm_cache: Dict[Tuple[str, float], float] = {}
+
+    # ------------------------------------------------------------------
+
+    def _tp_cluster(self, parallel: ParallelConfig) -> Cluster:
+        if parallel.tp > self.cluster.gpus_per_node:
+            raise ValueError(
+                f"TP group of {parallel.tp} exceeds one server "
+                f"({self.cluster.gpus_per_node} GPUs)"
+            )
+        return single_node(parallel.tp, profile=self.cluster.profile)
+
+    def _comm_time(self, scope: str, parallel: ParallelConfig, nbytes: float) -> float:
+        key = (scope + str(parallel.tp), nbytes)
+        cached = self._comm_cache.get(key)
+        if cached is not None:
+            return cached
+        cluster = (
+            self._tp_cluster(parallel) if scope == "tp" else self.cluster
+        )
+        value = collective_time_us(
+            self.backend, cluster, Collective.ALLREDUCE, nbytes
+        )
+        self._comm_cache[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+
+    def iteration(
+        self, model: ModelConfig, parallel: ParallelConfig
+    ) -> IterationBreakdown:
+        """Timing breakdown of one iteration of ``model`` at this layout."""
+        if parallel.world_size != self.cluster.world_size:
+            raise ValueError(
+                f"layout needs {parallel.world_size} GPUs, cluster has "
+                f"{self.cluster.world_size}"
+            )
+        tokens = parallel.batch_size * model.seq_len
+        compute_us = model.flops_per_token() * tokens / (
+            self.cluster.world_size * A100_PEAK_FLOPS_PER_US * self.mfu
+        )
+        tp_comm_us = 0.0
+        dp_comm_us = 0.0
+        for demand in iteration_demands(model, parallel):
+            per_call = self._comm_time(demand.scope, parallel, demand.nbytes)
+            if demand.scope == "tp":
+                tp_comm_us += demand.count * per_call
+            else:
+                dp_comm_us += demand.count * per_call
+        dp_exposed_us = dp_comm_us * (1.0 - self.dp_overlap)
+        return IterationBreakdown(
+            compute_us=compute_us,
+            tp_comm_us=tp_comm_us,
+            dp_comm_us=dp_comm_us,
+            dp_exposed_us=dp_exposed_us,
+        )
+
+    def throughput(
+        self, model: ModelConfig, parallel: ParallelConfig
+    ) -> float:
+        """Training throughput in samples per second."""
+        breakdown = self.iteration(model, parallel)
+        return parallel.batch_size / (breakdown.total_us / 1e6)
+
+
+__all__ = [
+    "A100_PEAK_FLOPS_PER_US",
+    "expert_program",
+    "collective_time_us",
+    "IterationBreakdown",
+    "MegatronSimulator",
+]

@@ -1,0 +1,93 @@
+"""Transformer model configurations for the end-to-end experiments.
+
+The paper's section 5.5 trains GPT-3 variants (6.7B-45B, tensor
+parallelism 8) and T5 variants (220M-3B, data parallelism 16) under
+Megatron-LM.  These configs carry exactly what the timing model needs:
+parameter count, layer count, hidden size, and sequence length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """A transformer LM sized for the throughput model.
+
+    Attributes:
+        name: display name ("GPT-3 6.7B").
+        family: "gpt3" or "t5".
+        params: total parameter count.
+        layers: transformer layer count.
+        hidden: model (hidden) dimension.
+        seq_len: training sequence length.
+    """
+
+    name: str
+    family: str
+    params: float
+    layers: int
+    hidden: int
+    seq_len: int
+
+    @property
+    def params_billion(self) -> float:
+        return self.params / 1e9
+
+    def flops_per_token(self) -> float:
+        """Training FLOPs per token: the standard 6 * params estimate."""
+        return 6.0 * self.params
+
+
+def _gpt3(name: str, params_b: float, layers: int, hidden: int) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        family="gpt3",
+        params=params_b * 1e9,
+        layers=layers,
+        hidden=hidden,
+        seq_len=2048,
+    )
+
+
+def _t5(name: str, params_m: float, layers: int, hidden: int) -> ModelConfig:
+    return ModelConfig(
+        name=name,
+        family="t5",
+        params=params_m * 1e6,
+        layers=layers,
+        hidden=hidden,
+        seq_len=512,
+    )
+
+
+GPT3_MODELS: List[ModelConfig] = [
+    _gpt3("GPT-3 6.7B", 6.7, 32, 4096),
+    _gpt3("GPT-3 13B", 13.0, 40, 5120),
+    _gpt3("GPT-3 22B", 22.0, 48, 6144),
+    _gpt3("GPT-3 44B", 44.0, 64, 7424),
+]
+
+T5_MODELS: List[ModelConfig] = [
+    _t5("T5 220M", 220.0, 12, 768),
+    _t5("T5 770M", 770.0, 24, 1024),
+    _t5("T5 3B", 3000.0, 24, 2048),
+]
+
+_ALL: Dict[str, ModelConfig] = {
+    m.name: m for m in GPT3_MODELS + T5_MODELS
+}
+
+
+def model_by_name(name: str) -> ModelConfig:
+    """Look up a built-in model config by display name."""
+    try:
+        return _ALL[name]
+    except KeyError:
+        known = ", ".join(sorted(_ALL))
+        raise ValueError(f"unknown model {name!r}; known: {known}") from None
+
+
+__all__ = ["ModelConfig", "GPT3_MODELS", "T5_MODELS", "model_by_name"]

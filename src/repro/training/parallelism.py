@@ -1,0 +1,129 @@
+"""Parallelism configuration and communication-volume arithmetic.
+
+Following the paper's Table 2: GPT-3 uses tensor parallelism (TP=8,
+one node per TP group) with data parallelism across nodes; T5 uses pure
+data parallelism (DP=16).  This module computes, for a given model and
+parallel layout, the collective calls one training iteration issues and
+their buffer sizes — the inputs the Megatron timing model feeds to a
+communication backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .models import ModelConfig
+
+#: Bytes per element for bf16/fp16 activations and gradients.
+BYTES_PER_ELEMENT = 2
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Distributed layout of one training job.
+
+    Attributes:
+        tp: tensor-parallel group size (GPUs splitting each layer).
+        dp: data-parallel replica count.
+        batch_size: global batch size in samples.
+        microbatch_size: samples per micro-batch (pipeline granularity).
+    """
+
+    tp: int
+    dp: int
+    batch_size: int
+    microbatch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tp < 1 or self.dp < 1:
+            raise ValueError("tp and dp must be >= 1")
+        if self.batch_size < self.dp:
+            raise ValueError(
+                f"batch size {self.batch_size} smaller than dp {self.dp}"
+            )
+        if self.microbatch_size < 1:
+            raise ValueError("microbatch_size must be >= 1")
+
+    @property
+    def world_size(self) -> int:
+        return self.tp * self.dp
+
+    @property
+    def samples_per_replica(self) -> int:
+        return self.batch_size // self.dp
+
+    @property
+    def microbatches_per_replica(self) -> int:
+        return max(
+            1, self.samples_per_replica // self.microbatch_size
+        )
+
+
+def tp_allreduce_bytes(model: ModelConfig, parallel: ParallelConfig) -> float:
+    """Payload of one tensor-parallel activation AllReduce.
+
+    Megatron's row/column-parallel layers AllReduce a
+    (microbatch, seq, hidden) activation tensor.
+    """
+    return (
+        parallel.microbatch_size
+        * model.seq_len
+        * model.hidden
+        * BYTES_PER_ELEMENT
+    )
+
+
+def tp_allreduce_count(model: ModelConfig, parallel: ParallelConfig) -> int:
+    """TP AllReduces per iteration: 2 forward + 2 backward per layer,
+    repeated for every micro-batch the replica processes."""
+    if parallel.tp == 1:
+        return 0
+    return 4 * model.layers * parallel.microbatches_per_replica
+
+
+def dp_allreduce_bytes(model: ModelConfig, parallel: ParallelConfig) -> float:
+    """Payload of the data-parallel gradient AllReduce (per TP shard)."""
+    if parallel.dp == 1:
+        return 0.0
+    return model.params / parallel.tp * BYTES_PER_ELEMENT
+
+
+@dataclass(frozen=True)
+class CommDemand:
+    """One class of collective calls an iteration issues."""
+
+    scope: str  # "tp" (intra-node group) or "dp" (cross-node group)
+    count: int
+    nbytes: float
+
+
+def iteration_demands(
+    model: ModelConfig, parallel: ParallelConfig
+) -> List[CommDemand]:
+    """All collective traffic of one training iteration."""
+    demands: List[CommDemand] = []
+    tp_count = tp_allreduce_count(model, parallel)
+    if tp_count:
+        demands.append(
+            CommDemand(
+                scope="tp",
+                count=tp_count,
+                nbytes=tp_allreduce_bytes(model, parallel),
+            )
+        )
+    dp_bytes = dp_allreduce_bytes(model, parallel)
+    if dp_bytes:
+        demands.append(CommDemand(scope="dp", count=1, nbytes=dp_bytes))
+    return demands
+
+
+__all__ = [
+    "BYTES_PER_ELEMENT",
+    "ParallelConfig",
+    "CommDemand",
+    "tp_allreduce_bytes",
+    "tp_allreduce_count",
+    "dp_allreduce_bytes",
+    "iteration_demands",
+]

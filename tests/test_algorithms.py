@@ -1,0 +1,170 @@
+"""Correctness of every built-in collective algorithm.
+
+An algorithm is correct when symbolically executing its transfers in step
+order establishes the collective's postcondition (section: Problem/Goal —
+data dependencies encode exactly this).
+"""
+
+import pytest
+
+from repro.algorithms import (
+    available_algorithms,
+    build_algorithm,
+    double_binary_tree_allreduce,
+    hm_allgather,
+    hm_allreduce,
+    hm_reducescatter,
+    ring_allgather,
+    ring_allreduce,
+    ring_reducescatter,
+)
+from repro.ir.task import Collective, CommType
+from repro.lang.validate import validate_program
+from repro.runtime.memory import verify_collective
+from repro.topology import multi_node
+
+
+def assert_correct(program):
+    result = verify_collective(program)
+    assert result.ok, result.errors[:5]
+    report = validate_program(program)
+    assert report.ok, report.issues[:5]
+
+
+class TestRing:
+    @pytest.mark.parametrize("nranks", [2, 3, 4, 8, 16])
+    def test_allgather(self, nranks):
+        assert_correct(ring_allgather(nranks))
+
+    @pytest.mark.parametrize("nranks", [2, 3, 4, 8, 16])
+    def test_reducescatter(self, nranks):
+        assert_correct(ring_reducescatter(nranks))
+
+    @pytest.mark.parametrize("nranks", [2, 3, 4, 8, 16])
+    def test_allreduce(self, nranks):
+        assert_correct(ring_allreduce(nranks))
+
+    def test_allgather_step_count(self):
+        # Ring AllGather finishes in N-1 steps.
+        program = ring_allgather(8)
+        assert program.max_step == 6
+
+    def test_allreduce_is_rs_then_ag(self):
+        program = ring_allreduce(4)
+        rrc_steps = {t.step for t in program.transfers if t.op is CommType.RRC}
+        recv_steps = {t.step for t in program.transfers if t.op is CommType.RECV}
+        assert max(rrc_steps) < min(recv_steps)
+        assert program.stage_starts == [0, 3]
+
+    def test_neighbours_only(self):
+        program = ring_allgather(8)
+        for t in program.transfers:
+            assert t.dst == (t.src + 1) % 8
+
+
+class TestTree:
+    @pytest.mark.parametrize("nranks", [2, 3, 5, 8, 12, 16])
+    def test_allreduce(self, nranks):
+        assert_correct(double_binary_tree_allreduce(nranks))
+
+    def test_two_trees_split_chunks(self):
+        program = double_binary_tree_allreduce(8)
+        # Even chunks route over tree 0 (root rank 0): rank 0 never sends
+        # an even chunk upward (it is the root), but it does for odd ones.
+        even_rrc_srcs = {
+            t.src
+            for t in program.transfers
+            if t.op is CommType.RRC and t.chunk % 2 == 0
+        }
+        assert 0 not in even_rrc_srcs
+
+    def test_rejects_single_rank(self):
+        with pytest.raises(ValueError):
+            double_binary_tree_allreduce(1)
+
+
+class TestHierarchicalMesh:
+    @pytest.mark.parametrize("shape", [(2, 2), (2, 4), (2, 8), (4, 4), (4, 8), (3, 4)])
+    def test_allgather(self, shape):
+        assert_correct(hm_allgather(*shape))
+
+    @pytest.mark.parametrize("shape", [(2, 2), (2, 4), (2, 8), (4, 4), (4, 8), (3, 4)])
+    def test_reducescatter(self, shape):
+        assert_correct(hm_reducescatter(*shape))
+
+    @pytest.mark.parametrize("shape", [(2, 2), (2, 4), (2, 8), (4, 4), (4, 8), (3, 4)])
+    def test_allreduce(self, shape):
+        assert_correct(hm_allreduce(*shape))
+
+    def test_allreduce_has_four_stages(self):
+        program = hm_allreduce(4, 8)
+        assert len(program.stage_starts) == 4
+        # Figure 16 stage boundaries for nNodes=4, G=8.
+        assert program.stage_starts == [0, 28, 31, 34]
+
+    def test_intra_transfers_stay_in_node(self):
+        program = hm_allgather(2, 4)
+        cluster = multi_node(2, 4)
+        stage2_start = program.stage_starts[1]
+        for t in program.transfers:
+            if t.step >= stage2_start:  # Broadcast 2 is intra-only
+                assert cluster.same_node(t.src, t.dst)
+
+    def test_inter_transfers_ring_aligned(self):
+        program = hm_allreduce(2, 8)
+        cluster = multi_node(2, 8)
+        for t in program.transfers:
+            if not cluster.same_node(t.src, t.dst):
+                assert cluster.local_index(t.src) == cluster.local_index(t.dst)
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ValueError):
+            hm_allreduce(1, 8)
+
+    def test_rejects_single_gpu_nodes(self):
+        with pytest.raises(ValueError):
+            hm_allgather(2, 1)
+
+
+class TestRegistry:
+    def test_lists_all_builtins(self):
+        names = available_algorithms()
+        assert "ring-allreduce" in names
+        assert "hm-allgather" in names
+        assert "tree-allreduce" in names
+
+    @pytest.mark.parametrize("name", [
+        "ring-allgather",
+        "ring-reducescatter",
+        "ring-allreduce",
+        "tree-allreduce",
+        "hm-allgather",
+        "hm-reducescatter",
+        "hm-allreduce",
+    ])
+    def test_build_and_verify(self, name):
+        cluster = multi_node(2, 4)
+        program = build_algorithm(name, cluster)
+        assert program.nranks == cluster.world_size
+        assert_correct(program)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            build_algorithm("quantum-allreduce", multi_node(2, 4))
+
+    def test_hierarchical_requires_multi_node(self):
+        from repro.topology import single_node
+
+        with pytest.raises(ValueError, match="multi-node"):
+            build_algorithm("hm-allreduce", single_node(8))
+
+    def test_collectives_declared(self):
+        cluster = multi_node(2, 4)
+        assert (
+            build_algorithm("hm-allreduce", cluster).collective
+            is Collective.ALLREDUCE
+        )
+        assert (
+            build_algorithm("hm-allgather", cluster).collective
+            is Collective.ALLGATHER
+        )

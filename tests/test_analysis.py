@@ -1,0 +1,157 @@
+"""Tests for the analysis/aggregation helpers and SimReport metrics."""
+
+import pytest
+
+from repro import MB, MSCCLBackend, ResCCLBackend, multi_node, simulate
+from repro.algorithms import hm_allreduce
+from repro.analysis import (
+    TBUtilizationRow,
+    compare_bandwidth,
+    format_table,
+    tb_breakdown,
+    worst_idle_tb,
+)
+from repro.runtime.metrics import LinkStats, SimReport, TBStats
+from repro.runtime.plan import ExecMode
+
+
+@pytest.fixture(scope="module")
+def reports():
+    cluster = multi_node(2, 4)
+    program = hm_allreduce(2, 4)
+    return {
+        "MSCCL": simulate(
+            MSCCLBackend(max_microbatches=4).plan(cluster, program, 32 * MB)
+        ),
+        "ResCCL": simulate(
+            ResCCLBackend(max_microbatches=4).plan(cluster, program, 32 * MB)
+        ),
+    }
+
+
+class TestTBStats:
+    def test_lifetime_with_early_release(self):
+        stats = TBStats(rank=0, tb_index=0, label="x", nwarps=16)
+        stats.busy = 50.0
+        stats.release_time = 80.0
+        assert stats.lifetime(100.0, early_release=True) == 80.0
+        assert stats.lifetime(100.0, early_release=False) == 100.0
+
+    def test_idle_fraction(self):
+        stats = TBStats(rank=0, tb_index=0, label="x", nwarps=16)
+        stats.busy = 25.0
+        stats.overhead = 25.0
+        stats.release_time = 100.0
+        assert stats.idle_fraction(100.0, True) == pytest.approx(0.5)
+        assert stats.busy_fraction(100.0, True) == pytest.approx(0.5)
+
+    def test_zero_lifetime(self):
+        stats = TBStats(rank=0, tb_index=0, label="x", nwarps=16)
+        assert stats.idle_fraction(0.0, False) == 0.0
+
+
+class TestSimReportAggregates:
+    def test_bandwidth_units(self, reports):
+        report = reports["ResCCL"]
+        assert report.algo_bandwidth_gbps == pytest.approx(
+            report.algo_bandwidth / 1000.0
+        )
+
+    def test_early_release_follows_mode(self, reports):
+        assert reports["ResCCL"].early_release  # kernel mode
+        assert not reports["MSCCL"].early_release  # interpreter mode
+
+    def test_idle_bounds(self, reports):
+        for report in reports.values():
+            assert 0.0 <= report.avg_idle_fraction() <= 1.0
+            assert report.avg_idle_fraction() <= report.max_idle_fraction()
+
+    def test_link_utilization_bounds(self, reports):
+        for report in reports.values():
+            assert 0.0 < report.link_utilization() <= 1.0
+
+    def test_summary_readable(self, reports):
+        text = reports["ResCCL"].summary()
+        assert "GB/s" in text
+        assert "TBs" in text
+
+    def test_link_stats_have_bytes(self, reports):
+        report = reports["ResCCL"]
+        total = sum(ls.bytes_moved for ls in report.link_stats.values())
+        assert total > 0
+
+    def test_empty_report_degenerates_gracefully(self):
+        report = SimReport(
+            plan_name="empty",
+            mode=ExecMode.KERNEL,
+            completion_time_us=0.0,
+            total_bytes=0.0,
+        )
+        assert report.algo_bandwidth == 0.0
+        assert report.link_utilization() == 0.0
+        assert report.max_idle_fraction() == 0.0
+
+
+class TestBreakdowns:
+    def test_breakdown_covers_all_tbs(self, reports):
+        for report in reports.values():
+            assert len(tb_breakdown(report)) == report.tb_count()
+
+    def test_interpreter_tbs_have_tail(self, reports):
+        entries = tb_breakdown(reports["MSCCL"])
+        assert any(e.tail_us > 0 for e in entries)
+
+    def test_kernel_tbs_release_early(self, reports):
+        entries = tb_breakdown(reports["ResCCL"])
+        assert all(e.tail_us == 0.0 for e in entries)
+
+    def test_lifetime_decomposition(self, reports):
+        for report in reports.values():
+            end = report.completion_time_us
+            for entry in tb_breakdown(report):
+                assert entry.lifetime_us <= end + 1e-6
+                assert 0.0 <= entry.idle_fraction <= 1.0
+
+    def test_worst_idle_tb(self, reports):
+        worst = worst_idle_tb(reports["MSCCL"])
+        entries = tb_breakdown(reports["MSCCL"])
+        assert worst.idle_fraction == max(e.idle_fraction for e in entries)
+
+    def test_worst_idle_requires_tbs(self):
+        empty = SimReport(
+            plan_name="empty",
+            mode=ExecMode.KERNEL,
+            completion_time_us=1.0,
+            total_bytes=1.0,
+        )
+        with pytest.raises(ValueError):
+            worst_idle_tb(empty)
+
+
+class TestComparisons:
+    def test_compare_bandwidth(self, reports):
+        speedups = compare_bandwidth(reports, baseline="MSCCL")
+        assert speedups["MSCCL"] == pytest.approx(1.0)
+        assert speedups["ResCCL"] > 0
+
+    def test_compare_requires_known_baseline(self, reports):
+        with pytest.raises(KeyError):
+            compare_bandwidth(reports, baseline="HCCL")
+
+    def test_utilization_row(self, reports):
+        row = TBUtilizationRow.from_report(reports["ResCCL"])
+        assert row.backend == "ResCCL"
+        assert row.tbs_per_rank == reports["ResCCL"].max_tbs_per_rank()
+        assert len(row.cells()) == 5
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1  # all rows equal width
+
+    def test_format_table_indent(self):
+        text = format_table(["h"], [["x"]], indent="  ")
+        assert all(line.startswith("  ") for line in text.splitlines())

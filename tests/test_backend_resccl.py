@@ -1,0 +1,136 @@
+"""End-to-end tests of the ResCCL backend against the baselines."""
+
+import pytest
+
+from repro import (
+    MB,
+    MSCCLBackend,
+    NCCLBackend,
+    ResCCLBackend,
+    multi_node,
+    simulate,
+)
+from repro.algorithms import hm_allgather, hm_allreduce, mesh_allreduce
+from repro.ir.task import Collective
+from repro.runtime.plan import ExecMode
+from repro.synth import TACCLSynthesizer
+from repro.topology import single_node
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return multi_node(2, 8)
+
+
+@pytest.fixture(scope="module")
+def hm_ar():
+    return hm_allreduce(2, 8)
+
+
+class TestPlans:
+    def test_plan_validates(self, cluster, hm_ar):
+        plan = ResCCLBackend(max_microbatches=4).plan(cluster, hm_ar, 64 * MB)
+        plan.validate()
+        assert plan.mode is ExecMode.KERNEL
+
+    def test_compile_cached(self, cluster, hm_ar):
+        backend = ResCCLBackend()
+        first = backend.compile(hm_ar, cluster)
+        second = backend.compile(hm_ar, cluster)
+        assert first is second
+
+    def test_interpreter_mode(self, cluster, hm_ar):
+        backend = ResCCLBackend(mode=ExecMode.INTERPRETER, max_microbatches=4)
+        plan = backend.plan(cluster, hm_ar, 64 * MB)
+        assert plan.mode is ExecMode.INTERPRETER
+
+    def test_plan_from_source_text(self, cluster):
+        source = hm_allgather(2, 8).to_source()
+        backend = ResCCLBackend(max_microbatches=2)
+        report = simulate(backend.plan(cluster, source, 32 * MB))
+        assert report.algo_bandwidth_gbps > 1.0
+
+    def test_wrong_cluster_rejected(self, hm_ar):
+        backend = ResCCLBackend()
+        with pytest.raises(Exception):
+            backend.plan(single_node(4), hm_ar, MB)
+
+
+class TestPaperShape:
+    """The headline comparisons, as fast regression checks."""
+
+    def test_tb_counts_match_table3(self, cluster, hm_ar):
+        resccl = simulate(
+            ResCCLBackend(max_microbatches=4).plan(cluster, hm_ar, 64 * MB)
+        )
+        msccl = simulate(
+            MSCCLBackend(max_microbatches=4).plan(cluster, hm_ar, 64 * MB)
+        )
+        assert resccl.max_tbs_per_rank() == 16  # Table 3 Topo2
+        assert msccl.max_tbs_per_rank() == 30
+
+    def test_resccl_beats_baselines_on_expert_ar(self, cluster, hm_ar):
+        size = 256 * MB
+        nccl = simulate(
+            NCCLBackend(max_microbatches=8).plan(
+                cluster, Collective.ALLREDUCE, size
+            )
+        )
+        msccl = simulate(
+            MSCCLBackend(max_microbatches=8).plan(cluster, hm_ar, size)
+        )
+        resccl = simulate(
+            ResCCLBackend(max_microbatches=8).plan(cluster, hm_ar, size)
+        )
+        assert resccl.algo_bandwidth > nccl.algo_bandwidth
+        assert resccl.algo_bandwidth > msccl.algo_bandwidth
+
+    def test_resccl_beats_msccl_on_synth(self, cluster):
+        program = TACCLSynthesizer().synthesize(cluster, Collective.ALLREDUCE)
+        size = 128 * MB
+        msccl = simulate(
+            MSCCLBackend(instances=4, max_microbatches=8).plan(
+                cluster, program, size
+            )
+        )
+        resccl = simulate(
+            ResCCLBackend(max_microbatches=8).plan(cluster, program, size)
+        )
+        assert resccl.algo_bandwidth > msccl.algo_bandwidth
+        assert resccl.tb_count() < 0.5 * msccl.tb_count()
+
+    def test_resccl_idle_below_msccl(self, cluster, hm_ar):
+        size = 64 * MB
+        msccl = simulate(
+            MSCCLBackend(max_microbatches=8).plan(cluster, hm_ar, size)
+        )
+        resccl = simulate(
+            ResCCLBackend(max_microbatches=8).plan(cluster, hm_ar, size)
+        )
+        assert resccl.avg_idle_fraction() < msccl.avg_idle_fraction()
+
+    def test_kernel_beats_interpreter(self, cluster, hm_ar):
+        size = 256 * MB
+        kernel = simulate(
+            ResCCLBackend(max_microbatches=16).plan(cluster, hm_ar, size)
+        )
+        interp = simulate(
+            ResCCLBackend(
+                mode=ExecMode.INTERPRETER, max_microbatches=16
+            ).plan(cluster, hm_ar, size)
+        )
+        assert kernel.algo_bandwidth > interp.algo_bandwidth
+
+    def test_single_node_mesh(self):
+        cluster = single_node(8)
+        program = mesh_allreduce(8)
+        report = simulate(
+            ResCCLBackend(max_microbatches=8).plan(cluster, program, 128 * MB)
+        )
+        assert report.algo_bandwidth_gbps > 20.0
+
+    def test_bandwidth_scales_with_buffer(self, cluster, hm_ar):
+        backend = ResCCLBackend(max_microbatches=16)
+        small = simulate(backend.plan(cluster, hm_ar, 8 * MB))
+        large = simulate(backend.plan(cluster, hm_ar, 512 * MB))
+        assert large.algo_bandwidth > small.algo_bandwidth

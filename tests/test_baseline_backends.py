@@ -1,0 +1,160 @@
+"""Structural tests of the NCCL-like and MSCCL-like baseline backends."""
+
+import pytest
+
+from repro import MB, MSCCLBackend, NCCLBackend, multi_node
+from repro.algorithms import hm_allgather, hm_allreduce, mesh_allreduce
+from repro.baselines.nccl import channel_permutation, permute_transfers
+from repro.ir.task import Collective, CommType, Transfer
+from repro.runtime.memory import verify_collective
+from repro.runtime.plan import ExecMode, Side
+from repro.topology import single_node
+
+
+class TestChannelPermutations:
+    def test_channel0_is_identity(self):
+        cluster = multi_node(2, 8)
+        assert channel_permutation(cluster, 0) == list(range(16))
+
+    def test_channels_rotate_within_nodes(self):
+        cluster = multi_node(2, 8)
+        perm = channel_permutation(cluster, 1)
+        # Node membership is preserved, local order rotated by one NIC
+        # group (2 GPUs).
+        assert perm[:8] == [2, 3, 4, 5, 6, 7, 0, 1]
+        assert perm[8:] == [10, 11, 12, 13, 14, 15, 8, 9]
+
+    def test_channels_cross_distinct_nics(self):
+        cluster = multi_node(2, 8)
+        crossing_nics = set()
+        for channel in range(4):
+            perm = channel_permutation(cluster, channel)
+            boundary_src = perm[7]  # last GPU of node 0 in ring order
+            crossing_nics.add(cluster.nic_of(boundary_src))
+        assert len(crossing_nics) == 4  # every rail engaged
+
+    def test_permuted_ring_still_an_allgather(self):
+        """Each channel's permuted ring is itself a correct AllGather."""
+        from repro.algorithms import ring_allgather
+        from repro.lang.builder import AlgoProgram
+
+        cluster = multi_node(2, 4)
+        base = ring_allgather(8)
+        for channel in range(4):
+            perm = channel_permutation(cluster, channel)
+            program = AlgoProgram.create(8, Collective.ALLGATHER)
+            program.transfers.extend(
+                permute_transfers(base.transfers, perm, chunk_offset=0)
+            )
+            verify_collective(program).raise_if_failed()
+
+    def test_permute_rejects_extended_chunks(self):
+        with pytest.raises(ValueError, match="cannot permute"):
+            permute_transfers(
+                [Transfer(src=0, dst=1, step=0, chunk=9, op=CommType.RECV)],
+                list(range(4)),
+                0,
+            )
+
+
+class TestNCCLStructure:
+    def test_tb_count_two_halves_per_channel(self):
+        cluster = multi_node(2, 4)
+        plan = NCCLBackend(nchannels=4, max_microbatches=2).plan(
+            cluster, Collective.ALLGATHER, 16 * MB
+        )
+        # Fused recvCopySend per channel = send half + recv half.
+        assert plan.max_tbs_per_rank() == 8
+
+    def test_kernel_mode(self):
+        cluster = multi_node(2, 4)
+        plan = NCCLBackend(max_microbatches=2).plan(
+            cluster, Collective.ALLREDUCE, 16 * MB
+        )
+        assert plan.mode is ExecMode.KERNEL
+
+    def test_extended_chunk_space(self):
+        cluster = multi_node(2, 4)
+        backend = NCCLBackend(nchannels=4, max_microbatches=2)
+        plan = backend.plan(cluster, Collective.ALLGATHER, 16 * MB)
+        assert plan.chunks_per_microbatch == 8 * 4
+        chunks = {t.chunk for t in plan.program.transfers}
+        assert max(chunks) >= 8  # channels beyond 0 use offset ids
+
+    def test_ignores_custom_program(self):
+        cluster = multi_node(2, 4)
+        backend = NCCLBackend(max_microbatches=2)
+        plan = backend.plan(
+            cluster, Collective.ALLGATHER, 16 * MB, program=hm_allgather(2, 4)
+        )
+        assert "ring" in plan.name
+
+    def test_rejects_unknown_collective(self):
+        backend = NCCLBackend()
+        with pytest.raises(ValueError):
+            backend.select_algorithm(multi_node(2, 4), "broadcast")
+
+
+class TestMSCCLStructure:
+    def test_interpreter_mode(self):
+        cluster = multi_node(2, 4)
+        plan = MSCCLBackend(max_microbatches=2).plan(
+            cluster, hm_allreduce(2, 4), 16 * MB
+        )
+        assert plan.mode is ExecMode.INTERPRETER
+
+    def test_hm_allreduce_tb_count_matches_table3(self):
+        """Per-stage connection TBs: 2 full-mesh stages x (3 send + 3
+        recv) + 2 fused ring stages = 14 per rank on Topo1."""
+        cluster = multi_node(2, 4)
+        plan = MSCCLBackend(max_microbatches=2).plan(
+            cluster, hm_allreduce(2, 4), 16 * MB
+        )
+        assert plan.max_tbs_per_rank() == 14
+
+    def test_ring_stage_fuses(self):
+        cluster = single_node(4)
+        from repro.algorithms import ring_allgather
+
+        plan = MSCCLBackend(max_microbatches=2).plan(
+            cluster, ring_allgather(4), 16 * MB
+        )
+        # Single ring stage: one fused TB per rank.
+        assert plan.max_tbs_per_rank() == 1
+        assert any("ring" in tb.label for tb in plan.tb_programs)
+
+    def test_instances_multiply_tbs(self):
+        cluster = single_node(8)
+        program = mesh_allreduce(8)
+        one = MSCCLBackend(instances=1, max_microbatches=4).plan(
+            cluster, program, 64 * MB
+        )
+        four = MSCCLBackend(instances=4, max_microbatches=4).plan(
+            cluster, program, 64 * MB
+        )
+        assert four.max_tbs_per_rank() == 4 * one.max_tbs_per_rank()
+
+    def test_instances_partition_microbatches(self):
+        cluster = single_node(4)
+        from repro.algorithms import ring_allgather
+
+        plan = MSCCLBackend(instances=2, max_microbatches=8).plan(
+            cluster, ring_allgather(4), 32 * MB
+        )
+        plan.validate()  # every (task, mb) covered exactly once
+
+    def test_rejects_wrong_world_size(self):
+        with pytest.raises(ValueError, match="cluster has"):
+            MSCCLBackend().plan(single_node(4), hm_allreduce(2, 4), MB)
+
+    def test_algorithm_level_ordering(self):
+        """Within a stage TB, micro-batches form the outer loop."""
+        cluster = single_node(4)
+        from repro.algorithms import ring_allgather
+
+        plan = MSCCLBackend(max_microbatches=4).plan(
+            cluster, ring_allgather(4), 16 * MB
+        )
+        tb = plan.tb_programs[0]
+        mbs = [inv.mb for inv in tb.invocations]
+        assert mbs == sorted(mbs)  # 0...0, 1...1, 2...2

@@ -1,0 +1,264 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestAlgos:
+    def test_lists_builtins(self, capsys):
+        assert main(["algos"]) == 0
+        out = capsys.readouterr().out
+        assert "hm-allreduce" in out
+        assert "taccl:" in out
+
+
+class TestVerify:
+    def test_builtin_algorithm(self, capsys):
+        assert main(["verify", "hm-allgather", "--nodes", "2", "--gpus", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "static validation: ok" in out
+        assert "collective semantics: ok" in out
+
+    def test_synthesizer_spec(self, capsys):
+        assert main(["verify", "teccl:allgather", "--nodes", "2", "--gpus", "4"]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_dsl_file(self, tmp_path, capsys):
+        from repro.algorithms import ring_allgather
+
+        path = tmp_path / "ring.rescclang"
+        path.write_text(ring_allgather(8).to_source())
+        assert main(["verify", str(path), "--nodes", "1", "--gpus", "8"]) == 0
+
+    def test_broken_dsl_file_fails(self, tmp_path, capsys):
+        from repro.ir.task import Collective
+        from repro.lang import AlgoProgram
+
+        broken = AlgoProgram.create(8, Collective.ALLGATHER)
+        broken.transfer(0, 1, 0, 0)  # incomplete AllGather
+        path = tmp_path / "broken.rescclang"
+        path.write_text(broken.to_source())
+        assert main(["verify", str(path), "--nodes", "1", "--gpus", "8"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_unknown_spec(self):
+        with pytest.raises(SystemExit, match="not a built-in"):
+            main(["verify", "does-not-exist"])
+
+
+class TestCompile:
+    def test_compile_summary(self, capsys):
+        assert main(["compile", "ring-allgather", "--nodes", "1", "--gpus", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "sub-pipelines" in out
+        assert "scheduling" in out
+
+    def test_compile_kernel_listing(self, capsys):
+        assert (
+            main(
+                [
+                    "compile",
+                    "ring-allgather",
+                    "--nodes",
+                    "1",
+                    "--gpus",
+                    "4",
+                    "--kernel",
+                    "--rank",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "switch (blockIdx.x)" in out
+
+    def test_rr_scheduler(self, capsys):
+        assert (
+            main(
+                [
+                    "compile",
+                    "ring-allgather",
+                    "--scheduler",
+                    "rr",
+                    "--nodes",
+                    "1",
+                    "--gpus",
+                    "4",
+                ]
+            )
+            == 0
+        )
+
+
+class TestRunAndCompare:
+    def test_run_resccl(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "hm-allreduce",
+                    "--buffer-mb",
+                    "16",
+                    "--mbs",
+                    "2",
+                    "--nodes",
+                    "2",
+                    "--gpus",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        assert "GB/s" in capsys.readouterr().out
+
+    def test_run_nccl_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "ring-allreduce",
+                    "--backend",
+                    "nccl",
+                    "--buffer-mb",
+                    "16",
+                    "--mbs",
+                    "2",
+                    "--nodes",
+                    "2",
+                    "--gpus",
+                    "4",
+                ]
+            )
+            == 0
+        )
+
+    def test_unknown_backend(self):
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(["run", "hm-allreduce", "--backend", "hccl"])
+
+    def test_compare_table(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "hm-allgather",
+                    "--buffer-mb",
+                    "16",
+                    "--mbs",
+                    "2",
+                    "--nodes",
+                    "2",
+                    "--gpus",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "NCCL" in out and "ResCCL" in out and "vs NCCL" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_v100_profile(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "hm-allgather",
+                    "--profile",
+                    "V100",
+                    "--buffer-mb",
+                    "16",
+                    "--mbs",
+                    "2",
+                    "--nodes",
+                    "2",
+                    "--gpus",
+                    "4",
+                ]
+            )
+            == 0
+        )
+
+
+class TestExportAndXml:
+    def test_export_rescclang(self, tmp_path, capsys):
+        out = tmp_path / "ring.rescclang"
+        assert (
+            main(
+                ["export", "ring-allgather", str(out), "--nodes", "1",
+                 "--gpus", "4"]
+            )
+            == 0
+        )
+        assert "ResCCLang" in capsys.readouterr().out
+        assert out.read_text().startswith("def ResCCLAlgo")
+
+    def test_export_msccl_xml(self, tmp_path, capsys):
+        out = tmp_path / "ring.xml"
+        assert (
+            main(
+                ["export", "ring-allreduce", str(out), "--nodes", "1",
+                 "--gpus", "4"]
+            )
+            == 0
+        )
+        assert "MSCCL-XML" in capsys.readouterr().out
+        assert "<algo" in out.read_text()
+
+    def test_xml_round_trips_through_cli(self, tmp_path, capsys):
+        out = tmp_path / "hm.xml"
+        assert (
+            main(
+                ["export", "hm-allreduce", str(out), "--nodes", "2",
+                 "--gpus", "4"]
+            )
+            == 0
+        )
+        assert (
+            main(["verify", str(out), "--nodes", "2", "--gpus", "4"]) == 0
+        )
+        assert "semantics: ok" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_list(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out and "table3" in out
+
+    def test_requires_name(self):
+        with pytest.raises(SystemExit, match="experiment id"):
+            main(["experiment"])
+
+    def test_runs_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert "TB count" in capsys.readouterr().out or True
+
+
+class TestTraceCommand:
+    def test_ascii_and_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "hm-allreduce",
+                    "--nodes", "2", "--gpus", "4",
+                    "--buffer-mb", "16",
+                    "--mbs", "2",
+                    "--width", "40",
+                    "--output", str(out),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "timeline" in printed
+        assert out.exists()

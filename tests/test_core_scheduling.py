@@ -1,0 +1,142 @@
+"""Tests for HPDS / round-robin scheduling and pipeline invariants."""
+
+import pytest
+
+from repro.algorithms import (
+    hm_allgather,
+    hm_allreduce,
+    ring_allgather,
+    ring_allreduce,
+)
+from repro.core import hpds_schedule, rr_schedule
+from repro.core.pipeline import GlobalPipeline, SubPipeline
+from repro.ir.dag import build_dag
+from repro.topology import multi_node, single_node
+
+SCHEDULERS = [hpds_schedule, rr_schedule]
+
+
+def dag_for(program, cluster):
+    return build_dag(program.transfers, cluster)
+
+
+class TestSchedulingInvariants:
+    @pytest.mark.parametrize("schedule", SCHEDULERS)
+    def test_ring_allgather_invariants(self, schedule):
+        dag = dag_for(ring_allgather(8), single_node(8))
+        pipeline = schedule(dag)
+        pipeline.check_all(dag)
+
+    @pytest.mark.parametrize("schedule", SCHEDULERS)
+    def test_hm_allreduce_invariants(self, schedule):
+        dag = dag_for(hm_allreduce(2, 8), multi_node(2, 8))
+        pipeline = schedule(dag)
+        pipeline.check_all(dag)
+
+    @pytest.mark.parametrize("schedule", SCHEDULERS)
+    def test_hm_allgather_invariants(self, schedule):
+        dag = dag_for(hm_allgather(4, 4), multi_node(4, 4))
+        pipeline = schedule(dag)
+        pipeline.check_all(dag)
+
+    @pytest.mark.parametrize("schedule", SCHEDULERS)
+    def test_every_task_scheduled_once(self, schedule):
+        dag = dag_for(ring_allreduce(8), single_node(8))
+        pipeline = schedule(dag)
+        scheduled = pipeline.ordered_task_ids()
+        assert sorted(scheduled) == sorted(t.task_id for t in dag.tasks)
+
+    @pytest.mark.parametrize("schedule", SCHEDULERS)
+    def test_no_link_reuse_within_subpipeline(self, schedule):
+        dag = dag_for(hm_allreduce(2, 4), multi_node(2, 4))
+        pipeline = schedule(dag)
+        for sp in pipeline.sub_pipelines:
+            links = [dag.task(t).link for t in sp.task_ids]
+            assert len(links) == len(set(links))
+
+    @pytest.mark.parametrize("schedule", SCHEDULERS)
+    def test_depth_bounded_by_link_load(self, schedule):
+        """The pipeline needs at least max-tasks-per-link sub-pipelines."""
+        dag = dag_for(ring_allgather(8), single_node(8))
+        pipeline = schedule(dag)
+        heaviest = max(len(tasks) for tasks in dag.link_tasks.values())
+        assert pipeline.depth >= heaviest
+
+
+class TestHPDSQuality:
+    def test_hpds_depth_at_most_rr(self):
+        """Priority balancing should never pack worse than fixed order."""
+        for program, cluster in [
+            (hm_allreduce(2, 8), multi_node(2, 8)),
+            (hm_allgather(4, 4), multi_node(4, 4)),
+            (ring_allreduce(16), single_node(16)),
+        ]:
+            dag = dag_for(program, cluster)
+            assert hpds_schedule(dag).depth <= rr_schedule(dag).depth + 1
+
+    def test_hpds_balances_chunk_progress(self):
+        """After the first sub-pipeline, every chunk with root work has
+        contributed (priority rotation prevents starvation)."""
+        dag = dag_for(ring_allgather(8), single_node(8))
+        pipeline = hpds_schedule(dag)
+        first = pipeline.sub_pipelines[0]
+        chunks_in_first = {dag.task(t).chunk for t in first.task_ids}
+        assert len(chunks_in_first) >= 2
+
+    def test_scheduler_tag(self):
+        dag = dag_for(ring_allgather(4), single_node(4))
+        assert hpds_schedule(dag).scheduler == "hpds"
+        assert rr_schedule(dag).scheduler == "rr"
+
+
+class TestPipelineChecks:
+    def test_check_complete_catches_missing(self):
+        dag = dag_for(ring_allgather(4), single_node(4))
+        pipeline = GlobalPipeline(
+            sub_pipelines=[SubPipeline(index=0, task_ids=[0, 1])]
+        )
+        with pytest.raises(ValueError, match="never scheduled"):
+            pipeline.check_complete(dag)
+
+    def test_check_complete_catches_duplicates(self):
+        dag = dag_for(ring_allgather(4), single_node(4))
+        all_ids = [t.task_id for t in dag.tasks]
+        pipeline = GlobalPipeline(
+            sub_pipelines=[
+                SubPipeline(index=0, task_ids=all_ids),
+                SubPipeline(index=1, task_ids=[all_ids[0]]),
+            ]
+        )
+        with pytest.raises(ValueError, match="more than one"):
+            pipeline.check_complete(dag)
+
+    def test_check_dependencies_catches_inversion(self):
+        dag = dag_for(ring_allgather(4), single_node(4))
+        # Schedule everything in one sub-pipeline in reverse dependency
+        # order: consumers before producers.
+        order = sorted(
+            (t.task_id for t in dag.tasks),
+            key=lambda tid: -dag.task(tid).step,
+        )
+        pipeline = GlobalPipeline(
+            sub_pipelines=[SubPipeline(index=0, task_ids=order)]
+        )
+        with pytest.raises(ValueError, match="depends on"):
+            pipeline.check_dependencies(dag)
+
+    def test_check_comm_conflicts(self):
+        dag = dag_for(ring_allgather(4), single_node(4))
+        same_link = [
+            t.task_id for t in dag.tasks if t.src == 0
+        ]  # all rank0 sends share link 0->1
+        pipeline = GlobalPipeline(
+            sub_pipelines=[SubPipeline(index=0, task_ids=same_link)]
+        )
+        with pytest.raises(ValueError, match="two tasks on link"):
+            pipeline.check_comm_conflicts(dag)
+
+    def test_order_key_total_order(self):
+        dag = dag_for(ring_allgather(4), single_node(4))
+        pipeline = hpds_schedule(dag)
+        keys = [pipeline.order_key(t.task_id) for t in dag.tasks]
+        assert len(set(keys)) == len(keys)

@@ -1,0 +1,47 @@
+"""The shipped textual ResCCLang corpus parses, validates, and verifies."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lang import parse_program, validate_program
+from repro.runtime import verify_collective
+from repro.topology import Cluster
+
+CORPUS = sorted(
+    (Path(__file__).resolve().parent.parent / "examples" / "algorithms").glob(
+        "*.rescclang"
+    )
+)
+
+
+def cluster_for(program):
+    gpus = program.header.gpus_per_node
+    if program.nranks % gpus:
+        return Cluster(nodes=1, gpus_per_node=program.nranks)
+    return Cluster(nodes=program.nranks // gpus, gpus_per_node=gpus)
+
+
+class TestCorpus:
+    def test_corpus_exists(self):
+        assert len(CORPUS) >= 6
+
+    @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+    def test_parses_validates_verifies(self, path):
+        program = parse_program(path.read_text())
+        validate_program(program, cluster_for(program)).raise_if_failed()
+        verify_collective(program).raise_if_failed()
+
+    @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+    def test_compiles_under_resccl(self, path):
+        from repro.core import ResCCLCompiler
+
+        program = parse_program(path.read_text())
+        compiled = ResCCLCompiler().compile(program, cluster_for(program))
+        compiled.pipeline.check_all(compiled.dag)
+
+    def test_headers_document_usage(self):
+        for path in CORPUS:
+            text = path.read_text()
+            assert text.startswith("#")
+            assert "resccl verify" in text

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs end-to-end and prints sense."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=None, capsys=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out if capsys else ""
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", ["32"], capsys)
+        assert "ResCCL" in out
+        assert "vs NCCL" in out
+        assert "faster than MSCCL" in out
+
+    def test_custom_algorithm(self, capsys):
+        out = run_example("custom_algorithm.py", capsys=capsys)
+        assert "Collective semantics verified" in out
+        assert "switch (blockIdx.x)" in out
+        assert "GB/s" in out
+
+    def test_schedule_inspection(self, capsys):
+        out = run_example("schedule_inspection.py", capsys=capsys)
+        assert "sub-pipeline 0" in out
+        assert "resccl:send->r1" in out
+        assert "hpds" in out and "rr" in out
+
+    @pytest.mark.slow
+    def test_synthesized_algorithms(self, capsys):
+        out = run_example("synthesized_algorithms.py", capsys=capsys)
+        assert "taccl-allgather" in out
+        assert "speedup" in out
+
+    @pytest.mark.slow
+    def test_megatron_training(self, capsys):
+        out = run_example("megatron_training.py", capsys=capsys)
+        assert "T5" in out and "GPT-3" in out
+        assert "vs NCCL" in out
+
+    @pytest.mark.slow
+    def test_contention_study(self, capsys):
+        out = run_example("contention_study.py", capsys=capsys)
+        assert "gamma" in out
+        assert "ResCCL loaded" in out

@@ -1,0 +1,110 @@
+"""Tests for the programmatic experiments package (small configurations)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    available_experiments,
+    run_experiment,
+)
+from repro.experiments import ablations, fig3, fig4, fig10, fig13, table1
+from repro.experiments.base import make_backends, run_backend, a100_cluster
+from repro.ir.task import Collective
+from repro.runtime import MB
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        names = available_experiments()
+        for required in (
+            "table1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10a",
+            "fig10b",
+            "fig11",
+            "table3",
+            "fig12",
+            "fig13",
+        ):
+            assert required in names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_result_render(self):
+        result = ExperimentResult(
+            name="x",
+            title="T",
+            headers=["a"],
+            rows=[["1"]],
+            paper_note="n",
+        )
+        text = result.render()
+        assert "T" in text and "paper: n" in text
+
+
+class TestRunners:
+    """Each runner at reduced scale — fast smoke coverage."""
+
+    def test_fig4_small(self):
+        result = fig4.run(tb_counts=(1, 4, 8))
+        assert result.name == "fig4"
+        by_count = dict(result.data)
+        assert by_count[1] < by_count[4]
+        assert by_count[8] < by_count[4]
+
+    def test_fig3_small(self):
+        result = fig3.run(sizes_mb=(64,), nodes=2, gpus=4)
+        assert len(result.data) == 2  # AG + AR at one size
+
+    def test_fig10a_small(self):
+        result = fig10.run_phases(scales=((2, 4), (2, 8)))
+        assert [world for world, _, _ in result.data] == [8, 16]
+
+    def test_table1_small(self):
+        result = table1.run(buffer_mb=32, scales=(2,))
+        assert 16 in result.data
+        values = result.data[16]
+        assert all(0.0 < v <= 1.0 for v in values)
+
+    def test_protocols_small(self):
+        result = ablations.run_protocols(sizes_mb=(4, 64))
+        assert result.data[("Simple", 64)] > result.data[("LL", 64)]
+
+    def test_fig13_single_job(self):
+        from repro.training import T5_MODELS, ParallelConfig
+
+        jobs = [
+            (
+                T5_MODELS[0],
+                ParallelConfig(tp=1, dp=8, batch_size=8),
+                a100_cluster(2, 4),
+            )
+        ]
+        result = fig13.run(jobs=jobs, max_microbatches=4)
+        bws = result.data["T5 220M"]
+        assert bws["ResCCL"] > 0
+
+
+class TestBaseHelpers:
+    def test_run_backend_requires_program_for_custom(self):
+        backends = make_backends()
+        with pytest.raises(ValueError, match="need an algorithm"):
+            run_backend(backends["MSCCL"], a100_cluster(2, 4), 8 * MB)
+
+    def test_run_backend_nccl_defaults_collective(self):
+        backends = make_backends(max_microbatches=2)
+        report = run_backend(
+            backends["NCCL"],
+            a100_cluster(2, 4),
+            8 * MB,
+            collective=Collective.ALLGATHER,
+        )
+        assert report.algo_bandwidth > 0

@@ -1,0 +1,156 @@
+"""Tests for dependency-DAG construction (data + communication deps)."""
+
+import pytest
+
+from repro.ir import (
+    Collective,
+    CommType,
+    CyclicDependencyError,
+    Transfer,
+    build_dag,
+)
+from repro.lang.builder import AlgoProgram
+from repro.topology import multi_node, single_node
+
+
+def _t(src, dst, step, chunk, op=CommType.RECV):
+    return Transfer(src=src, dst=dst, step=step, chunk=chunk, op=op)
+
+
+class TestDataDependencies:
+    def test_read_after_write(self):
+        # r0 -> r1 (chunk 0), then r1 forwards it: RAW on (r1, c0).
+        cluster = single_node(4)
+        dag = build_dag([_t(0, 1, 0, 0), _t(1, 2, 1, 0)], cluster)
+        assert dag.preds[1] == {0}
+        assert dag.succs[0] == {1}
+
+    def test_write_after_write_serializes_rrc_chain(self):
+        # Two reductions into (r2, c0) at different steps: WAW edge.
+        cluster = single_node(4)
+        dag = build_dag(
+            [_t(0, 2, 0, 0, CommType.RRC), _t(1, 2, 1, 0, CommType.RRC)],
+            cluster,
+        )
+        assert dag.preds[1] == {0}
+
+    def test_write_after_read(self):
+        # r1 reads its chunk 0 at step 0 (sends it), then a recv overwrites
+        # (r1, c0) at step 1: WAR edge.
+        cluster = single_node(4)
+        dag = build_dag([_t(1, 2, 0, 0), _t(0, 1, 1, 0)], cluster)
+        assert dag.preds[1] == {0}
+
+    def test_same_step_no_dependency(self):
+        cluster = single_node(4)
+        dag = build_dag([_t(0, 1, 0, 0), _t(2, 3, 0, 2)], cluster)
+        assert dag.edge_count == 0
+
+    def test_different_chunks_independent(self):
+        cluster = single_node(4)
+        dag = build_dag([_t(0, 1, 0, 0), _t(1, 2, 1, 1)], cluster)
+        assert dag.edge_count == 0
+
+    def test_read_then_later_read_no_edge(self):
+        # Two sends of the same chunk from the same rank: both reads.
+        cluster = single_node(4)
+        dag = build_dag([_t(0, 1, 0, 0), _t(0, 2, 1, 0)], cluster)
+        assert dag.edge_count == 0
+
+    def test_chain_depth(self):
+        cluster = single_node(8)
+        transfers = [_t(i, i + 1, i, 0) for i in range(7)]
+        dag = build_dag(transfers, cluster)
+        assert dag.critical_path_length() == 7
+
+
+class TestCommDependencies:
+    def test_intra_tasks_same_pair_share_link(self):
+        cluster = multi_node(2, 4)
+        dag = build_dag([_t(0, 1, 0, 0), _t(0, 1, 1, 1)], cluster)
+        assert set(dag.comm_conflicts(0)) == {1}
+
+    def test_intra_tasks_different_pairs_no_conflict(self):
+        cluster = multi_node(2, 4)
+        dag = build_dag([_t(0, 1, 0, 0), _t(0, 2, 0, 1)], cluster)
+        assert dag.comm_conflicts(0) == []
+
+    def test_inter_tasks_sharing_nic_conflict(self):
+        cluster = multi_node(2, 8)
+        # GPUs 0 and 1 share NIC 0; both send to node 1.
+        dag = build_dag([_t(0, 8, 0, 0), _t(1, 9, 0, 1)], cluster)
+        assert set(dag.comm_conflicts(0)) == {1}
+
+
+class TestStructure:
+    def test_roots(self):
+        cluster = single_node(4)
+        dag = build_dag([_t(0, 1, 0, 0), _t(1, 2, 1, 0), _t(2, 3, 0, 2)], cluster)
+        assert set(dag.roots()) == {0, 2}
+
+    def test_topological_order_valid(self):
+        from repro.algorithms import hm_allreduce
+
+        program = hm_allreduce(2, 4)
+        dag = build_dag(program.transfers, multi_node(2, 4))
+        order = dag.topological_order()
+        position = {tid: i for i, tid in enumerate(order)}
+        for producer, consumer in dag.edges():
+            assert position[producer] < position[consumer]
+
+    def test_cycle_detection(self):
+        cluster = single_node(4)
+        dag = build_dag([_t(0, 1, 0, 0), _t(1, 2, 1, 0)], cluster)
+        dag.add_edge(1, 0)  # inject a cycle
+        with pytest.raises(CyclicDependencyError):
+            dag.topological_order()
+        assert not dag.is_acyclic()
+
+    def test_chunk_grouping(self):
+        cluster = single_node(4)
+        dag = build_dag([_t(0, 1, 0, 0), _t(1, 2, 1, 0), _t(2, 3, 0, 2)], cluster)
+        assert set(dag.chunk_tasks[0]) == {0, 1}
+        assert set(dag.chunk_tasks[2]) == {2}
+
+    def test_networkx_export(self):
+        cluster = single_node(4)
+        dag = build_dag([_t(0, 1, 0, 0), _t(1, 2, 1, 0)], cluster)
+        graph = dag.to_networkx()
+        assert graph.number_of_nodes() == 2
+        assert graph.has_edge(0, 1)
+        assert graph.nodes[0]["task"].src == 0
+
+    def test_all_builtin_algorithms_acyclic(self):
+        from repro.algorithms import (
+            double_binary_tree_allreduce,
+            hm_allgather,
+            hm_allreduce,
+            hm_reducescatter,
+            ring_allgather,
+            ring_allreduce,
+        )
+
+        cluster = multi_node(2, 4)
+        programs = [
+            ring_allgather(8),
+            ring_allreduce(8),
+            double_binary_tree_allreduce(8),
+            hm_allgather(2, 4),
+            hm_reducescatter(2, 4),
+            hm_allreduce(2, 4),
+        ]
+        for program in programs:
+            dag = build_dag(program.transfers, cluster)
+            assert dag.is_acyclic(), program.name
+
+
+class TestTransferValidation:
+    def test_self_transfer_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            _t(1, 1, 0, 0)
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Transfer(src=0, dst=1, step=-1, chunk=0, op=CommType.RECV)
+        with pytest.raises(ValueError):
+            Transfer(src=0, dst=1, step=0, chunk=-2, op=CommType.RECV)

@@ -1,0 +1,259 @@
+"""Tests for the ResCCLang textual parser (Figure 14 grammar)."""
+
+import pytest
+
+from repro.ir.task import Collective, CommType
+from repro.lang import (
+    ResCCLangSyntaxError,
+    parse_module,
+    parse_program,
+)
+
+RING_AG_SOURCE = """\
+# Figure 5(a): 4-rank ring AllGather.
+def ResCCLAlgo(nRanks=4, AlgoName="ring", OpType="Allgather"):
+    N = 4
+    for r in range(0, N):
+        offset = r
+        peer = (r + 1) % N
+        for step in range(0, N - 1):
+            transfer(r, peer, step, (offset - step) % N, recv)
+"""
+
+
+class TestHeader:
+    def test_full_header(self):
+        source = (
+            'def ResCCLAlgo(nRanks=32, nChannels=4, nWarps=16, AlgoName="HM", '
+            'OpType="Allreduce", GPUPerNode=8, NICPerNode=8):\n'
+            "    transfer(0, 1, 0, 0, rrc)\n"
+        )
+        module = parse_module(source)
+        header = module.header
+        assert header.nranks == 32
+        assert header.nchannels == 4
+        assert header.nwarps == 16
+        assert header.algo_name == "HM"
+        assert header.collective is Collective.ALLREDUCE
+        assert header.gpus_per_node == 8
+        assert header.nics_per_node == 8
+
+    def test_header_defaults(self):
+        module = parse_module(
+            "def ResCCLAlgo(nRanks=4):\n    transfer(0, 1, 0, 0, recv)\n"
+        )
+        assert module.header.nchannels == 4
+        assert module.header.nwarps == 16
+        assert module.header.collective is Collective.ALLGATHER
+
+    def test_missing_nranks_rejected(self):
+        with pytest.raises(ResCCLangSyntaxError, match="missing nRanks"):
+            parse_module('def ResCCLAlgo(AlgoName="x"):\n    y = 1\n')
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ResCCLangSyntaxError, match="unknown parameter"):
+            parse_module("def ResCCLAlgo(nRanks=4, bogus=1):\n    y = 1\n")
+
+    def test_unquoted_algo_name_rejected(self):
+        with pytest.raises(ResCCLangSyntaxError, match="quoted string"):
+            parse_module("def ResCCLAlgo(nRanks=4, AlgoName=ring):\n    y = 1\n")
+
+    def test_wrapped_header_continuation(self):
+        source = (
+            'def ResCCLAlgo(nRanks=8, AlgoName="wrapped",\n'
+            '               OpType="Allgather"):\n'
+            "    transfer(0, 1, 0, 0, recv)\n"
+        )
+        module = parse_module(source)
+        assert module.header.algo_name == "wrapped"
+
+
+class TestStatements:
+    def test_ring_allgather_elaborates(self):
+        program = parse_program(RING_AG_SOURCE)
+        assert len(program.transfers) == 4 * 3
+        first = program.transfers[0]
+        assert (first.src, first.dst, first.step) == (0, 1, 0)
+        assert first.op is CommType.RECV
+
+    def test_matches_builder_ring(self):
+        from repro.algorithms import ring_allgather
+
+        parsed = parse_program(RING_AG_SOURCE)
+        built = ring_allgather(4)
+        assert set(parsed.transfers) == set(built.transfers)
+
+    def test_quoted_comm_type(self):
+        program = parse_program(
+            'def ResCCLAlgo(nRanks=4):\n    transfer(0, 1, 0, 0, "rrc")\n'
+        )
+        assert program.transfers[0].op is CommType.RRC
+
+    def test_assignment_and_arithmetic(self):
+        program = parse_program(
+            "def ResCCLAlgo(nRanks=8):\n"
+            "    x = 2 + 3 * 2\n"  # 8 with precedence
+            "    transfer(1, x % 8, 0, x / 3, recv)\n"
+        )
+        t = program.transfers[0]
+        assert t.dst == 0  # 8 % 8
+        assert t.chunk == 2  # 8 // 3
+
+    def test_parenthesized_expression(self):
+        program = parse_program(
+            "def ResCCLAlgo(nRanks=8):\n"
+            "    transfer(0, (1 + 2) * 2, 0, 0, recv)\n"
+        )
+        assert program.transfers[0].dst == 6
+
+    def test_header_parameters_visible_in_body(self):
+        program = parse_program(
+            "def ResCCLAlgo(nRanks=6):\n"
+            "    transfer(0, nRanks - 1, 0, 0, recv)\n"
+        )
+        assert program.transfers[0].dst == 5
+
+    def test_range_single_argument(self):
+        program = parse_program(
+            "def ResCCLAlgo(nRanks=4):\n"
+            "    for i in range(3):\n"
+            "        transfer(i, i + 1, i, 0, recv)\n"
+        )
+        assert len(program.transfers) == 3
+
+    def test_range_three_arguments(self):
+        program = parse_program(
+            "def ResCCLAlgo(nRanks=8):\n"
+            "    for i in range(0, 6, 2):\n"
+            "        transfer(i, i + 1, 0, i, recv)\n"
+        )
+        assert [t.src for t in program.transfers] == [0, 2, 4]
+
+    def test_nested_loops(self):
+        program = parse_program(
+            "def ResCCLAlgo(nRanks=4):\n"
+            "    for i in range(0, 2):\n"
+            "        for j in range(0, 2):\n"
+            "            transfer(i, i + j + 1, i, j, recv)\n"
+        )
+        assert len(program.transfers) == 4
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = parse_program(
+            "# leading comment\n"
+            "def ResCCLAlgo(nRanks=4):\n"
+            "\n"
+            "    # inner comment\n"
+            "    transfer(0, 1, 0, 0, recv)  # trailing\n"
+        )
+        assert len(program.transfers) == 1
+
+
+class TestErrors:
+    def test_empty_program(self):
+        with pytest.raises(ResCCLangSyntaxError, match="empty program"):
+            parse_module("   \n# just a comment\n")
+
+    def test_empty_body(self):
+        with pytest.raises(ResCCLangSyntaxError, match="body is empty"):
+            parse_module("def ResCCLAlgo(nRanks=4):\n")
+
+    def test_bad_character(self):
+        with pytest.raises(ResCCLangSyntaxError, match="unexpected character"):
+            parse_module("def ResCCLAlgo(nRanks=4):\n    x = 1 @ 2\n")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_module("def ResCCLAlgo(nRanks=4):\n    x = \n")
+        except ResCCLangSyntaxError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected a syntax error")
+
+    def test_missing_indent(self):
+        with pytest.raises(ResCCLangSyntaxError, match="indented block"):
+            parse_module(
+                "def ResCCLAlgo(nRanks=4):\n"
+                "    for i in range(2):\n"
+                "    transfer(0, 1, 0, 0, recv)\n"
+            )
+
+    def test_bad_comm_type(self):
+        with pytest.raises(ValueError, match="commType"):
+            parse_module(
+                "def ResCCLAlgo(nRanks=4):\n    transfer(0, 1, 0, 0, push)\n"
+            )
+
+    def test_too_many_range_args(self):
+        with pytest.raises(ResCCLangSyntaxError, match="at most 3"):
+            parse_module(
+                "def ResCCLAlgo(nRanks=4):\n"
+                "    for i in range(0, 1, 2, 3):\n"
+                "        transfer(0, 1, 0, 0, recv)\n"
+            )
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ResCCLangSyntaxError, match="trailing"):
+            parse_module("def ResCCLAlgo(nRanks=4):\n    x = 1 2\n")
+
+    def test_statement_outside_body(self):
+        with pytest.raises(ResCCLangSyntaxError, match="outside"):
+            parse_module(
+                "def ResCCLAlgo(nRanks=4):\n    x = 1\ny = 2\n"
+            )
+
+
+class TestRoundTrip:
+    def test_to_source_round_trips(self):
+        from repro.algorithms import hm_allreduce
+
+        program = hm_allreduce(2, 4)
+        reparsed = parse_program(program.to_source())
+        assert reparsed.header.nranks == program.header.nranks
+        assert reparsed.header.collective is program.header.collective
+        assert reparsed.transfers == program.transfers
+
+    def test_figure16_program_parses(self):
+        """The Appendix B example (Figure 16), generalized shape 4x8."""
+        source = """\
+def ResCCLAlgo(nRanks=32, nChannels=4, nWarps=16, AlgoName="HM", OpType="Allreduce", GPUPerNode=8, NICPerNode=8):
+    nNodes = 4
+    nGpusperNode = 8
+    nChunks = nNodes * nGpusperNode
+    for n in range(0, nNodes):
+        for r in range(0, nGpusperNode):
+            for baseStep in range(0, nNodes):
+                for offset in range(0, nGpusperNode - 1):
+                    srcRank = nGpusperNode * n + r
+                    dstRank = (r + offset + 1) % nGpusperNode + nGpusperNode * n
+                    step = baseStep * (nGpusperNode - 1) + offset
+                    transfer(srcRank, dstRank, step, (dstRank + baseStep * nGpusperNode) % nChunks, rrc)
+    for n in range(0, nNodes):
+        for r in range(0, nGpusperNode):
+            for baseStep in range(0, nNodes - 1):
+                srcRank = nGpusperNode * n + r
+                dstRank = (srcRank + nGpusperNode) % nChunks
+                step = nNodes * (nGpusperNode - 1) + baseStep
+                transfer(srcRank, dstRank, step, (srcRank + nChunks - baseStep * nGpusperNode) % nChunks, rrc)
+    for n in range(0, nNodes):
+        for r in range(0, nGpusperNode):
+            for baseStep in range(0, nNodes - 1):
+                srcRank = nGpusperNode * n + r
+                dstRank = (srcRank + nGpusperNode) % nChunks
+                step = nNodes * (nGpusperNode - 1) + nNodes - 1 + baseStep
+                chunkId = (srcRank + nChunks - (baseStep + nNodes - 1) * nGpusperNode) % nChunks
+                transfer(srcRank, dstRank, step, chunkId, recv)
+    for n in range(0, nNodes):
+        for r in range(0, nGpusperNode):
+            for baseStep in range(0, nNodes):
+                for offset in range(0, nGpusperNode - 1):
+                    srcRank = nGpusperNode * n + r
+                    dstRank = (r + offset + 1) % nGpusperNode + nGpusperNode * n
+                    step = nNodes * (nGpusperNode - 1) + 2 * nNodes - 2 + baseStep
+                    transfer(srcRank, dstRank, step, (srcRank + baseStep * nGpusperNode) % nChunks, recv)
+"""
+        from repro.algorithms import hm_allreduce
+
+        program = parse_program(source)
+        built = hm_allreduce(4, 8)
+        assert set(program.transfers) == set(built.transfers)

@@ -1,0 +1,95 @@
+"""Tests for the static plan progress linter."""
+
+import pytest
+
+from repro import MB, MSCCLBackend, NCCLBackend, ResCCLBackend, multi_node
+from repro.algorithms import hm_allreduce, ring_allgather
+from repro.ir.dag import build_dag
+from repro.ir.task import Collective
+from repro.runtime import lint_plan
+from repro.runtime.plan import ExecutionPlan, Invocation, Side, TBProgram
+from repro.topology import single_node
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return multi_node(2, 4)
+
+
+class TestCleanPlans:
+    def test_resccl_plan_lints(self, cluster):
+        plan = ResCCLBackend(max_microbatches=4).plan(
+            cluster, hm_allreduce(2, 4), 32 * MB
+        )
+        result = lint_plan(plan)
+        assert result.ok
+        assert result.node_count > 0
+        assert result.edge_count > result.node_count // 2
+
+    def test_msccl_plan_lints(self, cluster):
+        plan = MSCCLBackend(instances=2, max_microbatches=4).plan(
+            cluster, hm_allreduce(2, 4), 32 * MB
+        )
+        assert lint_plan(plan).ok
+
+    def test_nccl_plan_lints(self, cluster):
+        plan = NCCLBackend(max_microbatches=4).plan(
+            cluster, Collective.ALLREDUCE, 32 * MB
+        )
+        assert lint_plan(plan).ok
+
+    def test_microbatch_prefix_clamped(self, cluster):
+        plan = ResCCLBackend(max_microbatches=2).plan(
+            cluster, hm_allreduce(2, 4), 16 * MB
+        )
+        result = lint_plan(plan, microbatches=10)
+        assert result.ok
+        # Nodes cover exactly the plan's (smaller) micro-batch count.
+        assert result.node_count == 2 * len(plan.dag) * plan.n_microbatches
+
+
+class TestDeadlockDetection:
+    def _cross_wait_plan(self):
+        """Two TBs each receive before they send — a classic cycle."""
+        cluster = single_node(2)
+        program = ring_allgather(2)
+        dag = build_dag(program.transfers, cluster)
+        t01 = next(t for t in dag.tasks if t.src == 0)
+        t10 = next(t for t in dag.tasks if t.src == 1)
+        tbs = [
+            TBProgram(0, 0, [
+                Invocation(t10.task_id, Side.RECV, 0),
+                Invocation(t01.task_id, Side.SEND, 0),
+            ], 16),
+            TBProgram(1, 0, [
+                Invocation(t01.task_id, Side.RECV, 0),
+                Invocation(t10.task_id, Side.SEND, 0),
+            ], 16),
+        ]
+        return ExecutionPlan(
+            name="deadlock",
+            cluster=cluster,
+            program=program,
+            dag=dag,
+            n_microbatches=1,
+            chunk_bytes=MB,
+            tb_programs=tbs,
+        )
+
+    def test_cycle_detected(self):
+        result = lint_plan(self._cross_wait_plan())
+        assert not result.ok
+        assert "wait-for cycle" in result.issues[0]
+
+    def test_raise_if_failed(self):
+        with pytest.raises(ValueError, match="progress analysis"):
+            lint_plan(self._cross_wait_plan()).raise_if_failed()
+
+    def test_linter_agrees_with_runtime(self):
+        """The same plan the runtime deadlocks on fails the linter."""
+        from repro.runtime.simulator import SimulationDeadlock, simulate
+
+        plan = self._cross_wait_plan()
+        assert not lint_plan(plan).ok
+        with pytest.raises(SimulationDeadlock):
+            simulate(plan)

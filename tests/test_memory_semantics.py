@@ -1,0 +1,131 @@
+"""Tests for the symbolic buffer-state engine."""
+
+import pytest
+
+from repro.ir.task import Collective, CommType
+from repro.lang.builder import AlgoProgram
+from repro.runtime.memory import (
+    SemanticsError,
+    execute_symbolic,
+    initial_state,
+    verify_collective,
+)
+
+
+def program_with(collective, nranks, transfers):
+    program = AlgoProgram.create(nranks, collective, name="test")
+    for src, dst, step, chunk, op in transfers:
+        program.transfer(src, dst, step, chunk, op)
+    return program
+
+
+class TestInitialState:
+    def test_allgather_initial(self):
+        program = AlgoProgram.create(4, Collective.ALLGATHER)
+        state = initial_state(program)
+        assert state[2][2] == frozenset({2})
+        assert state[2][0] == frozenset()
+
+    def test_allreduce_initial(self):
+        program = AlgoProgram.create(4, Collective.ALLREDUCE)
+        state = initial_state(program)
+        assert all(
+            state[r][c] == frozenset({r}) for r in range(4) for c in range(4)
+        )
+
+
+class TestExecution:
+    def test_recv_overwrites(self):
+        program = program_with(
+            Collective.ALLGATHER, 2, [(0, 1, 0, 0, CommType.RECV)]
+        )
+        state, errors = execute_symbolic(program)
+        assert not errors
+        assert state[1][0] == frozenset({0})
+
+    def test_rrc_merges(self):
+        program = program_with(
+            Collective.ALLREDUCE, 2, [(0, 1, 0, 1, CommType.RRC)]
+        )
+        state, errors = execute_symbolic(program)
+        assert not errors
+        assert state[1][1] == frozenset({0, 1})
+
+    def test_same_step_reads_see_pre_state(self):
+        """A swap at one step must exchange, not chain."""
+        program = program_with(
+            Collective.ALLREDUCE,
+            2,
+            [
+                (0, 1, 0, 0, CommType.RECV),
+                (1, 0, 0, 0, CommType.RECV),
+            ],
+        )
+        state, errors = execute_symbolic(program)
+        assert not errors
+        assert state[1][0] == frozenset({0})
+        assert state[0][0] == frozenset({1})
+
+    def test_sending_empty_chunk_is_error(self):
+        program = program_with(
+            Collective.ALLGATHER, 3, [(0, 1, 0, 2, CommType.RECV)]
+        )
+        _, errors = execute_symbolic(program)
+        assert any("before holding" in e for e in errors)
+
+    def test_concurrent_writes_detected(self):
+        program = AlgoProgram.create(4, Collective.ALLREDUCE)
+        # Two reductions into (2, chunk 0) at the same step: a race.
+        program.transfers.append(
+            __import__("repro.ir.task", fromlist=["Transfer"]).Transfer(
+                src=0, dst=2, step=0, chunk=0, op=CommType.RRC
+            )
+        )
+        program.transfers.append(
+            __import__("repro.ir.task", fromlist=["Transfer"]).Transfer(
+                src=1, dst=2, step=0, chunk=0, op=CommType.RRC
+            )
+        )
+        _, errors = execute_symbolic(program)
+        assert any("concurrent writes" in e for e in errors)
+
+
+class TestVerification:
+    def test_correct_allgather_verifies(self):
+        from repro.algorithms import ring_allgather
+
+        assert verify_collective(ring_allgather(4)).ok
+
+    def test_incomplete_allgather_fails(self):
+        program = program_with(
+            Collective.ALLGATHER, 3, [(0, 1, 0, 0, CommType.RECV)]
+        )
+        result = verify_collective(program)
+        assert not result.ok
+        assert any("AllGather" in e for e in result.errors)
+
+    def test_partial_allreduce_fails(self):
+        program = program_with(
+            Collective.ALLREDUCE, 2, [(0, 1, 0, 0, CommType.RRC)]
+        )
+        result = verify_collective(program)
+        assert not result.ok
+
+    def test_reducescatter_checks_only_own_chunk(self):
+        from repro.algorithms import ring_reducescatter
+
+        result = verify_collective(ring_reducescatter(4))
+        assert result.ok
+
+    def test_raise_if_failed(self):
+        program = program_with(
+            Collective.ALLREDUCE, 2, [(0, 1, 0, 0, CommType.RRC)]
+        )
+        with pytest.raises(SemanticsError):
+            verify_collective(program).raise_if_failed()
+
+    def test_final_state_exposed(self):
+        from repro.algorithms import ring_allreduce
+
+        result = verify_collective(ring_allreduce(3))
+        assert result.final_state[0][0] == frozenset({0, 1, 2})

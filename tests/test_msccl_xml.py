@@ -1,0 +1,136 @@
+"""Tests for MSCCL-XML interop."""
+
+import pytest
+
+from repro.algorithms import (
+    hm_allgather,
+    hm_allreduce,
+    mesh_allreduce,
+    ring_allgather,
+    ring_allreduce,
+)
+from repro.ir.task import Collective, CommType
+from repro.runtime import verify_collective
+from repro.synth import (
+    MscclXmlError,
+    TACCLSynthesizer,
+    from_msccl_xml,
+    read_msccl_xml,
+    to_msccl_xml,
+    write_msccl_xml,
+)
+from repro.topology import multi_node
+
+
+def normalized(transfers):
+    return sorted(transfers, key=lambda t: (t.step, t.src, t.dst, t.chunk))
+
+
+PROGRAMS = [
+    ring_allgather(4),
+    ring_allreduce(8),
+    mesh_allreduce(4),
+    hm_allgather(2, 4),
+    hm_allreduce(2, 8),
+    TACCLSynthesizer().synthesize(multi_node(2, 4), Collective.ALLREDUCE),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.name)
+    def test_transfers_preserved(self, program):
+        back = from_msccl_xml(to_msccl_xml(program))
+        assert normalized(back.transfers) == normalized(program.transfers)
+        assert back.nranks == program.nranks
+        assert back.collective is program.collective
+        assert back.name == program.name
+
+    @pytest.mark.parametrize("program", PROGRAMS[:3], ids=lambda p: p.name)
+    def test_reimported_program_still_correct(self, program):
+        back = from_msccl_xml(to_msccl_xml(program))
+        verify_collective(back).raise_if_failed()
+
+    def test_file_round_trip(self, tmp_path):
+        program = ring_allgather(4)
+        path = tmp_path / "algo.xml"
+        write_msccl_xml(program, str(path))
+        back = read_msccl_xml(str(path))
+        assert normalized(back.transfers) == normalized(program.transfers)
+
+
+class TestXmlStructure:
+    def test_vocabulary(self):
+        xml = to_msccl_xml(ring_allreduce(4))
+        assert '<algo name="ring-allreduce"' in xml
+        assert 'coll="allreduce"' in xml
+        assert 'type="s"' in xml
+        assert 'type="rrc"' in xml
+        assert "<gpu" in xml and "<tb" in xml and "<step" in xml
+
+    def test_connection_based_tbs(self):
+        """The export uses MSCCL's rigid one-TB-per-connection layout."""
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(to_msccl_xml(ring_allgather(4)))
+        gpu0 = next(g for g in root.iter("gpu") if g.attrib["id"] == "0")
+        tbs = list(gpu0.iter("tb"))
+        # Ring: one send connection, one receive connection.
+        assert len(tbs) == 2
+        assert {tb.attrib["send"] for tb in tbs} == {"1", "-1"}
+        assert {tb.attrib["recv"] for tb in tbs} == {"-1", "3"}
+
+
+class TestImportErrors:
+    def test_not_xml(self):
+        with pytest.raises(MscclXmlError, match="not parseable"):
+            from_msccl_xml("definitely not xml <")
+
+    def test_wrong_root(self):
+        with pytest.raises(MscclXmlError, match="expected <algo>"):
+            from_msccl_xml("<graph/>")
+
+    def test_missing_ngpus(self):
+        with pytest.raises(MscclXmlError, match="ngpus"):
+            from_msccl_xml('<algo name="x" coll="allgather"/>')
+
+    def test_unsupported_collective(self):
+        with pytest.raises(MscclXmlError, match="unsupported collective"):
+            from_msccl_xml('<algo ngpus="4" coll="alltoall"/>')
+
+    def test_unsupported_step_type(self):
+        text = """
+        <algo name="x" ngpus="2" coll="allgather">
+          <gpu id="0"><tb id="0" send="1" recv="-1">
+            <step s="0" type="rcs" peer="1" srcoff="0"/>
+          </tb></gpu>
+        </algo>
+        """
+        with pytest.raises(MscclXmlError, match="unsupported step type"):
+            from_msccl_xml(text)
+
+    def test_recv_without_send(self):
+        text = """
+        <algo name="x" ngpus="2" coll="allgather">
+          <gpu id="1"><tb id="0" send="-1" recv="0">
+            <step s="0" type="r" peer="0" srcoff="0"/>
+          </tb></gpu>
+        </algo>
+        """
+        with pytest.raises(MscclXmlError, match="without matching send"):
+            from_msccl_xml(text)
+
+    def test_nop_steps_ignored(self):
+        text = """
+        <algo name="x" ngpus="2" coll="allgather">
+          <gpu id="0"><tb id="0" send="1" recv="-1">
+            <step s="0" type="s" peer="1" srcoff="0"/>
+            <step s="1" type="nop" peer="-1" srcoff="0"/>
+          </tb></gpu>
+          <gpu id="1"><tb id="0" send="-1" recv="0">
+            <step s="0" type="r" peer="0" srcoff="0"/>
+          </tb></gpu>
+        </algo>
+        """
+        program = from_msccl_xml(text)
+        assert len(program.transfers) == 1
+        assert program.transfers[0].op is CommType.RECV

@@ -1,0 +1,124 @@
+"""Tests for runtime extensions: protocols, background traffic, replay."""
+
+import pytest
+
+from repro import MB, ResCCLBackend, multi_node, simulate
+from repro.algorithms import hm_allgather, hm_allreduce, ring_allgather
+from repro.runtime.memory import execute_sequential, verify_completion_order
+from repro.runtime.plan import Protocol, SimConfig
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return multi_node(2, 4)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return hm_allreduce(2, 4)
+
+
+class TestProtocols:
+    def test_factors(self):
+        assert Protocol.SIMPLE.latency_factor == 1.0
+        assert Protocol.SIMPLE.bandwidth_efficiency == 1.0
+        assert Protocol.LL.latency_factor == 0.5
+        assert Protocol.LL.bandwidth_efficiency == 0.5
+        assert Protocol.LL128.bandwidth_efficiency == pytest.approx(0.9375)
+
+    def test_ll_saves_latency_on_tiny_buffers(self, cluster, program):
+        simple = ResCCLBackend(
+            max_microbatches=4, config=SimConfig(protocol=Protocol.SIMPLE)
+        )
+        ll = ResCCLBackend(
+            max_microbatches=4, config=SimConfig(protocol=Protocol.LL)
+        )
+        tiny = 256 * 1024.0  # deep latency regime
+        simple_report = simulate(simple.plan(cluster, program, tiny))
+        ll_report = simulate(ll.plan(cluster, program, tiny))
+        assert ll_report.completion_time_us < simple_report.completion_time_us
+
+    def test_simple_wins_at_scale(self, cluster, program):
+        simple = ResCCLBackend(
+            max_microbatches=8, config=SimConfig(protocol=Protocol.SIMPLE)
+        )
+        ll = ResCCLBackend(
+            max_microbatches=8, config=SimConfig(protocol=Protocol.LL)
+        )
+        big = 256 * MB
+        assert (
+            simulate(simple.plan(cluster, program, big)).algo_bandwidth
+            > simulate(ll.plan(cluster, program, big)).algo_bandwidth
+        )
+
+    def test_default_protocol_is_simple(self):
+        assert SimConfig().protocol is Protocol.SIMPLE
+
+
+class TestBackgroundTraffic:
+    def test_congestor_slows_completion(self, cluster, program):
+        backend = ResCCLBackend(max_microbatches=4)
+        clean = simulate(backend.plan(cluster, program, 32 * MB))
+        congested = simulate(
+            backend.plan(cluster, program, 32 * MB),
+            background_traffic=[
+                (("nic:out:0:0",), 20000.0),
+                (("nic:out:0:1",), 20000.0),
+                (("nic:in:1:0",), 20000.0),
+                (("nic:in:1:1",), 20000.0),
+            ],
+        )
+        assert congested.completion_time_us > clean.completion_time_us
+
+    def test_congestor_on_unused_edge_is_harmless(self, cluster):
+        program = hm_allgather(2, 4)
+        backend = ResCCLBackend(max_microbatches=4)
+        clean = simulate(backend.plan(cluster, program, 32 * MB))
+        # HM AllGather never uses rank 0's NVLink ingress from itself...
+        # use an intra edge of a rank pair that carries no flows: there
+        # is none guaranteed, so use a tiny-rate congestor instead and
+        # check the slowdown is bounded.
+        congested = simulate(
+            backend.plan(cluster, program, 32 * MB),
+            background_traffic=[(("nic:out:0:0",), 1.0)],
+        )
+        assert congested.completion_time_us < 1.25 * clean.completion_time_us
+
+    def test_unknown_edge_rejected(self, cluster, program):
+        backend = ResCCLBackend(max_microbatches=2)
+        with pytest.raises(KeyError):
+            simulate(
+                backend.plan(cluster, program, 8 * MB),
+                background_traffic=[(("nic:out:9:9",), 1000.0)],
+            )
+
+
+class TestCompletionReplay:
+    def test_completion_order_recorded(self, cluster, program):
+        plan = ResCCLBackend(max_microbatches=2).plan(cluster, program, 16 * MB)
+        report = simulate(plan)
+        assert len(report.completion_order) == len(plan.dag) * 2
+
+    def test_sequential_execution_valid_order(self):
+        program = ring_allgather(4)
+        order = list(range(len(program.transfers)))
+        # Program order for ring AllGather is step-sorted per rank but
+        # not globally step-sorted; sort by step to get a legal order.
+        order.sort(key=lambda i: program.transfers[i].step)
+        result = verify_completion_order(program, order)
+        assert result.ok, result.errors[:3]
+
+    def test_sequential_execution_rejects_bad_order(self):
+        program = ring_allgather(4)
+        # Reverse order sends data before it exists.
+        order = sorted(
+            range(len(program.transfers)),
+            key=lambda i: -program.transfers[i].step,
+        )
+        result = verify_completion_order(program, order)
+        assert not result.ok
+
+    def test_sequential_execution_rejects_partial_order(self):
+        program = ring_allgather(4)
+        _, errors = execute_sequential(program, [0, 1, 2])
+        assert any("covers" in e for e in errors)

@@ -1,0 +1,130 @@
+"""Tests for execution plans and micro-batch planning."""
+
+import pytest
+
+from repro.algorithms import ring_allgather
+from repro.ir.dag import build_dag
+from repro.runtime.plan import (
+    MB,
+    ExecMode,
+    ExecutionPlan,
+    Invocation,
+    Side,
+    TBProgram,
+    plan_microbatches,
+)
+from repro.topology import single_node
+
+
+def tiny_plan(n_mb=2, tamper=None):
+    """A hand-built plan for a 2-rank, 2-chunk ring AllGather."""
+    cluster = single_node(2)
+    program = ring_allgather(2)
+    dag = build_dag(program.transfers, cluster)
+    tbs = []
+    for rank in range(2):
+        sends = [
+            Invocation(t.task_id, Side.SEND, mb)
+            for mb in range(n_mb)
+            for t in dag.tasks
+            if t.src == rank
+        ]
+        recvs = [
+            Invocation(t.task_id, Side.RECV, mb)
+            for mb in range(n_mb)
+            for t in dag.tasks
+            if t.dst == rank
+        ]
+        tbs.append(TBProgram(rank=rank, tb_index=0, invocations=sends))
+        tbs.append(TBProgram(rank=rank, tb_index=1, invocations=recvs))
+    if tamper:
+        tamper(tbs)
+    return ExecutionPlan(
+        name="tiny",
+        cluster=cluster,
+        program=program,
+        dag=dag,
+        n_microbatches=n_mb,
+        chunk_bytes=1024.0,
+        tb_programs=tbs,
+    )
+
+
+class TestPlanMicrobatches:
+    def test_paper_default_one_mb_chunk(self):
+        # 512 MB buffer, 16 chunks -> 32 micro-batches of 1 MB chunks.
+        n_mb, chunk = plan_microbatches(512 * MB, 16)
+        assert n_mb == 32
+        assert chunk == pytest.approx(MB)
+
+    def test_small_buffer_shrinks_chunk(self):
+        n_mb, chunk = plan_microbatches(4 * MB, 16)
+        assert n_mb == 1
+        assert chunk == pytest.approx(MB / 4)
+
+    def test_large_buffer_grows_chunk(self):
+        n_mb, chunk = plan_microbatches(
+            8192 * MB, 16, max_microbatches=64
+        )
+        assert n_mb == 64
+        assert chunk > MB
+
+    def test_exact_reconstruction(self):
+        buffer = 384 * MB
+        n_mb, chunk = plan_microbatches(buffer, 32)
+        assert n_mb * 32 * chunk == pytest.approx(buffer)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_microbatches(0, 16)
+        with pytest.raises(ValueError):
+            plan_microbatches(MB, 0)
+
+
+class TestPlanValidation:
+    def test_valid_plan_passes(self):
+        tiny_plan().validate()
+
+    def test_total_bytes(self):
+        plan = tiny_plan(n_mb=3)
+        assert plan.total_bytes == pytest.approx(3 * 2 * 1024.0)
+
+    def test_duplicate_invocation_rejected(self):
+        def tamper(tbs):
+            tbs[0].invocations.append(tbs[0].invocations[0])
+
+        with pytest.raises(ValueError, match="duplicate"):
+            tiny_plan(tamper=tamper).validate()
+
+    def test_missing_invocation_rejected(self):
+        def tamper(tbs):
+            tbs[0].invocations.pop()
+
+        with pytest.raises(ValueError, match="expected"):
+            tiny_plan(tamper=tamper).validate()
+
+    def test_wrong_rank_rejected(self):
+        def tamper(tbs):
+            moved = tbs[0].invocations.pop()
+            tbs[2].invocations.append(moved)  # rank 1's send TB
+
+        with pytest.raises(ValueError, match="placed on rank"):
+            tiny_plan(tamper=tamper).validate()
+
+    def test_out_of_range_microbatch_rejected(self):
+        def tamper(tbs):
+            inv = tbs[0].invocations.pop()
+            tbs[0].invocations.append(Invocation(inv.task_id, inv.side, 99))
+
+        with pytest.raises(ValueError, match="micro-batch"):
+            tiny_plan(tamper=tamper).validate()
+
+    def test_max_tbs_per_rank(self):
+        assert tiny_plan().max_tbs_per_rank() == 2
+
+    def test_default_mode_is_kernel(self):
+        assert tiny_plan().mode is ExecMode.KERNEL
+
+    def test_chunks_per_microbatch_defaults_to_program(self):
+        plan = tiny_plan()
+        assert plan.chunks_per_microbatch == plan.program.nchunks

@@ -1,0 +1,113 @@
+"""Tests for trace recording and timeline rendering."""
+
+import json
+
+import pytest
+
+from repro import MB, ResCCLBackend, multi_node
+from repro.algorithms import hm_allreduce
+from repro.analysis import ascii_gantt, to_chrome_trace, write_chrome_trace
+from repro.runtime.metrics import TraceEvent
+from repro.runtime.simulator import simulate
+
+
+@pytest.fixture(scope="module")
+def traced_report():
+    plan = ResCCLBackend(max_microbatches=3).plan(
+        multi_node(2, 4), hm_allreduce(2, 4), 24 * MB
+    )
+    return simulate(plan, record_trace=True)
+
+
+@pytest.fixture(scope="module")
+def untraced_report():
+    plan = ResCCLBackend(max_microbatches=2).plan(
+        multi_node(2, 4), hm_allreduce(2, 4), 16 * MB
+    )
+    return simulate(plan)
+
+
+class TestTraceRecording:
+    def test_trace_off_by_default(self, untraced_report):
+        assert untraced_report.trace == []
+
+    def test_trace_has_transfer_events(self, traced_report):
+        kinds = {event.kind for event in traced_report.trace}
+        assert "send" in kinds
+        assert "recv" in kinds
+
+    def test_events_within_horizon(self, traced_report):
+        horizon = traced_report.completion_time_us
+        for event in traced_report.trace:
+            assert 0.0 <= event.start_us < event.end_us <= horizon + 1e-6
+
+    def test_send_events_match_invocations(self, traced_report):
+        sends = [e for e in traced_report.trace if e.kind == "send"]
+        total_send_invocations = sum(
+            tb.invocations
+            for tb in traced_report.tb_stats
+            if "send" in tb.label and "+recv" not in tb.label
+        )
+        # Every recorded send has a real task binding.
+        assert all(e.task_id >= 0 and e.mb >= 0 for e in sends)
+        assert len(sends) > 0 and total_send_invocations > 0
+
+    def test_busy_time_matches_trace(self, traced_report):
+        """Per-TB busy time equals the sum of its send+recv intervals."""
+        by_tb = {}
+        for event in traced_report.trace:
+            if event.kind in ("send", "recv"):
+                by_tb.setdefault(event.tb_index, 0.0)
+                by_tb[event.tb_index] += event.duration_us
+        for index, stats in enumerate(traced_report.tb_stats):
+            assert by_tb.get(index, 0.0) == pytest.approx(stats.busy, rel=1e-6)
+
+    def test_event_duration(self):
+        event = TraceEvent(
+            tb_index=0, rank=0, kind="send", start_us=1.0, end_us=3.5
+        )
+        assert event.duration_us == pytest.approx(2.5)
+
+
+class TestAsciiGantt:
+    def test_renders_lanes(self, traced_report):
+        chart = ascii_gantt(traced_report, width=40, ranks=[0])
+        assert "timeline" in chart
+        assert "|" in chart
+        assert "#" in chart  # some send activity visible
+
+    def test_width_respected(self, traced_report):
+        chart = ascii_gantt(traced_report, width=30, ranks=[0])
+        for line in chart.splitlines()[1:]:
+            if "|" in line:
+                lane = line.split("|")[1]
+                assert len(lane) == 30
+
+    def test_max_tbs_truncates(self, traced_report):
+        chart = ascii_gantt(traced_report, width=20, max_tbs=2)
+        assert "more TBs" in chart
+
+    def test_requires_trace(self, untraced_report):
+        with pytest.raises(ValueError, match="no trace"):
+            ascii_gantt(untraced_report)
+
+
+class TestChromeTrace:
+    def test_structure(self, traced_report):
+        trace = to_chrome_trace(traced_report)
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(complete) == len(traced_report.trace)
+        assert metadata  # process names for every rank
+
+    def test_json_serializable(self, traced_report, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(traced_report, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["otherData"]["plan"] == traced_report.plan_name
+
+    def test_requires_trace(self, untraced_report):
+        with pytest.raises(ValueError, match="no trace"):
+            to_chrome_trace(untraced_report)

@@ -1,0 +1,184 @@
+"""Tests for the cluster topology substrate."""
+
+import pytest
+
+from repro.topology import (
+    Cluster,
+    a100_profile,
+    gbits_to_bytes_per_us,
+    gbps_to_bytes_per_us,
+    multi_node,
+    profile_by_name,
+    single_node,
+    v100_profile,
+)
+
+
+class TestUnits:
+    def test_gbps_conversion(self):
+        assert gbps_to_bytes_per_us(1.0) == 1000.0
+
+    def test_gbits_conversion(self):
+        # 200 Gbit/s == 25 GB/s == 25000 bytes/us.
+        assert gbits_to_bytes_per_us(200.0) == 25000.0
+
+
+class TestProfiles:
+    def test_a100_nic_matches_testbed(self):
+        profile = a100_profile()
+        assert profile.nic.bandwidth == pytest.approx(25000.0)
+        assert profile.nvlink.bandwidth == pytest.approx(300000.0)
+
+    def test_inter_latency_ratio(self):
+        profile = a100_profile()
+        assert profile.nic.latency_us >= 2.5 * profile.nvlink.latency_us
+
+    def test_v100_slower_than_a100(self):
+        v100, a100 = v100_profile(), a100_profile()
+        assert v100.nic.bandwidth < a100.nic.bandwidth
+        assert v100.nvlink.bandwidth < a100.nvlink.bandwidth
+
+    def test_profile_by_name(self):
+        assert profile_by_name("a100").name == "A100"
+        assert profile_by_name("V100").name == "V100"
+
+    def test_profile_by_name_unknown(self):
+        with pytest.raises(ValueError, match="unknown GPU profile"):
+            profile_by_name("H100")
+
+    def test_tb_copy_bandwidth_scales_with_warps(self):
+        profile = a100_profile()
+        assert profile.tb_copy_bandwidth(16) == pytest.approx(
+            profile.nic.bandwidth
+        )
+        assert profile.tb_copy_bandwidth(4) == pytest.approx(
+            profile.nic.bandwidth / 4
+        )
+
+    def test_tb_copy_bandwidth_rejects_zero_warps(self):
+        with pytest.raises(ValueError):
+            a100_profile().tb_copy_bandwidth(0)
+
+    def test_link_transfer_time(self):
+        profile = a100_profile()
+        # 25000 bytes at 25000 B/us == 1 us plus latency.
+        expected = profile.nic.latency_us + 1.0
+        assert profile.nic.transfer_time(25000.0) == pytest.approx(expected)
+
+
+class TestClusterShape:
+    def test_world_size(self):
+        assert multi_node(4, 8).world_size == 32
+        assert single_node(8).world_size == 8
+
+    def test_rank_arithmetic(self):
+        cluster = multi_node(2, 8)
+        assert cluster.node_of(0) == 0
+        assert cluster.node_of(8) == 1
+        assert cluster.local_index(11) == 3
+        assert cluster.same_node(0, 7)
+        assert not cluster.same_node(7, 8)
+
+    def test_nic_sharing(self):
+        # Paper: every two GPUs share one NIC (8 GPUs, 4 NICs).
+        cluster = multi_node(2, 8)
+        assert cluster.nics_per_node == 4
+        assert cluster.nic_of(0) == cluster.nic_of(1) == 0
+        assert cluster.nic_of(6) == cluster.nic_of(7) == 3
+
+    def test_rack_assignment(self):
+        cluster = Cluster(nodes=4, gpus_per_node=8, nodes_per_rack=2)
+        assert cluster.rack_of(0) == 0
+        assert cluster.rack_of(8) == 0
+        assert cluster.rack_of(16) == 1
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            Cluster(nodes=0, gpus_per_node=8)
+        with pytest.raises(ValueError):
+            Cluster(nodes=1, gpus_per_node=0)
+        with pytest.raises(ValueError):
+            Cluster(nodes=1, gpus_per_node=8, nics_per_node=3)
+
+    def test_odd_gpu_count_gets_divisor_nics(self):
+        cluster = Cluster(nodes=1, gpus_per_node=5)
+        assert 5 % cluster.nics_per_node == 0
+
+    def test_rank_bounds_checked(self):
+        cluster = single_node(4)
+        with pytest.raises(ValueError):
+            cluster.node_of(4)
+        with pytest.raises(ValueError):
+            cluster.node_of(-1)
+
+
+class TestRouting:
+    def test_intra_path_uses_nvlink_ports(self):
+        cluster = multi_node(2, 8)
+        path = cluster.path(0, 3)
+        assert path.edges == ("nv:out:0", "nv:in:3")
+        assert path.bottleneck_bandwidth == cluster.profile.nvlink.bandwidth
+
+    def test_inter_path_uses_nics(self):
+        cluster = multi_node(2, 8)
+        path = cluster.path(0, 9)
+        assert path.edges == ("nic:out:0:0", "nic:in:1:0")
+        assert path.bottleneck_bandwidth == cluster.profile.nic.bandwidth
+
+    def test_inter_latency_exceeds_intra(self):
+        cluster = multi_node(2, 8)
+        assert cluster.path(0, 8).latency_us >= 2.5 * cluster.path(0, 1).latency_us
+
+    def test_cross_rack_adds_latency(self):
+        cluster = Cluster(nodes=4, gpus_per_node=8, nodes_per_rack=2)
+        same_rack = cluster.path(0, 8)
+        cross_rack = cluster.path(0, 16)
+        assert cross_rack.latency_us > same_rack.latency_us
+
+    def test_self_path_rejected(self):
+        with pytest.raises(ValueError):
+            single_node(4).path(2, 2)
+
+    def test_path_cached(self):
+        cluster = single_node(4)
+        assert cluster.path(0, 1) is cluster.path(0, 1)
+
+    def test_link_name_intra_is_pairwise(self):
+        cluster = multi_node(2, 8)
+        assert cluster.link_name(0, 1) != cluster.link_name(1, 0)
+        assert cluster.link_name(0, 1) != cluster.link_name(0, 2)
+
+    def test_link_name_inter_shared_by_nic(self):
+        cluster = multi_node(2, 8)
+        # GPUs 0 and 1 share NIC 0: their flows to node 1 share a link.
+        assert cluster.link_name(0, 8) == cluster.link_name(1, 9)
+        assert cluster.link_name(0, 8) != cluster.link_name(2, 8)
+
+    def test_edge_capacity_lookup(self):
+        cluster = single_node(2)
+        assert cluster.edge_capacity("nv:out:0") == pytest.approx(300000.0)
+        with pytest.raises(KeyError):
+            cluster.edge_capacity("bogus")
+
+    def test_transfer_time_on_path(self):
+        cluster = multi_node(2, 8)
+        path = cluster.path(0, 8)
+        assert path.transfer_time(25000.0) == pytest.approx(
+            path.latency_us + 1.0
+        )
+
+
+class TestGraphExport:
+    def test_graph_has_all_rank_pairs(self):
+        cluster = multi_node(2, 4)
+        graph = cluster.to_graph()
+        n = cluster.world_size
+        assert graph.number_of_nodes() == n
+        assert graph.number_of_edges() == n * (n - 1)
+
+    def test_graph_attributes(self):
+        cluster = multi_node(2, 4)
+        graph = cluster.to_graph()
+        assert graph[0][1]["intra"] is True
+        assert graph[0][4]["intra"] is False
+        assert graph[0][4]["bandwidth"] == cluster.profile.nic.bandwidth

@@ -1,0 +1,174 @@
+"""Tests for the Megatron-style training throughput model."""
+
+import pytest
+
+from repro import MSCCLBackend, NCCLBackend, ResCCLBackend, multi_node
+from repro.ir.task import Collective
+from repro.topology import single_node
+from repro.training import (
+    GPT3_MODELS,
+    T5_MODELS,
+    MegatronSimulator,
+    ParallelConfig,
+    dp_allreduce_bytes,
+    expert_program,
+    iteration_demands,
+    model_by_name,
+    tp_allreduce_bytes,
+    tp_allreduce_count,
+)
+
+
+class TestModels:
+    def test_catalog(self):
+        assert len(GPT3_MODELS) == 4
+        assert len(T5_MODELS) == 3
+        assert model_by_name("GPT-3 6.7B").params == pytest.approx(6.7e9)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            model_by_name("LLaMA 7B")
+
+    def test_flops_per_token(self):
+        model = model_by_name("T5 220M")
+        assert model.flops_per_token() == pytest.approx(6 * 220e6)
+
+    def test_families(self):
+        assert all(m.family == "gpt3" for m in GPT3_MODELS)
+        assert all(m.family == "t5" for m in T5_MODELS)
+
+
+class TestParallelism:
+    def test_world_size(self):
+        assert ParallelConfig(tp=8, dp=2, batch_size=16).world_size == 16
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(tp=0, dp=1, batch_size=1)
+        with pytest.raises(ValueError):
+            ParallelConfig(tp=1, dp=8, batch_size=4)
+
+    def test_tp_allreduce_bytes(self):
+        model = model_by_name("GPT-3 6.7B")
+        parallel = ParallelConfig(tp=8, dp=2, batch_size=16, microbatch_size=4)
+        # 4 samples x 2048 seq x 4096 hidden x 2 bytes = 64 MB.
+        assert tp_allreduce_bytes(model, parallel) == pytest.approx(
+            4 * 2048 * 4096 * 2
+        )
+
+    def test_tp_allreduce_count(self):
+        model = model_by_name("GPT-3 6.7B")
+        parallel = ParallelConfig(tp=8, dp=2, batch_size=16, microbatch_size=4)
+        # 4 per layer per micro-batch; 8 samples / 4 per micro-batch = 2.
+        assert tp_allreduce_count(model, parallel) == 4 * 32 * 2
+
+    def test_no_tp_comm_without_tp(self):
+        model = model_by_name("T5 220M")
+        parallel = ParallelConfig(tp=1, dp=16, batch_size=16)
+        assert tp_allreduce_count(model, parallel) == 0
+
+    def test_dp_allreduce_bytes(self):
+        model = model_by_name("T5 220M")
+        parallel = ParallelConfig(tp=1, dp=16, batch_size=16)
+        assert dp_allreduce_bytes(model, parallel) == pytest.approx(2 * 220e6)
+
+    def test_no_dp_comm_without_dp(self):
+        model = model_by_name("GPT-3 6.7B")
+        parallel = ParallelConfig(tp=8, dp=1, batch_size=8)
+        assert dp_allreduce_bytes(model, parallel) == 0.0
+
+    def test_iteration_demands(self):
+        model = model_by_name("GPT-3 6.7B")
+        parallel = ParallelConfig(tp=8, dp=2, batch_size=16, microbatch_size=4)
+        demands = iteration_demands(model, parallel)
+        scopes = {d.scope for d in demands}
+        assert scopes == {"tp", "dp"}
+
+
+class TestExpertPrograms:
+    def test_single_node_uses_mesh(self):
+        program = expert_program(single_node(8), Collective.ALLREDUCE)
+        assert program.name.startswith("mesh")
+
+    def test_multi_node_uses_hm(self):
+        program = expert_program(multi_node(2, 8), Collective.ALLREDUCE)
+        assert program.name.startswith("hm")
+
+
+class TestSimulator:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        return multi_node(2, 8)
+
+    def test_iteration_breakdown(self, cluster):
+        sim = MegatronSimulator(cluster, NCCLBackend(max_microbatches=4))
+        model = model_by_name("T5 220M")
+        parallel = ParallelConfig(tp=1, dp=16, batch_size=16)
+        breakdown = sim.iteration(model, parallel)
+        assert breakdown.compute_us > 0
+        assert breakdown.tp_comm_us == 0.0  # no TP for T5
+        assert breakdown.dp_comm_us > 0
+        assert 0 < breakdown.comm_fraction < 1
+
+    def test_throughput_positive(self, cluster):
+        sim = MegatronSimulator(cluster, ResCCLBackend(max_microbatches=4))
+        model = model_by_name("T5 770M")
+        parallel = ParallelConfig(tp=1, dp=16, batch_size=16)
+        assert sim.throughput(model, parallel) > 0
+
+    def test_resccl_fastest_on_t5(self, cluster):
+        model = model_by_name("T5 220M")
+        parallel = ParallelConfig(tp=1, dp=16, batch_size=16)
+        throughputs = {}
+        for name, backend in (
+            ("NCCL", NCCLBackend(max_microbatches=4)),
+            ("MSCCL", MSCCLBackend(max_microbatches=4)),
+            ("ResCCL", ResCCLBackend(max_microbatches=4)),
+        ):
+            throughputs[name] = MegatronSimulator(cluster, backend).throughput(
+                model, parallel
+            )
+        assert throughputs["ResCCL"] > throughputs["NCCL"]
+        assert throughputs["ResCCL"] > throughputs["MSCCL"]
+
+    def test_bigger_model_slower(self, cluster):
+        sim = MegatronSimulator(cluster, NCCLBackend(max_microbatches=4))
+        parallel = ParallelConfig(tp=1, dp=16, batch_size=16)
+        small = sim.throughput(model_by_name("T5 220M"), parallel)
+        large = sim.throughput(model_by_name("T5 3B"), parallel)
+        assert small > large
+
+    def test_layout_must_match_cluster(self, cluster):
+        sim = MegatronSimulator(cluster, NCCLBackend())
+        with pytest.raises(ValueError, match="GPUs"):
+            sim.iteration(
+                model_by_name("T5 220M"),
+                ParallelConfig(tp=1, dp=32, batch_size=32),
+            )
+
+    def test_tp_group_must_fit_server(self, cluster):
+        sim = MegatronSimulator(cluster, NCCLBackend(max_microbatches=2))
+        with pytest.raises(ValueError, match="exceeds one server"):
+            sim.iteration(
+                model_by_name("GPT-3 6.7B"),
+                ParallelConfig(tp=16, dp=1, batch_size=16),
+            )
+
+    def test_invalid_knobs(self, cluster):
+        with pytest.raises(ValueError):
+            MegatronSimulator(cluster, NCCLBackend(), mfu=0.0)
+        with pytest.raises(ValueError):
+            MegatronSimulator(cluster, NCCLBackend(), dp_overlap=1.5)
+
+    def test_dp_overlap_hides_comm(self, cluster):
+        model = model_by_name("T5 3B")
+        parallel = ParallelConfig(tp=1, dp=16, batch_size=16)
+        exposed = MegatronSimulator(
+            cluster, NCCLBackend(max_microbatches=4), dp_overlap=0.0
+        )
+        hidden = MegatronSimulator(
+            cluster, NCCLBackend(max_microbatches=4), dp_overlap=0.9
+        )
+        assert hidden.throughput(model, parallel) > exposed.throughput(
+            model, parallel
+        )
