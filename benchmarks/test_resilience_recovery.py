@@ -1,0 +1,62 @@
+"""Robustness extension: graceful degradation under injected link faults.
+
+Sweeps fault intensity x recovery policy over the seeded ``link-flap``
+scenario (see :mod:`repro.experiments.resilience`).  Because each lower
+intensity is a strict prefix of the higher one, goodput must degrade
+*gracefully*: monotone non-increasing (small simulator-noise tolerance),
+never falling off a >50% cliff in one intensity step, and with mean
+recovery latency bounded by a small multiple of the watchdog window —
+the detection-to-recovery pipeline, not the fault duration, is what the
+runtime controls.
+"""
+
+from conftest import once
+
+from repro.experiments import resilience
+from repro.runtime.plan import SimConfig
+
+INTENSITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+POLICIES = ("retry", "fallback")
+BACKENDS = ("ResCCL", "MSCCL")
+
+#: Water-filling reallocation under a fault subset can shift completion a
+#: hair in either direction; monotonicity is asserted up to this slack.
+TOLERANCE = 1.05
+
+
+def test_resilience_recovery(once):
+    result = once(
+        resilience.run,
+        seed=0,
+        intensities=INTENSITIES,
+        policies=POLICIES,
+        backends=BACKENDS,
+    )
+    print("\n" + result.render())
+
+    window_us = SimConfig().watchdog_window_us
+    for backend in BACKENDS:
+        for policy in POLICIES:
+            cells = result.data[backend][policy]
+            goodputs = [cell["goodput"] for cell in cells]
+
+            # Intensity 0 is the clean run; full intensity still completes.
+            assert goodputs[0] == 1.0, (backend, policy, goodputs)
+            assert goodputs[-1] > 0.0, (backend, policy, goodputs)
+
+            for previous, current in zip(goodputs, goodputs[1:]):
+                # Monotone non-increasing (up to reallocation noise)...
+                assert current <= previous * TOLERANCE, (
+                    backend, policy, goodputs,
+                )
+                # ...and no >50% cliff in a single intensity step.
+                assert current >= 0.5 * previous, (backend, policy, goodputs)
+
+            # Recovery happens within a bounded multiple of the watchdog
+            # window whenever anything was actually recovered.
+            for cell in cells:
+                stats = cell["fault_stats"]
+                if stats.recovered:
+                    assert (
+                        stats.mean_recovery_latency_us < 4.0 * window_us
+                    ), (backend, policy, cell["intensity"], stats.summary())

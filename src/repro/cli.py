@@ -21,15 +21,18 @@ import sys
 from pathlib import Path
 from typing import Optional
 
+import inspect
+
 from .algorithms import available_algorithms, build_algorithm
 from .analysis import format_table
 from .baselines import MSCCLBackend, NCCLBackend
 from .core import ResCCLBackend, ResCCLCompiler
 from .experiments import available_experiments, run_experiment
+from .faults import INJECT_SCENARIOS, run_with_faults
 from .ir.task import parse_collective
 from .lang import AlgoProgram, parse_program, validate_program
 from .analysis import ascii_gantt, write_chrome_trace
-from .runtime import MB, simulate, verify_collective
+from .runtime import MB, SimulationDeadlock, simulate, verify_collective
 from .synth import (
     TACCLSynthesizer,
     TECCLSynthesizer,
@@ -53,6 +56,32 @@ def _cluster_from(args: argparse.Namespace) -> Cluster:
     return Cluster(
         nodes=args.nodes,
         gpus_per_node=args.gpus,
+        profile=profile_by_name(args.profile),
+    )
+
+
+_DEFAULT_SHAPE = (2, 8)  # the paper's testbed; see _add_cluster_args
+
+
+def _fit_cluster(
+    args: argparse.Namespace, cluster: Cluster, program: AlgoProgram
+) -> Cluster:
+    """Refit the *default* cluster to a program of a different world size.
+
+    DSL files pin their rank count; when the user did not choose a
+    cluster shape explicitly, size the testbed to the program instead of
+    failing validation with a world-size mismatch.
+    """
+    if program.nranks == cluster.world_size:
+        return cluster
+    if (args.nodes, args.gpus) != _DEFAULT_SHAPE:
+        return cluster  # explicit shape: let validation report the mismatch
+    gpus_per_node = min(program.header.gpus_per_node, program.nranks)
+    if gpus_per_node < 1 or program.nranks % gpus_per_node != 0:
+        gpus_per_node = program.nranks
+    return Cluster(
+        nodes=program.nranks // gpus_per_node,
+        gpus_per_node=gpus_per_node,
         profile=profile_by_name(args.profile),
     )
 
@@ -156,12 +185,60 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_deadlock(exc: SimulationDeadlock) -> None:
+    print("simulation deadlocked:", file=sys.stderr)
+    print(str(exc), file=sys.stderr)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cluster = _cluster_from(args)
     program = _resolve_algorithm(args.algorithm, cluster)
+    cluster = _fit_cluster(args, cluster, program)
     backend = _make_backend(args.backend, args.mbs)
-    report = _simulate(backend, cluster, program, args.buffer_mb * MB)
-    print(report.summary())
+    if isinstance(backend, NCCLBackend):
+        plan = backend.plan(cluster, program.collective, args.buffer_mb * MB)
+    else:
+        plan = backend.plan(cluster, program, args.buffer_mb * MB)
+    try:
+        if args.inject:
+            try:
+                outcome = run_with_faults(
+                    plan,
+                    args.inject,
+                    seed=args.seed,
+                    intensity=args.fault_intensity,
+                    recovery=args.recovery,
+                    record_trace=True,
+                )
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}") from None
+            report = outcome.report
+            print(report.summary())
+            stats = report.fault_stats
+            if stats is not None:
+                print(stats.summary())
+            print(
+                f"goodput vs clean run: {outcome.goodput_ratio:.1%} "
+                f"(clean {outcome.baseline.completion_time_us / 1e3:.2f} ms, "
+                f"faulted {report.completion_time_us / 1e3:.2f} ms)"
+            )
+            recovery_events = [
+                event for event in report.trace
+                if event.kind.startswith(("fault:", "detect:", "recover:"))
+            ]
+            for event in recovery_events[:20]:
+                print(
+                    f"  {event.kind:<20} "
+                    f"[{event.start_us / 1e3:.3f}, {event.end_us / 1e3:.3f}] ms"
+                )
+            if len(recovery_events) > 20:
+                print(f"  ... and {len(recovery_events) - 20} more event(s)")
+        else:
+            report = simulate(plan)
+            print(report.summary())
+    except SimulationDeadlock as exc:
+        _print_deadlock(exc)
+        return 2
     return 0
 
 
@@ -208,7 +285,13 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             "error: give an experiment id or --list; known: "
             + ", ".join(available_experiments())
         )
-    result = run_experiment(args.name)
+    from .experiments import REGISTRY
+
+    params = {}
+    runner = REGISTRY.get(args.name)
+    if runner is not None and "seed" in inspect.signature(runner).parameters:
+        params["seed"] = args.seed
+    result = run_experiment(args.name, **params)
     print(result.render())
     return 0
 
@@ -216,11 +299,17 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     cluster = _cluster_from(args)
     program = _resolve_algorithm(args.algorithm, cluster)
+    cluster = _fit_cluster(args, cluster, program)
     rows = []
     baseline: Optional[float] = None
     for name in ("NCCL", "MSCCL", "ResCCL"):
         backend = _make_backend(name, args.mbs)
-        report = _simulate(backend, cluster, program, args.buffer_mb * MB)
+        try:
+            report = _simulate(backend, cluster, program, args.buffer_mb * MB)
+        except SimulationDeadlock as exc:
+            print(f"backend {name}:", file=sys.stderr)
+            _print_deadlock(exc)
+            return 2
         if baseline is None:
             baseline = report.algo_bandwidth
         rows.append(
@@ -274,6 +363,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--buffer-mb", type=int, default=256)
     p_run.add_argument("--mbs", type=int, default=16,
                        help="micro-batch cap")
+    p_run.add_argument(
+        "--inject", default=None, metavar="SPEC",
+        help="fault scenario to inject "
+        f"({'/'.join(INJECT_SCENARIOS)}[:key=value,...])",
+    )
+    p_run.add_argument("--seed", type=int, default=0,
+                       help="fault-schedule RNG seed")
+    p_run.add_argument("--fault-intensity", type=float, default=1.0,
+                       help="fraction of the fault schedule to apply [0,1]")
+    p_run.add_argument(
+        "--recovery", default="fallback", choices=["none", "retry", "fallback"],
+        help="recovery policy when faults are injected",
+    )
     _add_cluster_args(p_run)
 
     p_cmp = sub.add_parser("compare", help="all three backends side by side")
@@ -310,6 +412,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("name", nargs="?", help="experiment id (see --list)")
     p_exp.add_argument("--list", action="store_true",
                        help="list available experiments")
+    p_exp.add_argument("--seed", type=int, default=0,
+                       help="RNG seed for seeded experiments")
 
     return parser
 

@@ -12,7 +12,7 @@ wraps these with shape assertions, and the CLI exposes them as
 from typing import Callable, Dict, List
 
 from . import ablations, fig2, fig3, fig4, fig6, fig7, fig8, fig9, fig10
-from . import fig11, fig12, fig13, table1, table3
+from . import fig11, fig12, fig13, resilience, table1, table3
 from .base import ExperimentResult
 
 #: Experiment id -> runner (call with defaults for the paper's setup).
@@ -36,6 +36,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "contention": ablations.run_contention,
     "protocols": ablations.run_protocols,
     "chunk-size": ablations.run_chunk_size,
+    "resilience": resilience.run,
 }
 
 

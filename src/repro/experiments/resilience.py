@@ -1,0 +1,123 @@
+"""Resilience experiment: goodput under fault intensity x recovery policy.
+
+The chaos sweep behind ``resccl experiment resilience`` and
+``benchmarks/test_resilience_recovery.py``: one seeded fault scenario is
+generated at full intensity per backend, then replayed at cumulative
+prefixes (:meth:`~repro.faults.plan.FaultPlan.scaled_to`) under each
+recovery policy.  Because every lower intensity is a strict subset of a
+higher one, goodput degradation is monotone by construction and the
+sweep isolates the *recovery policy's* contribution to it.
+
+``data`` maps ``backend -> policy -> [cell, ...]`` where each cell
+carries intensity, goodput ratio vs the clean run, completion time, and
+the run's :class:`~repro.runtime.metrics.FaultStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..algorithms.ring import ring_allreduce
+from ..faults import make_policy, parse_inject_spec, plan_edges
+from ..faults.recovery import ResilientRunner
+from ..ir.task import Collective
+from ..runtime import simulate
+from .base import (
+    DEFAULT_MAX_MICROBATCHES,
+    MB,
+    ExperimentResult,
+    a100_cluster,
+    make_backends,
+)
+
+DEFAULT_INTENSITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+DEFAULT_POLICIES = ("retry", "fallback")
+DEFAULT_BACKENDS = ("ResCCL", "MSCCL", "NCCL")
+
+
+def run(
+    seed: int = 0,
+    size_mb: int = 64,
+    nodes: int = 1,
+    gpus: int = 8,
+    scenario: str = "link-flap",
+    intensities: Sequence[float] = DEFAULT_INTENSITIES,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+) -> ExperimentResult:
+    """Sweep fault intensity x recovery policy x backend."""
+    cluster = a100_cluster(nodes, gpus)
+    program = ring_allreduce(cluster.world_size)
+    available = make_backends(max_microbatches=DEFAULT_MAX_MICROBATCHES)
+
+    data: Dict[str, Dict[str, List[dict]]] = {}
+    rows: List[List[str]] = []
+    for backend_name in backends:
+        backend = available[backend_name]
+        if backend_name == "NCCL":
+            plan = backend.plan(cluster, Collective.ALLREDUCE, size_mb * MB)
+        else:
+            plan = backend.plan(cluster, program, size_mb * MB)
+        baseline = simulate(plan)
+        master = parse_inject_spec(
+            scenario,
+            edges=plan_edges(plan),
+            horizon_us=baseline.completion_time_us,
+            seed=seed,
+            window_us=plan.config.watchdog_window_us,
+        )
+        data[backend_name] = {}
+        for policy_name in policies:
+            cells: List[dict] = []
+            for intensity in intensities:
+                # Policies are stateful: build a fresh one per run.
+                report = ResilientRunner(
+                    plan,
+                    master.scaled_to(intensity),
+                    policy=make_policy(policy_name),
+                ).run()
+                goodput = (
+                    report.algo_bandwidth / baseline.algo_bandwidth
+                    if baseline.algo_bandwidth > 0 else 0.0
+                )
+                cells.append(
+                    {
+                        "intensity": intensity,
+                        "goodput": goodput,
+                        "completion_time_us": report.completion_time_us,
+                        "fault_stats": report.fault_stats,
+                    }
+                )
+                rows.append(
+                    [
+                        backend_name,
+                        policy_name,
+                        f"{intensity:.2f}",
+                        f"{goodput:.3f}",
+                        f"{report.completion_time_us / 1e3:.2f}",
+                        str(report.fault_stats.recovered),
+                        str(report.fault_stats.fallbacks),
+                    ]
+                )
+            data[backend_name][policy_name] = cells
+
+    return ExperimentResult(
+        name="resilience",
+        title=(
+            f"Resilience — {scenario} x recovery policy "
+            f"({cluster.world_size}-rank AllReduce, {size_mb} MB, seed {seed})"
+        ),
+        headers=[
+            "backend", "policy", "intensity", "goodput", "time (ms)",
+            "recovered", "fallbacks",
+        ],
+        rows=rows,
+        data=data,
+        paper_note=(
+            "extension beyond the paper: ResCCL's schedules should degrade "
+            "gracefully, not cliff, as transient faults accumulate"
+        ),
+    )
+
+
+__all__ = ["run", "DEFAULT_INTENSITIES", "DEFAULT_POLICIES", "DEFAULT_BACKENDS"]

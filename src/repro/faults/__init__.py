@@ -1,0 +1,54 @@
+"""Fault injection, progress watchdog, and recovery for the runtime.
+
+The subsystem is deliberately layered so the healthy path never pays
+for it:
+
+* :mod:`repro.faults.plan` — seeded, deterministic fault schedules;
+* :mod:`repro.faults.injector` — applies a schedule to one simulation
+  through the simulator's narrow fault hooks;
+* :mod:`repro.faults.watchdog` — structured stall diagnostics
+  (:class:`ProgressStall`) built when the simulator's progress watchdog
+  fires;
+* :mod:`repro.faults.recovery` — pluggable recovery policies
+  (retry/backoff, flap re-admission, ring fallback);
+* :mod:`repro.faults.harness` — the chaos harness gluing it together.
+"""
+
+from .harness import FaultRunOutcome, plan_edges, run_with_faults
+from .injector import FaultInjector
+from .plan import (
+    INJECT_SCENARIOS,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    parse_inject_spec,
+)
+from .recovery import (
+    FallbackRequested,
+    RecoveryPolicy,
+    ResilientRunner,
+    RetryBackoffPolicy,
+    make_policy,
+)
+from .watchdog import EdgeCensus, ProgressStall, TBStallInfo, build_progress_stall
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "parse_inject_spec",
+    "INJECT_SCENARIOS",
+    "FaultInjector",
+    "ProgressStall",
+    "TBStallInfo",
+    "EdgeCensus",
+    "build_progress_stall",
+    "RecoveryPolicy",
+    "RetryBackoffPolicy",
+    "FallbackRequested",
+    "ResilientRunner",
+    "make_policy",
+    "FaultRunOutcome",
+    "plan_edges",
+    "run_with_faults",
+]

@@ -1,0 +1,122 @@
+"""Chaos harness: run an execution plan under an injected fault scenario.
+
+:func:`run_with_faults` is the one-stop entry used by the CLI
+(``resccl run --inject ...``), the resilience experiment, and the
+benchmarks: it measures the clean baseline first (which also yields the
+horizon the fault generator spreads events over), builds a seeded
+:class:`~repro.faults.plan.FaultPlan` restricted to the contention edges
+the plan actually exercises, then re-runs under injection with the
+requested recovery policy and ring fallback armed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..runtime.metrics import SimReport
+from ..runtime.plan import ExecutionPlan
+from ..runtime.simulator import Simulator
+from .plan import FaultPlan, parse_inject_spec
+from .recovery import RecoveryPolicy, ResilientRunner, make_policy
+
+
+def plan_edges(plan: ExecutionPlan) -> List[str]:
+    """Contention edges the plan's task routes actually traverse."""
+    edges = set()
+    for task in plan.dag.tasks:
+        edges.update(plan.cluster.path(task.src, task.dst).edges)
+    return sorted(edges)
+
+
+@dataclass
+class FaultRunOutcome:
+    """Baseline vs faulted run of one plan under one fault scenario."""
+
+    baseline: SimReport
+    report: SimReport
+    fault_plan: FaultPlan
+
+    @property
+    def goodput_ratio(self) -> float:
+        """Faulted algbw as a fraction of the clean run's (<= ~1.0)."""
+        if self.baseline.algo_bandwidth <= 0.0:
+            return 0.0
+        return self.report.algo_bandwidth / self.baseline.algo_bandwidth
+
+    @property
+    def slowdown(self) -> float:
+        """Faulted completion time over clean completion time (>= ~1.0)."""
+        if self.baseline.completion_time_us <= 0.0:
+            return 1.0
+        return self.report.completion_time_us / self.baseline.completion_time_us
+
+
+def run_with_faults(
+    plan: ExecutionPlan,
+    inject: Union[str, FaultPlan, None],
+    seed: int = 0,
+    intensity: float = 1.0,
+    recovery: Union[str, RecoveryPolicy, None] = "fallback",
+    record_trace: bool = False,
+    background_traffic=None,
+    fallback_capacity_factor: float = 0.25,
+) -> FaultRunOutcome:
+    """Run ``plan`` clean, then under faults, and report both.
+
+    Args:
+        plan: the compiled execution plan to stress.
+        inject: a ``--inject`` spec string (``link-flap``,
+            ``link-kill:count=2``, ...), a prebuilt :class:`FaultPlan`,
+            or ``None``/empty for a control run with the injector armed
+            on an empty schedule.
+        seed: single RNG seed for schedule generation (determinism).
+        intensity: scales the generated event count (cumulative prefix).
+        recovery: policy name (``none``/``retry``/``fallback``) or a
+            policy instance.
+        record_trace: record fault/recovery :class:`TraceEvent`\\ s.
+        background_traffic: forwarded to both runs.
+        fallback_capacity_factor: derating applied to dead edges when the
+            run falls back to a ring plan.
+    """
+    baseline = Simulator(
+        plan,
+        background_traffic=background_traffic,
+        record_trace=False,
+    ).run()
+
+    if isinstance(inject, FaultPlan):
+        fault_plan = inject
+    elif inject:
+        fault_plan = parse_inject_spec(
+            inject,
+            edges=plan_edges(plan),
+            horizon_us=baseline.completion_time_us,
+            seed=seed,
+            intensity=intensity,
+            window_us=plan.config.watchdog_window_us,
+        )
+    else:
+        fault_plan = FaultPlan(seed=seed)
+
+    policy: Optional[RecoveryPolicy]
+    if isinstance(recovery, RecoveryPolicy):
+        policy = recovery
+    else:
+        policy = make_policy(recovery or "none")
+
+    runner = ResilientRunner(
+        plan,
+        fault_plan,
+        policy=policy,
+        record_trace=record_trace,
+        background_traffic=background_traffic,
+        fallback_capacity_factor=fallback_capacity_factor,
+    )
+    report = runner.run()
+    return FaultRunOutcome(
+        baseline=baseline, report=report, fault_plan=fault_plan
+    )
+
+
+__all__ = ["FaultRunOutcome", "plan_edges", "run_with_faults"]

@@ -1,0 +1,170 @@
+"""Applies a :class:`~repro.faults.plan.FaultPlan` to a running simulator.
+
+The injector is armed by :class:`~repro.runtime.simulator.Simulator` at
+construction: it posts one ``fault`` event per scheduled application and
+restoration, then mutates the fabric through the simulator's narrow
+fault hooks (``apply_edge_factor`` / ``freeze_tb``).  It also answers
+the watchdog's and recovery policies' questions about fabric state:
+which edges are down, which are permanently dead, and whether the fault
+timeline still holds a transition that could unstick a stalled run.
+
+With an empty plan nothing is posted and nothing is consulted — the
+healthy-fabric event stream is byte-identical to an injector-free run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .plan import FaultEvent, FaultKind, FaultPlan
+
+_INF = float("inf")
+
+
+class FaultInjector:
+    """Deterministically applies one fault schedule to one simulation."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        # Per-edge active deratings: edge -> {event_index: factor}.
+        self._active: Dict[str, Dict[int, float]] = {}
+        self._down_since: Dict[str, float] = {}
+        self._permanent: Set[str] = set()
+        # Active credit-delay windows: (start, end, delay).
+        self._credit_windows: List[Tuple[float, float, float]] = []
+        self._pending_transitions = 0
+
+    # ------------------------------------------------------------------
+    # Arming and event application
+    # ------------------------------------------------------------------
+
+    def arm(self, sim) -> None:
+        """Post every scheduled fault into the simulator's event heap."""
+        sim.fault_stats.injected = len(self.plan.events)
+        for index, event in enumerate(self.plan.events):
+            if event.kind is FaultKind.CREDIT_DELAY:
+                # Credit delays are windows consulted at release time —
+                # no state transition events needed.
+                self._credit_windows.append(
+                    (event.at_us, event.end_us, event.delay_us)
+                )
+                sim.record_fault_event(
+                    "fault:credit-delay", event.at_us, event.end_us
+                )
+                continue
+            sim._post(event.at_us, "fault", ("apply", index))
+            self._pending_transitions += 1
+            if not event.is_permanent and event.kind is not FaultKind.TB_STALL:
+                sim._post(event.end_us, "fault", ("revert", index))
+                self._pending_transitions += 1
+
+    def on_event(self, sim, payload: Tuple[str, int]) -> None:
+        action, index = payload
+        event = self.plan.events[index]
+        self._pending_transitions -= 1
+        if action == "apply":
+            self._apply(sim, index, event)
+        else:
+            self._revert(sim, index, event)
+
+    def _apply(self, sim, index: int, event: FaultEvent) -> None:
+        if event.kind is FaultKind.TB_STALL:
+            tb_index = self._resolve_tb(sim, event)
+            sim.freeze_tb(tb_index, sim.now + event.duration_us)
+            return
+        edge = event.edge
+        was_down = self._edge_factor(edge) <= 0.0
+        self._active.setdefault(edge, {})[index] = event.factor
+        if event.kind is FaultKind.KILL:
+            self._permanent.add(edge)
+        factor = self._edge_factor(edge)
+        sim.apply_edge_factor(edge, factor)
+        if factor <= 0.0 and not was_down:
+            self._down_since[edge] = sim.now
+        kind = "fault:link-down" if factor <= 0.0 else "fault:link-degrade"
+        end = sim.now if event.is_permanent else event.end_us
+        sim.record_fault_event(kind, sim.now, end)
+
+    def _revert(self, sim, index: int, event: FaultEvent) -> None:
+        edge = event.edge
+        active = self._active.get(edge)
+        if not active or index not in active:  # pragma: no cover - defensive
+            return
+        was_down = self._edge_factor(edge) <= 0.0
+        del active[index]
+        if not active:
+            del self._active[edge]
+        factor = self._edge_factor(edge)
+        if factor <= 0.0:
+            return  # another overlapping fault still holds the edge down
+        # Snapshot starved flows before rates change so recovery latency
+        # can be attributed to this restoration.
+        starved = [
+            flow for flow in sim.network.flows_on_edge(edge)
+            if flow.rate <= 0.0
+        ]
+        sim.apply_edge_factor(edge, factor)
+        sim.record_fault_event("fault:link-up", sim.now, sim.now)
+        if was_down:
+            down_since = self._down_since.pop(edge, sim.now)
+            sim.fault_stats.downtime_us += sim.now - down_since
+            for flow in starved:
+                if flow.rate > 0.0:
+                    since = max(down_since, flow.start_time)
+                    sim.fault_stats.recovered += 1
+                    sim.fault_stats.recovery_latencies_us.append(
+                        sim.now - since
+                    )
+                    sim.record_fault_event("recover:resume", since, sim.now)
+            sim.on_edge_restored(edge)
+
+    def _resolve_tb(self, sim, event: FaultEvent) -> int:
+        """Map a fault's (rank, tb_index) onto a live TB.
+
+        Generated plans use ``rank == -1`` with a random ordinal, hitting
+        an arbitrary-but-deterministic TB of the plan under test.
+        """
+        if event.rank >= 0:
+            for tb in sim.tbs:
+                if (tb.program.rank == event.rank
+                        and tb.program.tb_index == event.tb_index):
+                    return tb.index
+        return event.tb_index % len(sim.tbs)
+
+    def _edge_factor(self, edge: str) -> float:
+        active = self._active.get(edge)
+        if not active:
+            return 1.0
+        return min(active.values())
+
+    # ------------------------------------------------------------------
+    # State queries (watchdog / recovery)
+    # ------------------------------------------------------------------
+
+    def credit_delay(self, now: float) -> float:
+        """Extra credit-return latency active at ``now`` (0 when none)."""
+        for start, end, delay in self._credit_windows:
+            if start <= now < end:
+                return delay
+        return 0.0
+
+    def down_edges(self) -> List[str]:
+        """Edges currently derated to zero capacity."""
+        return sorted(
+            edge for edge in self._active if self._edge_factor(edge) <= 0.0
+        )
+
+    def is_permanent(self, edge: str) -> bool:
+        """True when ``edge`` was killed (no restoration scheduled)."""
+        return edge in self._permanent
+
+    def has_pending_transitions(self) -> bool:
+        """True while unapplied fault-timeline transitions remain.
+
+        A stalled run with a link-up still scheduled is *waiting*, not
+        dead — the watchdog defers to the timeline before escalating.
+        """
+        return self._pending_transitions > 0
+
+
+__all__ = ["FaultInjector"]

@@ -1,0 +1,287 @@
+"""Deterministic fault schedules: what breaks, when, and for how long.
+
+A :class:`FaultPlan` is a list of :class:`FaultEvent`\\ s in simulation
+time.  Plans are built either explicitly (the builder methods) or from a
+seeded generator (:meth:`FaultPlan.generate` / :func:`parse_inject_spec`)
+driven by a single ``random.Random(seed)`` — the only stochastic path in
+the whole subsystem, so the same seed always yields byte-identical
+schedules, traces, and reports.
+
+Fault kinds:
+
+* ``DEGRADE`` — scale an edge's capacity by ``factor`` for a window;
+* ``FLAP`` — capacity to zero for ``duration_us``, then full restore;
+* ``KILL`` — capacity to zero permanently (no restore event);
+* ``TB_STALL`` — freeze one thread block's control progress for a window;
+* ``CREDIT_DELAY`` — delay FIFO credit returns landing inside a window.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+_INF = float("inf")
+
+
+class FaultKind(enum.Enum):
+    DEGRADE = "degrade"
+    FLAP = "flap"
+    KILL = "kill"
+    TB_STALL = "tb-stall"
+    CREDIT_DELAY = "credit-delay"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``duration_us`` of ``inf`` means permanent (the only valid duration
+    for ``KILL``).  Link faults set ``edge``; TB stalls set ``rank`` and
+    ``tb_index``; credit delays set ``delay_us``.
+    """
+
+    kind: FaultKind
+    at_us: float
+    edge: Optional[str] = None
+    factor: float = 0.0
+    duration_us: float = _INF
+    rank: int = -1
+    tb_index: int = -1
+    delay_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.at_us}")
+        if self.kind in (FaultKind.DEGRADE, FaultKind.FLAP, FaultKind.KILL):
+            if not self.edge:
+                raise ValueError(f"{self.kind.value} fault needs an edge")
+        if self.kind is FaultKind.KILL and self.duration_us != _INF:
+            raise ValueError("kill faults are permanent; use flap/degrade")
+
+    @property
+    def end_us(self) -> float:
+        return self.at_us + self.duration_us
+
+    @property
+    def is_permanent(self) -> bool:
+        return self.duration_us == _INF
+
+
+@dataclass
+class FaultPlan:
+    """An ordered, deterministic schedule of faults for one run."""
+
+    events: List[FaultEvent] = field(default_factory=list)
+    seed: int = 0
+
+    @property
+    def armed(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- explicit builders ---------------------------------------------
+
+    def degrade(
+        self, edge: str, at_us: float, factor: float, duration_us: float = _INF
+    ) -> "FaultPlan":
+        self.events.append(
+            FaultEvent(FaultKind.DEGRADE, at_us, edge=edge, factor=factor,
+                       duration_us=duration_us)
+        )
+        return self
+
+    def flap(self, edge: str, at_us: float, down_us: float) -> "FaultPlan":
+        self.events.append(
+            FaultEvent(FaultKind.FLAP, at_us, edge=edge, factor=0.0,
+                       duration_us=down_us)
+        )
+        return self
+
+    def kill(self, edge: str, at_us: float) -> "FaultPlan":
+        self.events.append(
+            FaultEvent(FaultKind.KILL, at_us, edge=edge, factor=0.0)
+        )
+        return self
+
+    def stall_tb(
+        self, rank: int, tb_index: int, at_us: float, duration_us: float
+    ) -> "FaultPlan":
+        self.events.append(
+            FaultEvent(FaultKind.TB_STALL, at_us, rank=rank,
+                       tb_index=tb_index, duration_us=duration_us)
+        )
+        return self
+
+    def delay_credits(
+        self, at_us: float, duration_us: float, delay_us: float
+    ) -> "FaultPlan":
+        self.events.append(
+            FaultEvent(FaultKind.CREDIT_DELAY, at_us,
+                       duration_us=duration_us, delay_us=delay_us)
+        )
+        return self
+
+    def scaled_to(self, intensity: float) -> "FaultPlan":
+        """Prefix of the schedule proportional to ``intensity`` in [0, 1].
+
+        Cumulative by construction: a higher intensity keeps every event
+        of a lower one and adds more, which makes degradation sweeps
+        monotone by design rather than by luck.
+        """
+        if intensity >= 1.0:
+            return FaultPlan(events=list(self.events), seed=self.seed)
+        keep = int(round(max(0.0, intensity) * len(self.events)))
+        ordered = sorted(self.events, key=lambda e: e.at_us)
+        return FaultPlan(events=ordered[:keep], seed=self.seed)
+
+    # -- seeded generation ---------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        kind: str,
+        edges: Sequence[str],
+        horizon_us: float,
+        seed: int = 0,
+        intensity: float = 1.0,
+        window_us: float = 2000.0,
+        params: Optional[Dict[str, float]] = None,
+    ) -> "FaultPlan":
+        """Build a seeded schedule of one named fault scenario.
+
+        Args:
+            kind: ``link-degrade`` / ``link-flap`` / ``link-kill`` /
+                ``tb-stall`` / ``credit-delay`` / ``chaos``.
+            edges: contention edges the target plan actually uses —
+                generated link faults always hit live resources.
+            horizon_us: expected clean completion time; fault times land
+                in ``[0.1, 0.7] * horizon``.
+            seed: the single RNG seed (``random.Random``; numpy-free).
+            intensity: scales the event count (see :meth:`scaled_to`).
+            window_us: the watchdog window; transient fault durations are
+                sized relative to it so recovery latency stays bounded.
+            params: optional overrides (``count``, ``factor``,
+                ``down_us``, ``delay_us``).
+        """
+        params = dict(params or {})
+        rng = random.Random(seed)
+        edges = sorted(edges)
+        if not edges:
+            raise ValueError("fault generation needs at least one edge")
+        plan = cls(seed=seed)
+        count = int(params.get("count", 4))
+
+        def when() -> float:
+            return rng.uniform(0.1, 0.7) * horizon_us
+
+        if kind == "link-degrade":
+            factor = params.get("factor", 0.25)
+            for _ in range(count):
+                plan.degrade(
+                    rng.choice(edges), when(), factor,
+                    duration_us=rng.uniform(0.5, 1.0) * window_us,
+                )
+        elif kind == "link-flap":
+            for _ in range(count):
+                down = params.get(
+                    "down_us", rng.uniform(0.25, 0.75) * window_us
+                )
+                plan.flap(rng.choice(edges), when(), down)
+        elif kind == "link-kill":
+            plan.kill(rng.choice(edges), when())
+        elif kind == "tb-stall":
+            for _ in range(count):
+                plan.stall_tb(
+                    rank=-1,  # resolved to a live TB by the injector
+                    tb_index=rng.randrange(1 << 16),
+                    at_us=when(),
+                    duration_us=rng.uniform(0.25, 0.75) * window_us,
+                )
+        elif kind == "credit-delay":
+            for _ in range(count):
+                plan.delay_credits(
+                    at_us=when(),
+                    duration_us=rng.uniform(0.5, 1.0) * window_us,
+                    delay_us=params.get("delay_us", 0.1 * window_us),
+                )
+        elif kind == "chaos":
+            # A mixed storm: every transient kind, interleaved.
+            for _ in range(count):
+                roll = rng.random()
+                if roll < 0.4:
+                    plan.flap(
+                        rng.choice(edges), when(),
+                        rng.uniform(0.25, 0.75) * window_us,
+                    )
+                elif roll < 0.7:
+                    plan.degrade(
+                        rng.choice(edges), when(), rng.uniform(0.1, 0.5),
+                        duration_us=rng.uniform(0.5, 1.0) * window_us,
+                    )
+                elif roll < 0.9:
+                    plan.stall_tb(
+                        rank=-1, tb_index=rng.randrange(1 << 16),
+                        at_us=when(),
+                        duration_us=rng.uniform(0.25, 0.75) * window_us,
+                    )
+                else:
+                    plan.delay_credits(
+                        at_us=when(),
+                        duration_us=rng.uniform(0.5, 1.0) * window_us,
+                        delay_us=0.1 * window_us,
+                    )
+        else:
+            raise ValueError(
+                f"unknown fault scenario {kind!r}; known: link-degrade, "
+                f"link-flap, link-kill, tb-stall, credit-delay, chaos"
+            )
+        plan.events.sort(key=lambda e: e.at_us)
+        return plan.scaled_to(intensity)
+
+
+def parse_inject_spec(
+    spec: str,
+    edges: Sequence[str],
+    horizon_us: float,
+    seed: int = 0,
+    intensity: float = 1.0,
+    window_us: float = 2000.0,
+) -> FaultPlan:
+    """Parse a CLI ``--inject`` spec into a :class:`FaultPlan`.
+
+    Format: ``<scenario>[:key=value,...]``, e.g. ``link-flap`` or
+    ``link-flap:count=6,down_us=1500``.
+    """
+    name, _, raw_params = spec.partition(":")
+    params: Dict[str, float] = {}
+    if raw_params:
+        for item in raw_params.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad --inject parameter {item!r} (want key=value)"
+                )
+            params[key.strip()] = float(value)
+    return FaultPlan.generate(
+        name.strip(), edges, horizon_us, seed=seed, intensity=intensity,
+        window_us=window_us, params=params,
+    )
+
+
+INJECT_SCENARIOS = (
+    "link-degrade", "link-flap", "link-kill", "tb-stall", "credit-delay",
+    "chaos",
+)
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "parse_inject_spec",
+    "INJECT_SCENARIOS",
+]

@@ -1,0 +1,324 @@
+"""Recovery policies: what to do when the watchdog declares a stall.
+
+Three escalation rungs, mirroring production CCL behavior:
+
+1. **Retry with exponential backoff** (transient link failures) — starved
+   flows on downed edges are aborted and re-admission is attempted at
+   geometrically growing intervals; the remaining bytes are retransmitted
+   when the fabric heals.
+2. **Immediate re-admission after a flap** — the injector notifies the
+   policy the instant a downed edge restores, so pending retries skip the
+   rest of their backoff.
+3. **Graceful degradation** (permanent link death) — the run abandons the
+   compiled plan and falls back to a conservative ring algorithm on a
+   cluster whose dead edges are derated to a slow failover path
+   (rerouted/TCP-class capacity), trading bandwidth for liveness.
+
+Policies are pluggable: the simulator only calls ``bind`` /
+``on_stall`` / ``on_edge_restored`` / ``on_event``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..algorithms.ring import (
+    ring_allgather,
+    ring_allreduce,
+    ring_reducescatter,
+)
+from ..baselines.msccl import MSCCLBackend
+from ..ir.task import Collective
+from ..runtime.metrics import FaultStats, SimReport
+from ..runtime.plan import ExecutionPlan
+from ..runtime.simulator import Simulator
+from .injector import FaultInjector
+from .plan import FaultPlan
+from .watchdog import ProgressStall
+
+
+class FallbackRequested(RuntimeError):
+    """Raised through ``Simulator.run`` to demand algorithm fallback."""
+
+    def __init__(
+        self,
+        dead_edges: List[str],
+        at_us: float,
+        stall: Optional[ProgressStall] = None,
+        fault_stats: Optional[FaultStats] = None,
+    ) -> None:
+        super().__init__(
+            f"permanent link failure on {', '.join(dead_edges)} at "
+            f"t={at_us:.1f}us; falling back to ring"
+        )
+        self.dead_edges = dead_edges
+        self.at_us = at_us
+        self.stall = stall
+        self.fault_stats = fault_stats
+
+
+class RecoveryPolicy:
+    """No-op base policy: detect, diagnose, but never intervene."""
+
+    name = "none"
+
+    def bind(self, sim) -> None:
+        """Called once when the simulator adopts this policy."""
+
+    def on_stall(self, sim, stall: ProgressStall) -> bool:
+        """React to a detected stall; True means recovery is in progress."""
+        return False
+
+    def on_edge_restored(self, sim, edge: str) -> None:
+        """A downed edge came back up."""
+
+    def on_event(self, sim, payload) -> None:
+        """A scheduled ``retry`` event fired."""
+
+
+@dataclass
+class _PendingRetry:
+    task_id: int
+    mb: int
+    sender: int
+    edges: Tuple[str, ...]
+    remaining: float
+    cap: float
+    stalled_since: float
+    attempts: int = 0
+
+
+@dataclass
+class RetryBackoffPolicy(RecoveryPolicy):
+    """Retry-with-backoff for transient faults, optional ring fallback.
+
+    Args:
+        base_us: first retry delay; defaults to a quarter of the
+            watchdog window when left ``None``.
+        multiplier: geometric backoff growth per failed attempt.
+        max_attempts: retries before a transfer is declared unrecoverable.
+        fallback: escalate permanent/unrecoverable link death to
+            :class:`FallbackRequested` instead of giving up.
+    """
+
+    base_us: Optional[float] = None
+    multiplier: float = 2.0
+    max_attempts: int = 6
+    fallback: bool = False
+
+    name = "retry"
+
+    _pending: Dict[int, _PendingRetry] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def bind(self, sim) -> None:
+        if self.base_us is None:
+            self.base_us = max(1.0, sim.watchdog_window_us / 4.0)
+
+    # ------------------------------------------------------------------
+
+    def on_stall(self, sim, stall: ProgressStall) -> bool:
+        injector = sim.injector
+        dead = [
+            edge for edge in stall.down_edges
+            if injector is not None and injector.is_permanent(edge)
+        ]
+        if dead:
+            if self.fallback:
+                raise FallbackRequested(
+                    dead, sim.now, stall=stall, fault_stats=sim.fault_stats
+                )
+            return False
+        down = set(stall.down_edges)
+        acted = False
+        for flow, task_id, mb, sender in list(sim.zero_rate_flows()):
+            if not any(edge in down for edge in flow.edges):
+                continue
+            flow, task_id, mb, sender = sim.abort_flow(flow.flow_id)
+            retry_id = self._next_id
+            self._next_id += 1
+            self._pending[retry_id] = _PendingRetry(
+                task_id=task_id,
+                mb=mb,
+                sender=sender,
+                edges=tuple(flow.edges),
+                remaining=flow.remaining,
+                cap=flow.cap,
+                stalled_since=sim._last_progress_us,
+            )
+            if sim.fault_stats is not None:
+                sim.fault_stats.retries += 1
+            sim._post(sim.now + self.base_us, "retry", retry_id)
+            acted = True
+        return acted or bool(self._pending)
+
+    def on_event(self, sim, retry_id: int) -> None:
+        entry = self._pending.get(retry_id)
+        if entry is None:
+            return  # already re-admitted via on_edge_restored
+        if self._edges_up(sim, entry.edges):
+            self._readmit(sim, retry_id, entry)
+            return
+        entry.attempts += 1
+        if sim.fault_stats is not None:
+            sim.fault_stats.retries += 1
+        if entry.attempts >= self.max_attempts:
+            del self._pending[retry_id]
+            if self.fallback:
+                raise FallbackRequested(
+                    [e for e in entry.edges
+                     if sim.network.capacity_factor(e) <= 0.0],
+                    sim.now,
+                    fault_stats=sim.fault_stats,
+                )
+            if sim.fault_stats is not None:
+                sim.fault_stats.unrecovered += 1
+            return
+        delay = self.base_us * (self.multiplier ** entry.attempts)
+        sim._post(sim.now + delay, "retry", retry_id)
+
+    def on_edge_restored(self, sim, edge: str) -> None:
+        for retry_id, entry in list(self._pending.items()):
+            if edge in entry.edges and self._edges_up(sim, entry.edges):
+                self._readmit(sim, retry_id, entry)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _edges_up(sim, edges: Tuple[str, ...]) -> bool:
+        return all(sim.network.capacity_factor(e) > 0.0 for e in edges)
+
+    def _readmit(self, sim, retry_id: int, entry: _PendingRetry) -> None:
+        del self._pending[retry_id]
+        task = sim.dag.task(entry.task_id)
+        route = sim.cluster.path(task.src, task.dst)
+        start = sim.now + route.latency_us * sim.config.protocol.latency_factor
+        flow, changed = sim.network.start_flow(
+            edges=route.edges, nbytes=entry.remaining, cap=entry.cap,
+            now=start,
+        )
+        sim.register_flow(flow, changed, entry.task_id, entry.mb, entry.sender)
+        if sim.fault_stats is not None:
+            sim.fault_stats.recovered += 1
+            sim.fault_stats.recovery_latencies_us.append(
+                sim.now - entry.stalled_since
+            )
+        sim.record_fault_event(
+            "recover:readmit", entry.stalled_since, sim.now,
+            tb_index=entry.sender,
+        )
+
+
+def make_policy(name: str) -> Optional[RecoveryPolicy]:
+    """CLI/experiment policy names -> policy instances (or None)."""
+    name = (name or "none").lower()
+    if name == "none":
+        return None
+    if name == "retry":
+        return RetryBackoffPolicy(fallback=False)
+    if name in ("fallback", "retry+fallback"):
+        return RetryBackoffPolicy(fallback=True)
+    raise ValueError(
+        f"unknown recovery policy {name!r} (none/retry/fallback)"
+    )
+
+
+_RING_BUILDERS = {
+    Collective.ALLREDUCE: ring_allreduce,
+    Collective.ALLGATHER: ring_allgather,
+    Collective.REDUCESCATTER: ring_reducescatter,
+}
+
+
+class ResilientRunner:
+    """Runs a plan under faults with automatic ring fallback.
+
+    The primary plan runs with the injector armed; if the recovery policy
+    escalates to :class:`FallbackRequested` (permanent link death), the
+    collective is re-planned as a conservative ring on a cluster whose
+    dead edges are derated to ``fallback_capacity_factor`` of their
+    healthy capacity (the rerouted failover path), and the time burned in
+    the failed attempt is charged to the final completion time.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        fault_plan: FaultPlan,
+        policy: Optional[RecoveryPolicy] = None,
+        record_trace: bool = False,
+        background_traffic=None,
+        fallback_capacity_factor: float = 0.25,
+    ) -> None:
+        self.plan = plan
+        self.fault_plan = fault_plan
+        self.policy = policy
+        self.record_trace = record_trace
+        self.background_traffic = background_traffic
+        self.fallback_capacity_factor = fallback_capacity_factor
+
+    def run(self) -> SimReport:
+        sim = Simulator(
+            self.plan,
+            background_traffic=self.background_traffic,
+            record_trace=self.record_trace,
+            injector=FaultInjector(self.fault_plan),
+            recovery=self.policy,
+        )
+        try:
+            return sim.run()
+        except FallbackRequested as request:
+            return self._run_fallback(request)
+
+    def _run_fallback(self, request: FallbackRequested) -> SimReport:
+        program = self.plan.program
+        builder = _RING_BUILDERS.get(program.collective)
+        if builder is None:
+            raise request
+        ring = builder(
+            program.nranks, name=f"{program.name}-ring-fallback"
+        )
+        degraded = self.plan.cluster.degraded(
+            request.dead_edges, self.fallback_capacity_factor
+        )
+        backend = MSCCLBackend(
+            max_microbatches=max(1, self.plan.n_microbatches)
+        )
+        fallback_plan = backend.plan(degraded, ring, self.plan.total_bytes)
+        fallback_plan.name = f"{self.plan.name}+ring-fallback"
+        report = Simulator(
+            fallback_plan,
+            background_traffic=self.background_traffic,
+            record_trace=self.record_trace,
+        ).run()
+        stats = request.fault_stats or FaultStats()
+        stats.fallbacks += 1
+        stats.fallback_overhead_us += request.at_us
+        stats.recovery_latencies_us.append(request.at_us)
+        # The failed primary attempt is real elapsed time: charge it.
+        report.completion_time_us += request.at_us
+        report.fault_stats = stats
+        report.trace.append(
+            # Recovery event spanning the abandoned attempt.
+            _fallback_trace_event(request.at_us)
+        )
+        return report
+
+
+def _fallback_trace_event(at_us: float):
+    from ..runtime.metrics import TraceEvent
+
+    return TraceEvent(
+        tb_index=-1, rank=-1, kind="recover:fallback",
+        start_us=0.0, end_us=at_us,
+    )
+
+
+__all__ = [
+    "RecoveryPolicy",
+    "RetryBackoffPolicy",
+    "FallbackRequested",
+    "ResilientRunner",
+    "make_policy",
+]

@@ -1,0 +1,147 @@
+"""Structured progress-stall diagnostics for the runtime watchdog.
+
+The :class:`~repro.runtime.simulator.Simulator` owns the watchdog *clock*
+(a periodic progress check); this module owns the watchdog *diagnosis*:
+when progress stops, :func:`build_progress_stall` snapshots every
+unfinished thread block (what it is waiting on and for how long) and the
+fabric's flow census (which edges carry starved flows) into a
+:class:`ProgressStall` that recovery policies inspect and stall
+exceptions carry to the user.
+
+Kept free of simulator imports so the runtime can import it lazily
+without a package cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class TBStallInfo:
+    """One unfinished thread block at stall-detection time."""
+
+    rank: int
+    tb_index: int
+    label: str
+    pc: int
+    program_length: int
+    phase: str
+    wait_kind: str
+    wait_us: float
+    pending: str  # human-readable pending invocation (primitive + route)
+
+
+@dataclass(frozen=True)
+class EdgeCensus:
+    """One occupied contention edge at stall-detection time."""
+
+    edge: str
+    flows: int
+    zero_rate_flows: int
+    effective_capacity: float
+    capacity_factor: float
+
+
+@dataclass
+class ProgressStall:
+    """Everything the watchdog knows when it declares a stall."""
+
+    time_us: float
+    window_us: float
+    last_progress_us: float
+    unfinished: int
+    tbs: List[TBStallInfo] = field(default_factory=list)
+    edges: List[EdgeCensus] = field(default_factory=list)
+    #: Contention edges currently derated to zero capacity by faults.
+    down_edges: List[str] = field(default_factory=list)
+    #: In-flight ``(flow_id, task_id, mb, sender_tb)`` starved to rate 0.
+    starved_flows: List[Tuple[int, int, int, int]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Multi-line human-readable diagnostic."""
+        lines = [
+            f"progress stall at t={self.time_us:.1f}us "
+            f"(last progress t={self.last_progress_us:.1f}us, "
+            f"window {self.window_us:.0f}us): "
+            f"{self.unfinished} TB(s) unfinished"
+        ]
+        for tb in self.tbs[:16]:
+            lines.append(
+                f"  rank {tb.rank} TB{tb.tb_index} ({tb.label}) "
+                f"pc={tb.pc}/{tb.program_length} phase={tb.phase} "
+                f"wait={tb.wait_kind or 'none'} ({tb.wait_us:.1f}us) "
+                f"pending {tb.pending}"
+            )
+        if len(self.tbs) > 16:
+            lines.append(f"  ... and {len(self.tbs) - 16} more TB(s)")
+        if self.down_edges:
+            lines.append(f"  down edges: {', '.join(sorted(self.down_edges))}")
+        if self.edges:
+            lines.append("  edge flow census (flows/zero-rate @ capacity):")
+            for census in self.edges[:12]:
+                lines.append(
+                    f"    {census.edge}: {census.flows}/"
+                    f"{census.zero_rate_flows} @ "
+                    f"{census.effective_capacity:.1f} B/us "
+                    f"(factor {census.capacity_factor:g})"
+                )
+        return "\n".join(lines)
+
+
+def build_progress_stall(sim) -> ProgressStall:
+    """Snapshot a :class:`ProgressStall` from a stalled simulator."""
+    tbs: List[TBStallInfo] = []
+    for tb in sim.tbs:
+        if tb.phase == "done":
+            continue
+        wait_us = sim.now - tb.wait_start if tb.blocked_on is not None else 0.0
+        tbs.append(
+            TBStallInfo(
+                rank=tb.program.rank,
+                tb_index=tb.program.tb_index,
+                label=tb.program.label,
+                pc=tb.pc,
+                program_length=len(tb.program.invocations),
+                phase=tb.phase,
+                wait_kind=tb.wait_kind,
+                wait_us=max(0.0, wait_us),
+                pending=sim._describe_invocation(tb.current()),
+            )
+        )
+    edges = [
+        EdgeCensus(
+            edge=edge,
+            flows=count,
+            zero_rate_flows=zero,
+            effective_capacity=capacity,
+            capacity_factor=sim.network.capacity_factor(edge),
+        )
+        for edge, (count, zero, capacity) in sorted(
+            sim.network.edge_census().items()
+        )
+    ]
+    down = [
+        census.edge for census in edges if census.capacity_factor <= 0.0
+    ]
+    if sim.injector is not None:
+        # Include dead edges that carry no flow right now.
+        down = sorted(set(down) | set(sim.injector.down_edges()))
+    starved = [
+        (flow.flow_id, task_id, mb, sender)
+        for flow, task_id, mb, sender in sim.zero_rate_flows()
+    ]
+    return ProgressStall(
+        time_us=sim.now,
+        window_us=sim.watchdog_window_us,
+        last_progress_us=sim._last_progress_us,
+        unfinished=sim._unfinished,
+        tbs=tbs,
+        edges=edges,
+        down_edges=down,
+        starved_flows=starved,
+    )
+
+
+__all__ = ["TBStallInfo", "EdgeCensus", "ProgressStall", "build_progress_stall"]

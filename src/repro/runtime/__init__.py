@@ -10,7 +10,7 @@ from .memory import (
     verify_collective,
     verify_completion_order,
 )
-from .metrics import LinkStats, SimReport, TBStats
+from .metrics import FaultStats, LinkStats, SimReport, TBStats
 from .plan import (
     MB,
     ExecMode,
@@ -23,7 +23,7 @@ from .plan import (
     plan_microbatches,
 )
 from .lint import LintResult, lint_plan
-from .simulator import SimulationDeadlock, Simulator, simulate
+from .simulator import SimulationDeadlock, SimulationStall, Simulator, simulate
 
 __all__ = [
     "Flow",
@@ -31,6 +31,7 @@ __all__ = [
     "SimReport",
     "TBStats",
     "LinkStats",
+    "FaultStats",
     "MB",
     "Side",
     "ExecMode",
@@ -42,6 +43,7 @@ __all__ = [
     "plan_microbatches",
     "Simulator",
     "SimulationDeadlock",
+    "SimulationStall",
     "simulate",
     "lint_plan",
     "LintResult",

@@ -80,6 +80,9 @@ class FlowNetwork:
         self._flows: Dict[int, Flow] = {}
         self._edge_flows: Dict[str, Set[int]] = {}
         self._next_id = 0
+        # Fault-injection capacity scaling; empty when no faults are armed,
+        # so the healthy-fabric math is untouched.
+        self._factor: Dict[str, float] = {}
 
     @property
     def gamma(self) -> float:
@@ -92,13 +95,36 @@ class FlowNetwork:
         """Number of flows currently crossing an edge."""
         return len(self._edge_flows.get(edge, ()))
 
+    def capacity_factor(self, edge: str) -> float:
+        """Current fault-injection derating of an edge (1.0 = healthy)."""
+        return self._factor.get(edge, 1.0)
+
     def effective_capacity(self, edge: str) -> float:
-        """Capacity after the Equation 1 contention penalty."""
+        """Capacity after derating and the Equation 1 contention penalty."""
         k = self.edge_load(edge)
         base = self._capacity[edge]
+        if self._factor:
+            base *= self._factor.get(edge, 1.0)
         if k <= 1:
             return base
         return base / (1.0 + self._gamma * (k - 1))
+
+    def set_capacity_factor(
+        self, edge: str, factor: float, now: float
+    ) -> List[Flow]:
+        """Derate (or restore) an edge's capacity; used by fault injection.
+
+        ``factor`` scales the raw capacity: 0 means the link is down,
+        1 restores full health.  Returns every flow whose rate changed so
+        the caller can reschedule completion events.
+        """
+        if edge not in self._capacity:
+            raise KeyError(f"unknown contention edge {edge!r}")
+        if factor >= 1.0:
+            self._factor.pop(edge, None)
+        else:
+            self._factor[edge] = max(0.0, factor)
+        return self._reallocate(self._affected_flows((edge,)), now)
 
     # ------------------------------------------------------------------
 
@@ -135,6 +161,31 @@ class FlowNetwork:
                     del self._edge_flows[edge]
         return self._reallocate(self._affected_flows(flow.edges), now)
 
+    def abort_flow(self, flow: Flow, now: float) -> List[Flow]:
+        """Tear down an in-flight flow mid-transfer (fault recovery).
+
+        Identical plumbing to :meth:`finish_flow`; the distinct name keeps
+        caller intent explicit — the payload has NOT fully arrived, and
+        ``flow.remaining`` tells the recovery layer how much to retransmit.
+        """
+        return self.finish_flow(flow, now)
+
+    def flows_on_edge(self, edge: str) -> List[Flow]:
+        """Live flows currently crossing an edge."""
+        return [self._flows[fid] for fid in self._edge_flows.get(edge, ())]
+
+    def edge_census(self) -> Dict[str, Tuple[int, int, float]]:
+        """Per-occupied-edge ``(flows, zero_rate_flows, effective_capacity)``.
+
+        The watchdog embeds this census in its stall diagnostics so a
+        stuck run shows *where* bytes stopped moving.
+        """
+        census: Dict[str, Tuple[int, int, float]] = {}
+        for edge, flow_ids in self._edge_flows.items():
+            zero = sum(1 for fid in flow_ids if self._flows[fid].rate <= 0.0)
+            census[edge] = (len(flow_ids), zero, self.effective_capacity(edge))
+        return census
+
     # ------------------------------------------------------------------
 
     def _affected_flows(self, edges: Iterable[str]) -> List[Flow]:
@@ -156,7 +207,7 @@ class FlowNetwork:
         flow_ids = self._edge_flows.get(edge, ())
         k = len(flow_ids)
         if k == 0:
-            return self._capacity[edge]
+            return self.effective_capacity(edge)
         capacity = self.effective_capacity(edge)
         equal = capacity / k
         capped = [

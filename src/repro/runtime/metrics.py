@@ -15,7 +15,7 @@ The report captures exactly the quantities the paper's evaluation tracks:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .plan import ExecMode
 
@@ -103,6 +103,45 @@ class TraceEvent:
 
 
 @dataclass
+class FaultStats:
+    """Fault-injection, detection, and recovery counters for one run.
+
+    Populated only when a :class:`~repro.faults.FaultInjector` is armed;
+    ``SimReport.fault_stats`` stays ``None`` on healthy runs so the
+    disarmed path is provably untouched.  ``recovery_latencies_us``
+    records, per recovered transfer, the span from the instant the fault
+    stalled it to the instant bytes moved again.
+    """
+
+    injected: int = 0
+    detected_stalls: int = 0
+    recovered: int = 0
+    retries: int = 0
+    unrecovered: int = 0
+    fallbacks: int = 0
+    downtime_us: float = 0.0
+    fallback_overhead_us: float = 0.0
+    recovery_latencies_us: List[float] = field(default_factory=list)
+
+    @property
+    def mean_recovery_latency_us(self) -> float:
+        if not self.recovery_latencies_us:
+            return 0.0
+        return sum(self.recovery_latencies_us) / len(self.recovery_latencies_us)
+
+    def summary(self) -> str:
+        """One-line digest for CLI output."""
+        return (
+            f"faults: {self.injected} injected, "
+            f"{self.detected_stalls} stall(s) detected, "
+            f"{self.recovered} recovered "
+            f"(mean latency {self.mean_recovery_latency_us:.0f} us), "
+            f"{self.retries} retries, {self.fallbacks} fallback(s), "
+            f"{self.unrecovered} unrecovered"
+        )
+
+
+@dataclass
 class SimReport:
     """Full outcome of simulating one execution plan."""
 
@@ -116,8 +155,11 @@ class SimReport:
     #: executed schedule, replayable through the symbolic engine.
     completion_order: List[Tuple[int, int]] = field(default_factory=list)
     #: Per-TB activity intervals; populated only when the simulator runs
-    #: with ``record_trace=True``.
+    #: with ``record_trace=True``.  Fault, detection, and recovery events
+    #: are recorded unconditionally whenever an injector is armed.
     trace: List["TraceEvent"] = field(default_factory=list)
+    #: Fault-injection counters; ``None`` unless an injector was armed.
+    fault_stats: Optional["FaultStats"] = None
 
     # ------------------------------------------------------------------
     # Headline metrics
@@ -203,4 +245,4 @@ class SimReport:
         )
 
 
-__all__ = ["TBStats", "LinkStats", "SimReport", "TraceEvent"]
+__all__ = ["TBStats", "LinkStats", "SimReport", "TraceEvent", "FaultStats"]

@@ -112,6 +112,11 @@ class SimConfig:
             kernel mode (Equation 5).
         protocol: transport protocol; the paper evaluates with Simple
             (highest sustained bandwidth).
+        watchdog_window_us: progress-watchdog check interval.  A run with
+            no byte progress and no TB phase transition across a full
+            window — and nothing scheduled that could produce either —
+            is declared stalled.  Set to 0 to disable the watchdog and
+            fall back to the drained-queue deadlock check only.
     """
 
     gamma: float = 0.03
@@ -119,6 +124,7 @@ class SimConfig:
     interp_cost_us: float = 10.0
     kernel_load_us: float = 5.0
     protocol: Protocol = Protocol.SIMPLE
+    watchdog_window_us: float = 2000.0
 
 
 @dataclass

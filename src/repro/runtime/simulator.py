@@ -32,12 +32,25 @@ from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..ir.task import CommType
 from .flows import Flow, FlowNetwork
-from .metrics import LinkStats, SimReport, TBStats, TraceEvent
+from .metrics import FaultStats, LinkStats, SimReport, TBStats, TraceEvent
 from .plan import ExecMode, ExecutionPlan, Invocation, Side
 
 
 class SimulationDeadlock(RuntimeError):
     """The event queue drained while thread blocks were still blocked."""
+
+
+class SimulationStall(SimulationDeadlock):
+    """The progress watchdog declared a stall no recovery policy cleared.
+
+    Carries the structured :class:`~repro.faults.watchdog.ProgressStall`
+    diagnostic as ``.stall`` — per-TB wait kinds and durations plus the
+    per-edge flow census at detection time.
+    """
+
+    def __init__(self, message: str, stall=None) -> None:
+        super().__init__(message)
+        self.stall = stall
 
 
 _EPS = 1e-6
@@ -87,6 +100,8 @@ class Simulator:
         plan: ExecutionPlan,
         background_traffic: Optional[List[Tuple[Tuple[str, ...], float]]] = None,
         record_trace: bool = False,
+        injector=None,
+        recovery=None,
     ) -> None:
         """Args:
             plan: the execution plan to run.
@@ -97,6 +112,12 @@ class Simulator:
                 network-contention experiments of section 4.4.
             record_trace: collect per-TB activity intervals into
                 ``report.trace`` (timeline/Chrome-trace export).
+            injector: optional :class:`~repro.faults.FaultInjector`; when
+                armed, its scheduled fault events are applied during the
+                run and ``report.fault_stats`` is populated.
+            recovery: optional recovery policy (see
+                :mod:`repro.faults.recovery`) consulted by the progress
+                watchdog before a stall is raised.
         """
         plan.validate()
         self.plan = plan
@@ -173,12 +194,49 @@ class Simulator:
 
         self._unfinished = len(self.tbs)
 
+        # --- Progress watchdog & fault-injection state -----------------
+        # ``_progress_counter`` bumps on every byte-moving or
+        # pc-advancing action; the watchdog declares a stall only when it
+        # has not moved for a full window AND nothing currently scheduled
+        # could move it (no draining flow, no pending recv clock, no
+        # pending TB timer).
+        self._progress_counter = 0
+        self._last_progress_us = 0.0
+        self._watchdog_seen_counter = -1
+        self._stall_reported = False
+        self._tb_timers = 0  # pending "tb" wakeups (overhead / unfreeze)
+        self._frozen: Dict[int, float] = {}  # tb_index -> stall end time
+        self._frozen_posted: Set[int] = set()
+        #: Stall episodes the watchdog detected (also without an injector).
+        self.stalls_detected = 0
+
+        self.injector = injector
+        self.recovery = recovery
+        self.fault_stats: Optional[FaultStats] = None
+        if injector is not None:
+            self.fault_stats = FaultStats()
+            injector.arm(self)
+        if recovery is not None:
+            recovery.bind(self)
+
+    @property
+    def watchdog_window_us(self) -> float:
+        return self.config.watchdog_window_us
+
     # ------------------------------------------------------------------
     # Event plumbing
     # ------------------------------------------------------------------
 
     def _post(self, time: float, kind: str, payload: object) -> None:
+        if kind == "tb":
+            self._tb_timers += 1
         heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
+
+    def _progress(self) -> None:
+        """Record a unit of real progress (bytes moved or pc advanced)."""
+        self._progress_counter += 1
+        self._last_progress_us = self.now
+        self._stall_reported = False
 
     def _trace_event(
         self,
@@ -206,10 +264,13 @@ class Simulator:
         """Run to completion and return the measurement report."""
         for tb in self.tbs:
             self._advance(tb)
+        if self.watchdog_window_us > 0:
+            self._post(self.watchdog_window_us, "watchdog", None)
         while self._heap:
             time, _, kind, payload = heapq.heappop(self._heap)
             self.now = max(self.now, time)
             if kind == "tb":
+                self._tb_timers -= 1
                 tb = self.tbs[payload]  # type: ignore[index]
                 self._advance(tb)
             elif kind == "flow":
@@ -217,6 +278,14 @@ class Simulator:
                 self._maybe_finish_flow(flow_id, version)
             elif kind == "recv_copy":
                 self._recv_copy_elapsed(payload)  # type: ignore[arg-type]
+            elif kind == "watchdog":
+                self._watchdog_tick()
+            elif kind == "fault":
+                self.injector.on_event(self, payload)
+            elif kind == "retry":
+                self.recovery.on_event(self, payload)
+            elif kind == "credit":
+                self._release_credit(payload)  # type: ignore[arg-type]
             else:  # pragma: no cover - defensive
                 raise RuntimeError(f"unknown event kind {kind!r}")
         if self._unfinished:
@@ -232,6 +301,18 @@ class Simulator:
         while True:
             if tb.phase == _DONE or tb.phase == _INFLIGHT:
                 return
+            if self._frozen:
+                until = self._frozen.get(tb.index)
+                if until is not None:
+                    if self.now < until - _EPS:
+                        # Injected TB stall: defer all control progress
+                        # until the stall window ends.
+                        if tb.index not in self._frozen_posted:
+                            self._frozen_posted.add(tb.index)
+                            self._post(until, "tb", tb.index)
+                        return
+                    self._frozen.pop(tb.index, None)
+                    self._frozen_posted.discard(tb.index)
             inv = tb.current()
             if inv is None:
                 tb.phase = _DONE
@@ -334,6 +415,7 @@ class Simulator:
         self._flows[flow.flow_id] = (flow, inv.task_id, inv.mb, tb.index)
         self._flow_version[flow.flow_id] = 0
         tb.phase = _INFLIGHT
+        self._progress()
         self._link_enter(task.link)
         self._post_flow_eta(flow)
         for other in changed:
@@ -375,7 +457,7 @@ class Simulator:
             self._post_flow_eta(other)
 
         task = self.dag.task(task_id)
-        self._link_exit(task.link, flow)
+        self._link_exit(task.link, flow.nbytes)
 
         sender = self.tbs[sender_index]
         send_start = flow.start_time - self._route_latency(task)
@@ -384,6 +466,7 @@ class Simulator:
         sender.stats.invocations += 1
         sender.phase = _FETCH
         sender.pc += 1
+        self._progress()
         self._advance(sender)
 
         key = (task_id, mb)
@@ -426,6 +509,7 @@ class Simulator:
                 self.plan.chunk_bytes * self.cluster.profile.reduce_cost_per_byte_us
             )
         tb.phase = _INFLIGHT
+        self._progress()
         self._recv_state[key] = [tb.index, self.now, False]
         self._post(self.now + duration, "recv_copy", key)
         return True
@@ -449,17 +533,34 @@ class Simulator:
         tb.stats.invocations += 1
         tb.phase = _FETCH
         tb.pc += 1
+        self._progress()
 
         # Task invocation complete: release the FIFO credit and satisfy
-        # dependents.
+        # dependents.  An armed injector may delay the credit return
+        # (modeling a slow acknowledgement path).
         credit_key = self._credit_owner.pop(key)
+        delay = (
+            self.injector.credit_delay(self.now)
+            if self.injector is not None
+            else 0.0
+        )
+        if delay > 0.0:
+            self._post(self.now + delay, "credit", credit_key)
+        else:
+            self._release_credit(credit_key)
+
+        self._completed.add(key)
+        self._completion_log.append(key)
+        self._satisfy_dependents(task_id, mb)
+        self._advance(tb)
+
+    def _release_credit(self, credit_key: Tuple[int, int]) -> None:
         self._credits[credit_key] += 1
         queue = self._credit_queue[credit_key]
         if queue and self._credits[credit_key] > 0:
             self._advance(self.tbs[queue.popleft()])
 
-        self._completed.add(key)
-        self._completion_log.append(key)
+    def _satisfy_dependents(self, task_id: int, mb: int) -> None:
         for succ in self.dag.succs[task_id]:
             succ_key = (succ, mb)
             left = self._deps_left.get(succ_key)
@@ -468,7 +569,6 @@ class Simulator:
                 if left - 1 == 0:
                     for waiter in self._dep_waiters.pop(succ_key, ()):
                         self._advance(self.tbs[waiter])
-        self._advance(tb)
 
     # ------------------------------------------------------------------
     # Link activity accounting
@@ -483,12 +583,155 @@ class Simulator:
             self._link_busy_since[link] = self.now
         self._link_active[link] += 1
 
-    def _link_exit(self, link: str, flow: Flow) -> None:
+    def _link_exit(self, link: str, bytes_moved: float) -> None:
         stats = self._link_stats[link]
-        stats.bytes_moved += flow.nbytes
+        stats.bytes_moved += bytes_moved
         self._link_active[link] -= 1
         if self._link_active[link] == 0:
             stats.busy_time += self.now - self._link_busy_since.pop(link)
+
+    # ------------------------------------------------------------------
+    # Progress watchdog
+    # ------------------------------------------------------------------
+
+    def _is_quiescent(self) -> bool:
+        """True when nothing currently scheduled can produce progress.
+
+        Quiescence + an unchanged progress counter across a watchdog
+        window is the stall condition: every payload flow is rate-zero,
+        no receiver copy clock is running, and no TB timer (control
+        overhead or injected-stall wakeup) is pending.
+        """
+        if self._tb_timers > 0:
+            return False
+        for flow, _task, _mb, _tb in self._flows.values():
+            if flow.rate > 0.0:
+                return False
+        for state in self._recv_state.values():
+            if not state[2]:  # copy clock still running
+                return False
+        return True
+
+    def _watchdog_tick(self) -> None:
+        if self._unfinished == 0:
+            return  # run is over; let the heap drain
+        window = self.watchdog_window_us
+        stalled = (
+            self._progress_counter == self._watchdog_seen_counter
+            and self.now - self._last_progress_us >= window - _EPS
+            and self._is_quiescent()
+        )
+        self._watchdog_seen_counter = self._progress_counter
+        if not stalled:
+            self._post(self.now + window, "watchdog", None)
+            return
+        stall = self._build_stall()
+        if not self._stall_reported:
+            self._stall_reported = True
+            self.stalls_detected += 1
+            if self.fault_stats is not None:
+                self.fault_stats.detected_stalls += 1
+            self.record_fault_event(
+                "detect:stall", self._last_progress_us, self.now
+            )
+        # A pending fault-timeline transition (e.g. a flap's link-up) may
+        # unstick the run by itself; defer to it before escalating.
+        if self.injector is not None and self.injector.has_pending_transitions():
+            self._post(self.now + window, "watchdog", None)
+            return
+        if self.recovery is not None and self.recovery.on_stall(self, stall):
+            self._post(self.now + window, "watchdog", None)
+            return
+        if self.fault_stats is not None:
+            self.fault_stats.unrecovered += 1
+        raise SimulationStall(
+            f"watchdog stall: no progress for {window:.0f}us and "
+            f"{self._unfinished} TB(s) never finished\n" + stall.render(),
+            stall=stall,
+        )
+
+    def _build_stall(self):
+        from ..faults.watchdog import build_progress_stall
+
+        return build_progress_stall(self)
+
+    # ------------------------------------------------------------------
+    # Fault-injection hooks (no-ops unless an injector/recovery is armed)
+    # ------------------------------------------------------------------
+
+    def record_fault_event(
+        self, kind: str, start: float, end: float, tb_index: int = -1
+    ) -> None:
+        """Append a fault/detection/recovery event to the trace.
+
+        Unlike :meth:`_trace_event` these are recorded unconditionally:
+        a faulted run's trace must show its fault timeline even when
+        per-TB activity tracing is off.
+        """
+        rank = self.tbs[tb_index].program.rank if tb_index >= 0 else -1
+        self._trace.append(
+            TraceEvent(
+                tb_index=tb_index,
+                rank=rank,
+                kind=kind,
+                start_us=start,
+                end_us=end,
+            )
+        )
+
+    def apply_edge_factor(self, edge: str, factor: float) -> None:
+        """Derate (or restore) a contention edge mid-run."""
+        changed = self.network.set_capacity_factor(edge, factor, self.now)
+        for flow in changed:
+            self._post_flow_eta(flow)
+
+    def freeze_tb(self, tb_index: int, until_us: float) -> None:
+        """Stall one TB's control progress until ``until_us``."""
+        current = self._frozen.get(tb_index, 0.0)
+        self._frozen[tb_index] = max(current, until_us)
+        self.record_fault_event(
+            "fault:tb-stall", self.now, until_us, tb_index=tb_index
+        )
+
+    def abort_flow(self, flow_id: int) -> Tuple[Flow, int, int, int]:
+        """Tear down an in-flight flow (fault recovery retransmit path).
+
+        Returns ``(flow, task_id, mb, sender_tb_index)``; the sender TB
+        stays in-flight and resumes when the flow is re-admitted via
+        :meth:`register_flow`.
+        """
+        flow, task_id, mb, sender_index = self._flows.pop(flow_id)
+        del self._flow_version[flow_id]
+        for other in self.network.abort_flow(flow, self.now):
+            self._post_flow_eta(other)
+        task = self.dag.task(task_id)
+        self._link_exit(task.link, flow.nbytes - flow.remaining)
+        return flow, task_id, mb, sender_index
+
+    def register_flow(
+        self, flow: Flow, changed: List[Flow], task_id: int, mb: int,
+        sender_index: int,
+    ) -> None:
+        """Adopt a re-admitted flow started directly on the network."""
+        self._flows[flow.flow_id] = (flow, task_id, mb, sender_index)
+        self._flow_version[flow.flow_id] = 0
+        self._link_enter(self.dag.task(task_id).link)
+        self._progress()
+        self._post_flow_eta(flow)
+        for other in changed:
+            if other.flow_id != flow.flow_id:
+                self._post_flow_eta(other)
+
+    def on_edge_restored(self, edge: str) -> None:
+        """Called by the injector when a downed edge comes back up."""
+        if self.recovery is not None:
+            self.recovery.on_edge_restored(self, edge)
+
+    def zero_rate_flows(self) -> List[Tuple[Flow, int, int, int]]:
+        """In-flight payload flows currently starved to rate zero."""
+        return [
+            entry for entry in self._flows.values() if entry[0].rate <= 0.0
+        ]
 
     # ------------------------------------------------------------------
     # Reporting
@@ -509,6 +752,17 @@ class Simulator:
             link_stats=self._link_stats,
             completion_order=self._completion_log,
             trace=self._trace,
+            fault_stats=self.fault_stats,
+        )
+
+    def _describe_invocation(self, inv: Optional[Invocation]) -> str:
+        """``pc`` context for diagnostics: primitive, task, and route."""
+        if inv is None:
+            return "<end of program>"
+        task = self.dag.task(inv.task_id)
+        return (
+            f"{inv.side.value} task {inv.task_id} "
+            f"({task.op.value} {task.src}->{task.dst}) mb {inv.mb}"
         )
 
     def _deadlock_report(self) -> str:
@@ -516,32 +770,61 @@ class Simulator:
             f"deadlock at t={self.now:.1f}us: "
             f"{self._unfinished} TB(s) never finished"
         ]
+        shown = 0
         for tb in self.tbs:
             if tb.phase == _DONE:
                 continue
-            inv = tb.current()
+            waited = max(0.0, self.now - tb.wait_start) if tb.blocked_on else 0.0
             lines.append(
                 f"  rank {tb.program.rank} TB{tb.program.tb_index} "
                 f"({tb.program.label}) pc={tb.pc}/{len(tb.program.invocations)} "
-                f"phase={tb.phase} blocked_on={tb.blocked_on} at {inv}"
+                f"phase={tb.phase} blocked_on={tb.blocked_on} "
+                f"(waited {waited:.1f}us) pending "
+                f"{self._describe_invocation(tb.current())}"
             )
-            if len(lines) > 20:
+            shown += 1
+            if shown >= 16:
                 lines.append("  ...")
                 break
+        occupancy = self._credit_occupancy()
+        if occupancy:
+            lines.append("  connection FIFO credits (used/depth, waiters):")
+            lines.extend(occupancy[:16])
         return "\n".join(lines)
+
+    def _credit_occupancy(self) -> List[str]:
+        """Per-connection FIFO credit usage for stall/deadlock reports."""
+        depth = self.config.fifo_depth
+        lines = []
+        for (tb_index, dst), available in sorted(self._credits.items()):
+            used = depth - available
+            waiters = len(self._credit_queue.get((tb_index, dst), ()))
+            if used == 0 and waiters == 0:
+                continue
+            tb = self.tbs[tb_index]
+            lines.append(
+                f"    rank {tb.program.rank} TB{tb.program.tb_index} -> "
+                f"rank {dst}: {used}/{depth} in flight, "
+                f"{waiters} TB(s) queued"
+            )
+        return lines
 
 
 def simulate(
     plan: ExecutionPlan,
     background_traffic: Optional[List[Tuple[Tuple[str, ...], float]]] = None,
     record_trace: bool = False,
+    injector=None,
+    recovery=None,
 ) -> SimReport:
     """Convenience wrapper: build a simulator, run it, return the report."""
     return Simulator(
         plan,
         background_traffic=background_traffic,
         record_trace=record_trace,
+        injector=injector,
+        recovery=recovery,
     ).run()
 
 
-__all__ = ["Simulator", "SimulationDeadlock", "simulate"]
+__all__ = ["Simulator", "SimulationDeadlock", "SimulationStall", "simulate"]

@@ -22,7 +22,7 @@ occupies.  Edges are the resources the fluid-flow runtime arbitrates:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 import networkx as nx
 
@@ -165,6 +165,30 @@ class Cluster:
     def edges(self) -> List[str]:
         """All contention-edge identifiers in the cluster."""
         return list(self._edge_capacity)
+
+    def degraded(self, edges: Iterable[str], factor: float) -> "Cluster":
+        """Clone this cluster with ``edges`` derated to ``factor`` capacity.
+
+        Models planning around a failed link: the dead edge is replaced
+        by its slow failover path (rerouted hop / host fallback) rather
+        than removed, so every route stays valid while recovery policies
+        re-plan conservatively.  ``factor`` must be positive — a zero
+        capacity would just move the deadlock into the fallback plan.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"degraded factor must be positive, got {factor}")
+        clone = Cluster(
+            nodes=self.nodes,
+            gpus_per_node=self.gpus_per_node,
+            nics_per_node=self.nics_per_node,
+            profile=self.profile,
+            nodes_per_rack=self.nodes_per_rack,
+        )
+        for edge in edges:
+            if edge not in clone._edge_capacity:
+                raise KeyError(f"unknown contention edge {edge!r}")
+            clone._edge_capacity[edge] *= factor
+        return clone
 
     def path(self, src: int, dst: int) -> Path:
         """Route a transfer from ``src`` to ``dst``.

@@ -262,3 +262,97 @@ class TestTraceCommand:
         printed = capsys.readouterr().out
         assert "timeline" in printed
         assert out.exists()
+
+
+class TestFaultInjection:
+    RING8 = "examples/algorithms/ring_allreduce_8.rescclang"
+
+    def test_inject_flap_completes_with_recovery_events(self, capsys):
+        assert (
+            main(
+                [
+                    "run", self.RING8,
+                    "--inject", "link-flap",
+                    "--seed", "0",
+                    "--buffer-mb", "16",
+                    "--mbs", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "recover:resume" in out
+        assert "goodput vs clean run" in out
+
+    def test_inject_kill_falls_back_to_ring(self, capsys):
+        assert (
+            main(
+                [
+                    "run", self.RING8,
+                    "--inject", "link-kill",
+                    "--seed", "0",
+                    "--buffer-mb", "16",
+                    "--mbs", "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 fallback(s)" in out
+        assert "ring-fallback" in out
+
+    def test_inject_kill_without_recovery_exits_2(self, capsys):
+        assert (
+            main(
+                [
+                    "run", self.RING8,
+                    "--inject", "link-kill",
+                    "--seed", "0",
+                    "--recovery", "none",
+                    "--buffer-mb", "16",
+                    "--mbs", "4",
+                ]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "simulation deadlocked" in err
+        assert "never finished" in err
+        assert "down edges" in err
+
+    def test_default_cluster_auto_fits_dsl_world_size(self, capsys):
+        # ring_allreduce_8 declares 8 ranks; the default 2x8 cluster is
+        # refitted rather than failing validation.
+        assert (
+            main(["run", self.RING8, "--buffer-mb", "16", "--mbs", "4"]) == 0
+        )
+        assert "GB/s" in capsys.readouterr().out
+
+    def test_explicit_cluster_shape_still_validates(self):
+        with pytest.raises(Exception, match="nRanks"):
+            main(
+                [
+                    "run", self.RING8,
+                    "--nodes", "2", "--gpus", "6",
+                    "--buffer-mb", "16",
+                ]
+            )
+
+    def test_experiment_seed_is_plumbed(self, capsys):
+        import repro.experiments as experiments
+
+        seen = {}
+
+        def fake_run(seed=0):
+            seen["seed"] = seed
+            from repro.experiments.base import ExperimentResult
+            return ExperimentResult(name="resilience", title="t", headers=[])
+
+        original = experiments.REGISTRY["resilience"]
+        experiments.REGISTRY["resilience"] = fake_run
+        try:
+            assert main(["experiment", "resilience", "--seed", "42"]) == 0
+        finally:
+            experiments.REGISTRY["resilience"] = original
+        assert seen["seed"] == 42
