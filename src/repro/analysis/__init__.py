@@ -1,6 +1,20 @@
 """Result analysis: table rows, per-TB breakdowns, comparison helpers."""
 
-from .timeline import ascii_gantt, to_chrome_trace, write_chrome_trace
+from .attribution import (
+    BUCKETS,
+    AttributionReport,
+    Bubble,
+    PathSegment,
+    attribute,
+    critical_path,
+)
+from .timeline import (
+    ascii_gantt,
+    partition_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 from .tables import (
     TBBreakdownEntry,
     TBUtilizationRow,
@@ -11,8 +25,16 @@ from .tables import (
 )
 
 __all__ = [
+    "BUCKETS",
+    "AttributionReport",
+    "Bubble",
+    "PathSegment",
+    "attribute",
+    "critical_path",
     "ascii_gantt",
+    "partition_trace",
     "to_chrome_trace",
+    "validate_chrome_trace",
     "write_chrome_trace",
     "TBUtilizationRow",
     "TBBreakdownEntry",

@@ -1,0 +1,363 @@
+"""Critical-path attribution over a recorded simulation trace.
+
+Figure 2 of the paper explains *where* a collective's completion time
+goes: transferring, control overhead, or blocked in one of the pipeline's
+wait states.  This module computes that decomposition programmatically
+from ``SimReport.trace``:
+
+* :func:`critical_path` walks backward from the completion instant
+  through the per-TB activity intervals, splicing across thread blocks at
+  wait boundaries (the producer whose send/recv finished is what released
+  the waiter, so *its* activity is the critical work during the wait).
+  The returned segments exactly partition ``[0, completion_time_us]``, so
+  bucket totals sum to the completion time by construction.
+* :func:`attribute` aggregates the path into
+  send/recv/overhead/wait:data/wait:sync/idle buckets, per-rank and
+  (given the plan's DAG) per-link totals, and flags pipeline bubbles —
+  long blocked or idle stretches on the critical path.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ir.dag import DependencyDAG
+from ..runtime.metrics import SimReport, TraceEvent
+
+#: Buckets of the completion-time decomposition, in display order.
+BUCKETS = ("send", "recv", "overhead", "wait:data", "wait:sync", "idle")
+
+#: TB activity kinds that can appear on the critical path.
+_ACTIVITY_KINDS = frozenset(BUCKETS) - {"idle"}
+
+#: Event kinds whose completion can release a waiting thread block.
+_PRODUCER_KINDS = frozenset({"send", "recv"})
+
+#: Slack when matching a producer's end time to a wait's end time, and
+#: when testing interval coverage.  The simulator's event queue orders
+#: float microsecond timestamps, so exact equality is the common case.
+_EPS = 1e-6
+
+#: Producer matching tolerance: a wait is released by an event finishing
+#: at (or a rounding error before) the wait's end.
+_PRODUCER_EPS = 1e-3
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One interval of the critical path, attributed to a bucket."""
+
+    tb_index: int
+    rank: int
+    kind: str
+    start_us: float
+    end_us: float
+    task_id: int = -1
+    mb: int = -1
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass(frozen=True)
+class Bubble:
+    """A long blocked/idle stretch on the critical path."""
+
+    start_us: float
+    end_us: float
+    rank: int
+    tb_index: int
+    kind: str
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+@dataclass
+class AttributionReport:
+    """Completion-time decomposition of one traced run."""
+
+    plan_name: str
+    completion_time_us: float
+    segments: List[PathSegment] = field(default_factory=list)
+    buckets: Dict[str, float] = field(default_factory=dict)
+    per_rank: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    per_link: Dict[str, float] = field(default_factory=dict)
+    bubbles: List[Bubble] = field(default_factory=list)
+
+    @property
+    def attributed_total_us(self) -> float:
+        """Sum over buckets; equals ``completion_time_us`` by construction."""
+        return sum(self.buckets.values())
+
+    def share(self, bucket: str) -> float:
+        if self.completion_time_us <= 0:
+            return 0.0
+        return self.buckets.get(bucket, 0.0) / self.completion_time_us
+
+    def render(self) -> str:
+        """Human-readable attribution report for the CLI."""
+        lines = [
+            f"critical path — {self.plan_name}: "
+            f"{self.completion_time_us:.1f} us over "
+            f"{len(self.segments)} segment(s)"
+        ]
+        lines.append(f"  {'bucket':<10} {'time (us)':>12} {'share':>8}")
+        for bucket in BUCKETS:
+            value = self.buckets.get(bucket, 0.0)
+            if value <= 0.0:
+                continue
+            lines.append(
+                f"  {bucket:<10} {value:>12.1f} {self.share(bucket):>7.1%}"
+            )
+        if self.per_link:
+            lines.append("  busiest links on the path:")
+            ranked = sorted(
+                self.per_link.items(), key=lambda kv: -kv[1]
+            )[:6]
+            for link, value in ranked:
+                lines.append(f"    {link:<24} {value:>10.1f} us")
+        if self.bubbles:
+            lines.append(f"  pipeline bubbles ({len(self.bubbles)}):")
+            for bubble in self.bubbles[:8]:
+                lines.append(
+                    f"    {bubble.start_us:>9.1f} .. {bubble.end_us:<9.1f} us"
+                    f"  {bubble.kind:<9} r{bubble.rank} TB{bubble.tb_index}"
+                    f"  ({bubble.duration_us:.1f} us)"
+                )
+            if len(self.bubbles) > 8:
+                lines.append(f"    ... {len(self.bubbles) - 8} more")
+        else:
+            lines.append("  no pipeline bubbles above threshold")
+        return "\n".join(lines)
+
+
+def _activity_events(report: SimReport) -> List[TraceEvent]:
+    return [
+        e
+        for e in report.trace
+        if e.tb_index >= 0 and e.kind in _ACTIVITY_KINDS and e.end_us > e.start_us
+    ]
+
+
+def critical_path(report: SimReport) -> List[PathSegment]:
+    """Backward-walk the trace into a contiguous critical path.
+
+    The walk keeps an attribution frontier ``(tb, t)`` and repeatedly
+    explains the time just before ``t``:
+
+    * the latest event on ``tb`` ending at ``t`` claims ``[start, t]``
+      for its kind;
+    * a gap before ``t`` becomes an explicit ``idle`` segment;
+    * a *wait* interval is spliced: the send/recv on another TB whose
+      completion released the wait takes over the frontier, so blocked
+      time is charged to the activity that actually gated progress.
+      Waits with no matching producer (e.g. the fabric was still moving
+      bytes) stay attributed as waits.
+
+    Segments are returned in time order and exactly partition
+    ``[0, completion_time_us]``.
+    """
+    events = _activity_events(report)
+    if not events:
+        raise ValueError(
+            "report has no TB activity trace — run "
+            "simulate(plan, record_trace=True)"
+        )
+    completion = report.completion_time_us
+    if completion <= 0:
+        raise ValueError("empty report: completion_time_us <= 0")
+
+    by_tb: Dict[int, List[TraceEvent]] = defaultdict(list)
+    for event in events:
+        by_tb[event.tb_index].append(event)
+    starts_by_tb: Dict[int, List[float]] = {}
+    for tb_index, tb_events in by_tb.items():
+        tb_events.sort(key=lambda e: (e.start_us, e.end_us))
+        starts_by_tb[tb_index] = [e.start_us for e in tb_events]
+
+    producers = sorted(
+        (e for e in events if e.kind in _PRODUCER_KINDS),
+        key=lambda e: e.end_us,
+    )
+    producer_ends = [e.end_us for e in producers]
+
+    def latest_before(tb: int, t: float) -> Optional[TraceEvent]:
+        tb_events = by_tb.get(tb)
+        if not tb_events:
+            return None
+        i = bisect_left(starts_by_tb[tb], t - _EPS) - 1
+        return tb_events[i] if i >= 0 else None
+
+    def find_producer(wait: TraceEvent, t: float) -> Optional[TraceEvent]:
+        """The send/recv on another TB whose finish released ``wait``."""
+        lo = bisect_left(producer_ends, wait.end_us - _PRODUCER_EPS)
+        best = None
+        for candidate in producers[lo:]:
+            if candidate.end_us > wait.end_us + _PRODUCER_EPS:
+                break
+            if candidate.tb_index == wait.tb_index:
+                continue
+            if candidate.start_us >= t - _EPS:
+                continue  # would not let the frontier progress backward
+            # Prefer the producer of the very task the TB blocked on.
+            if (
+                wait.task_id >= 0
+                and candidate.task_id == wait.task_id
+                and candidate.mb == wait.mb
+            ):
+                return candidate
+            if best is None:
+                best = candidate
+        return best
+
+    anchor = max(events, key=lambda e: e.end_us)
+    tb = anchor.tb_index
+    t = completion
+    segments: List[PathSegment] = []
+    jumped: set = set()
+    guard = 4 * len(events) + 16
+
+    def rank_of(tb_index: int, fallback: int) -> int:
+        if 0 <= tb_index < len(report.tb_stats):
+            return report.tb_stats[tb_index].rank
+        return fallback
+
+    while t > _EPS and guard > 0:
+        guard -= 1
+        event = latest_before(tb, t)
+        if event is None:
+            # Nothing earlier on this TB: fall back to the globally
+            # latest activity before t, bridging the gap as idle time.
+            fallback_event = None
+            for other in events:
+                if other.start_us < t - _EPS and (
+                    fallback_event is None
+                    or other.end_us > fallback_event.end_us
+                ):
+                    fallback_event = other
+            if fallback_event is None or fallback_event is event:
+                segments.append(
+                    PathSegment(tb, rank_of(tb, -1), "idle", 0.0, t)
+                )
+                t = 0.0
+                break
+            cut = min(t, fallback_event.end_us)
+            if cut < t - _EPS:
+                segments.append(
+                    PathSegment(tb, rank_of(tb, -1), "idle", cut, t)
+                )
+            t = cut
+            tb = fallback_event.tb_index
+            continue
+        if event.end_us < t - _EPS:
+            segments.append(
+                PathSegment(tb, event.rank, "idle", event.end_us, t)
+            )
+            t = event.end_us
+            continue
+        if event.kind not in _PRODUCER_KINDS and event.kind.startswith("wait"):
+            if id(event) not in jumped:
+                producer = find_producer(event, t)
+                if producer is not None:
+                    jumped.add(id(event))
+                    tb = producer.tb_index
+                    continue
+        seg_start = max(0.0, min(event.start_us, t))
+        segments.append(
+            PathSegment(
+                tb,
+                event.rank,
+                event.kind,
+                seg_start,
+                t,
+                event.task_id,
+                event.mb,
+            )
+        )
+        t = seg_start
+    if t > _EPS:
+        # Guard tripped (pathological trace): close the partition.
+        segments.append(PathSegment(tb, rank_of(tb, -1), "idle", 0.0, t))
+    segments.reverse()
+    return segments
+
+
+def attribute(
+    report: SimReport,
+    dag: Optional[DependencyDAG] = None,
+    bubble_threshold_us: Optional[float] = None,
+) -> AttributionReport:
+    """Decompose a traced run's completion time along its critical path.
+
+    Args:
+        report: a ``simulate(plan, record_trace=True)`` report.
+        dag: the plan's dependency DAG; enables per-link attribution
+            (transfer segments are charged to their task's link).
+        bubble_threshold_us: minimum blocked/idle stretch flagged as a
+            pipeline bubble; defaults to 2% of the completion time.
+    """
+    segments = critical_path(report)
+    completion = report.completion_time_us
+    if bubble_threshold_us is None:
+        bubble_threshold_us = max(1.0, 0.02 * completion)
+
+    buckets: Dict[str, float] = {}
+    per_rank: Dict[int, Dict[str, float]] = {}
+    per_link: Dict[str, float] = {}
+    bubbles: List[Bubble] = []
+    for segment in segments:
+        duration = segment.duration_us
+        if duration <= 0:
+            continue
+        buckets[segment.kind] = buckets.get(segment.kind, 0.0) + duration
+        rank_buckets = per_rank.setdefault(segment.rank, {})
+        rank_buckets[segment.kind] = (
+            rank_buckets.get(segment.kind, 0.0) + duration
+        )
+        if (
+            dag is not None
+            and segment.kind in _PRODUCER_KINDS
+            and segment.task_id >= 0
+        ):
+            link = dag.task(segment.task_id).link
+            per_link[link] = per_link.get(link, 0.0) + duration
+        if (
+            segment.kind not in _PRODUCER_KINDS
+            and segment.kind != "overhead"
+            and duration >= bubble_threshold_us
+        ):
+            bubbles.append(
+                Bubble(
+                    start_us=segment.start_us,
+                    end_us=segment.end_us,
+                    rank=segment.rank,
+                    tb_index=segment.tb_index,
+                    kind=segment.kind,
+                )
+            )
+    bubbles.sort(key=lambda b: -b.duration_us)
+    return AttributionReport(
+        plan_name=report.plan_name,
+        completion_time_us=completion,
+        segments=segments,
+        buckets=buckets,
+        per_rank=per_rank,
+        per_link=per_link,
+        bubbles=bubbles,
+    )
+
+
+__all__ = [
+    "BUCKETS",
+    "PathSegment",
+    "Bubble",
+    "AttributionReport",
+    "critical_path",
+    "attribute",
+]

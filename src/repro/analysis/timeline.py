@@ -5,15 +5,25 @@ The simulator can record per-TB activity intervals
 
 * an ASCII Gantt chart — the quickest way to *see* pipeline bubbles,
   sync blocking, and early release in a terminal;
-* a Chrome trace-event JSON object — load it at ``chrome://tracing`` or
-  in Perfetto for interactive inspection.
+* a unified Chrome trace-event JSON object — load it at
+  ``chrome://tracing`` or in Perfetto for interactive inspection.  Next
+  to the per-rank TB lanes the export carries three synthetic processes:
+  fault/recovery events (pid 9990), per-link occupancy counter tracks
+  built from ``SimReport.link_trace`` (pid 9991), and — when a span
+  tracer is passed in — the compile/simulate pipeline spans (pid 9992;
+  wall-clock timebase, unlike the simulated-time lanes).
+
+Both renderers share one rank filter (:func:`partition_trace`): TB lanes
+are restricted to the requested ranks while global events (fault
+timeline, ``rank < 0``) always survive, so the Gantt chart and the
+Chrome export of the same invocation agree on what they show.
 """
 
 from __future__ import annotations
 
 import json
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..runtime.metrics import SimReport, TraceEvent
 
@@ -26,12 +36,38 @@ _GLYPHS = {
     "send": "#",
 }
 
+#: Synthetic Chrome-trace process ids for non-TB tracks.
+FAULT_PID = 9990
+LINK_PID = 9991
+SPAN_PID = 9992
+
 
 def _require_trace(report: SimReport) -> None:
     if not report.trace:
         raise ValueError(
             "report has no trace — run simulate(plan, record_trace=True)"
         )
+
+
+def partition_trace(
+    report: SimReport, ranks: Optional[Sequence[int]] = None
+) -> Tuple[List[TraceEvent], List[TraceEvent]]:
+    """Split the trace into (TB lane events, global events).
+
+    Lane events are per-TB activity intervals, filtered to ``ranks`` when
+    given.  Global events — the fault/recovery timeline, anything with
+    ``rank < 0`` — are never rank-filtered: a link failure concerns every
+    rank the viewer is looking at.
+    """
+    rank_set = None if ranks is None else set(ranks)
+    lanes: List[TraceEvent] = []
+    global_events: List[TraceEvent] = []
+    for event in report.trace:
+        if event.tb_index < 0 or event.rank < 0:
+            global_events.append(event)
+        elif rank_set is None or event.rank in rank_set:
+            lanes.append(event)
+    return lanes, global_events
 
 
 def ascii_gantt(
@@ -44,6 +80,8 @@ def ascii_gantt(
 
     Legend: ``#`` sending, ``r`` receiving, ``o`` control overhead,
     ``w`` waiting on data dependencies, ``s`` sync-blocked, ``.`` idle.
+    Fault/recovery events are global, not TB activity; they are listed
+    below the lanes rather than drawn into them.
     """
     _require_trace(report)
     horizon = report.completion_time_us
@@ -51,10 +89,10 @@ def ascii_gantt(
         raise ValueError("empty report")
     scale = width / horizon
 
+    lane_events, global_events = partition_trace(report, ranks)
     by_tb: Dict[int, List[TraceEvent]] = defaultdict(list)
-    for event in report.trace:
-        if ranks is None or event.rank in ranks:
-            by_tb[event.tb_index].append(event)
+    for event in lane_events:
+        by_tb[event.tb_index].append(event)
 
     lines = [
         f"timeline 0 .. {horizon / 1000.0:.2f} ms   "
@@ -78,19 +116,48 @@ def ascii_gantt(
         lines.append(f"  {label} |{''.join(lane)}|")
     if len(by_tb) > max_tbs:
         lines.append(f"  ... {len(by_tb) - max_tbs} more TBs")
+    if global_events:
+        lines.append(f"  fault/recovery events ({len(global_events)}):")
+        for event in global_events[:12]:
+            lines.append(
+                f"    {event.start_us:>9.1f} .. {event.end_us:<9.1f} us"
+                f"  {event.kind}"
+            )
+        if len(global_events) > 12:
+            lines.append(f"    ... {len(global_events) - 12} more")
+    if report.trace_dropped:
+        lines.append(
+            f"  (fault trace ring buffer dropped {report.trace_dropped} "
+            "older event(s))"
+        )
     return "\n".join(lines)
 
 
-def to_chrome_trace(report: SimReport) -> dict:
-    """Convert a traced report into Chrome trace-event format.
+def to_chrome_trace(
+    report: SimReport,
+    ranks: Optional[Sequence[int]] = None,
+    spans: Optional[List[dict]] = None,
+    include_counters: bool = True,
+) -> dict:
+    """Convert a traced report into a unified Chrome trace-event object.
 
-    Lanes: process = rank, thread = TB index.  Durations are emitted as
-    complete ("X") events in microseconds, directly loadable in
-    ``chrome://tracing`` or Perfetto.
+    Lanes: process = rank, thread = TB index, complete ("X") events in
+    simulated microseconds.  Three synthetic processes ride along:
+
+    * pid ``9990`` — fault/detection/recovery events (never
+      rank-filtered);
+    * pid ``9991`` — one counter ("C") track per link with the number of
+      concurrently active flows, from ``SimReport.link_trace``
+      (``include_counters=False`` drops them);
+    * pid ``9992`` — pipeline spans, when ``spans`` (a list of Chrome
+      events, e.g. ``SpanTracer.to_chrome_events()``) is given.  Span
+      timestamps are tracer wall-clock, a timebase distinct from the
+      simulated-time lanes; Perfetto renders them as a separate process.
     """
     _require_trace(report)
+    lane_events, global_events = partition_trace(report, ranks)
     events = []
-    for event in report.trace:
+    for event in lane_events:
         name = event.kind
         if event.task_id >= 0:
             name = f"{event.kind} task {event.task_id} mb {event.mb}"
@@ -106,6 +173,21 @@ def to_chrome_trace(report: SimReport) -> dict:
                 "args": {"task": event.task_id, "mb": event.mb},
             }
         )
+    for event in global_events:
+        events.append(
+            {
+                "name": event.kind,
+                "cat": "fault",
+                "ph": "X",
+                "ts": event.start_us,
+                # Instantaneous transitions still get a sliver of width
+                # so they stay visible (and valid: dur >= 0).
+                "dur": max(event.duration_us, 0.001),
+                "pid": FAULT_PID,
+                "tid": 0,
+                "args": {"task": event.task_id, "mb": event.mb},
+            }
+        )
     metadata = [
         {
             "name": "process_name",
@@ -113,19 +195,117 @@ def to_chrome_trace(report: SimReport) -> dict:
             "pid": rank,
             "args": {"name": f"rank {rank}"},
         }
-        for rank in sorted({e.rank for e in report.trace})
+        for rank in sorted({e.rank for e in lane_events})
     ]
+    if global_events:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": FAULT_PID,
+                "args": {"name": "faults"},
+            }
+        )
+    if include_counters and report.link_trace:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": LINK_PID,
+                "args": {"name": "links"},
+            }
+        )
+        for link, ts, active in report.link_trace:
+            events.append(
+                {
+                    "name": f"link {link}",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": LINK_PID,
+                    "args": {"active_flows": active},
+                }
+            )
+    if spans:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": SPAN_PID,
+                "args": {"name": "pipeline (wall clock)"},
+            }
+        )
+        events.extend(spans)
     return {
         "traceEvents": metadata + events,
         "displayTimeUnit": "ms",
-        "otherData": {"plan": report.plan_name},
+        "otherData": {
+            "plan": report.plan_name,
+            "trace_dropped": report.trace_dropped,
+        },
     }
 
 
-def write_chrome_trace(report: SimReport, path: str) -> None:
+def validate_chrome_trace(trace: dict) -> None:
+    """Check a trace object against the Chrome trace-event schema.
+
+    Covers the subset this repo emits — "X" complete events with
+    ``ts``/``dur``, "C" counter samples, and "M" metadata records — and
+    raises :class:`ValueError` on the first malformed entry.  Used by
+    tests and the CI profile smoke job to guard the export format.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(trace).__name__}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        ph = event.get("ph")
+        if ph not in ("X", "C", "M", "B", "E", "i"):
+            raise ValueError(f"{where}: unsupported ph {ph!r}")
+        if "name" not in event:
+            raise ValueError(f"{where}: missing name")
+        if "pid" not in event or not isinstance(event["pid"], int):
+            raise ValueError(f"{where}: pid must be an integer")
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: dur must be a non-negative number")
+            if not isinstance(event.get("tid"), int):
+                raise ValueError(f"{where}: tid must be an integer")
+        if ph == "C" and not isinstance(event.get("args"), dict):
+            raise ValueError(f"{where}: counter event needs args")
+
+
+def write_chrome_trace(
+    report: SimReport,
+    path: str,
+    ranks: Optional[Sequence[int]] = None,
+    spans: Optional[List[dict]] = None,
+    include_counters: bool = True,
+) -> None:
     """Serialize :func:`to_chrome_trace` output to a JSON file."""
+    trace = to_chrome_trace(
+        report, ranks=ranks, spans=spans, include_counters=include_counters
+    )
     with open(path, "w") as handle:
-        json.dump(to_chrome_trace(report), handle)
+        json.dump(trace, handle)
 
 
-__all__ = ["ascii_gantt", "to_chrome_trace", "write_chrome_trace"]
+__all__ = [
+    "ascii_gantt",
+    "partition_trace",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "FAULT_PID",
+    "LINK_PID",
+    "SPAN_PID",
+]

@@ -28,6 +28,7 @@ from typing import List, Optional
 from ..ir.dag import build_dag
 from ..ir.task import TransmissionTask
 from ..lang.builder import AlgoProgram
+from ..obs.spans import span as obs_span
 from ..runtime.plan import (
     ExecMode,
     ExecutionPlan,
@@ -65,6 +66,20 @@ class MSCCLBackend:
         buffer_bytes: float,
     ) -> ExecutionPlan:
         """Build the stage-level execution plan for a custom algorithm."""
+        with obs_span("plan", backend=self.name) as sp:
+            plan = self._plan(cluster, program, buffer_bytes)
+            sp.set(
+                n_microbatches=plan.n_microbatches,
+                tbs=len(plan.tb_programs),
+            )
+        return plan
+
+    def _plan(
+        self,
+        cluster: Cluster,
+        program: AlgoProgram,
+        buffer_bytes: float,
+    ) -> ExecutionPlan:
         if program.nranks != cluster.world_size:
             raise ValueError(
                 f"algorithm is for {program.nranks} ranks, cluster has "

@@ -35,6 +35,7 @@ from ..algorithms.tree import double_binary_tree_allreduce
 from ..ir.dag import build_dag
 from ..ir.task import Collective, Transfer
 from ..lang.builder import AlgoProgram
+from ..obs.spans import span as obs_span
 from ..runtime.plan import (
     ExecMode,
     ExecutionPlan,
@@ -143,6 +144,20 @@ class NCCLBackend:
         MSCCL's extension).
         """
         del program
+        with obs_span("plan", backend=self.name) as sp:
+            plan = self._plan(cluster, collective, buffer_bytes)
+            sp.set(
+                n_microbatches=plan.n_microbatches,
+                tbs=len(plan.tb_programs),
+            )
+        return plan
+
+    def _plan(
+        self,
+        cluster: Cluster,
+        collective: Collective,
+        buffer_bytes: float,
+    ) -> ExecutionPlan:
         base = self.select_algorithm(cluster, collective)
         nranks = cluster.world_size
         if base.nranks != nranks:

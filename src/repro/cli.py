@@ -7,6 +7,8 @@ Subcommands::
     resccl compile ALGO [--rank R]       # show phases + generated kernel
     resccl run ALGO [--backend B]        # simulate one collective call
     resccl compare ALGO [options]        # all three backends side by side
+    resccl trace ALGO [options]          # ASCII Gantt / Chrome trace
+    resccl profile ALGO [options]        # spans + critical-path breakdown
 
 ``ALGO`` is either a built-in algorithm name (see ``resccl algos``), a
 synthesizer spec (``taccl:allreduce`` / ``teccl:allgather``), or a path
@@ -17,9 +19,10 @@ to a textual ResCCLang file.  The cluster defaults to the paper's
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import Optional
+from typing import List, Optional
 
 import inspect
 
@@ -31,7 +34,14 @@ from .experiments import available_experiments, run_experiment
 from .faults import INJECT_SCENARIOS, run_with_faults
 from .ir.task import parse_collective
 from .lang import AlgoProgram, parse_program, validate_program
-from .analysis import ascii_gantt, write_chrome_trace
+from .analysis import (
+    ascii_gantt,
+    attribute,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .obs import observe
 from .runtime import MB, SimulationDeadlock, simulate, verify_collective
 from .synth import (
     TACCLSynthesizer,
@@ -49,6 +59,21 @@ def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--profile", default="A100", help="GPU profile (A100 or V100)"
+    )
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inject", default=None, metavar="SPEC",
+        help="fault scenario to inject "
+        f"({'/'.join(INJECT_SCENARIOS)}[:key=value,...])",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-schedule RNG seed")
+    parser.add_argument(
+        "--recovery", default="fallback",
+        choices=["none", "retry", "fallback"],
+        help="recovery policy when faults are injected",
     )
 
 
@@ -255,6 +280,49 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_ranks(args: argparse.Namespace) -> Optional[List[int]]:
+    """The rank filter of ``trace``/``profile``: ``--ranks`` or ``--rank``.
+
+    Returns ``None`` for "all ranks".  Both renderers (Gantt and Chrome
+    export) receive the same list, so they always agree on the filter.
+    """
+    ranks_arg = getattr(args, "ranks", None)
+    if ranks_arg:
+        try:
+            parsed = sorted(
+                {int(tok) for tok in ranks_arg.split(",") if tok.strip()}
+            )
+        except ValueError:
+            raise SystemExit(
+                "error: --ranks wants a comma-separated list of rank "
+                f"numbers, got {ranks_arg!r}"
+            ) from None
+        if any(r < 0 for r in parsed):
+            return None  # an explicit -1 means "all"
+        return parsed or None
+    rank = getattr(args, "rank", None)
+    if rank is None or rank < 0:
+        return None
+    return [rank]
+
+
+def _traced_report(plan, args: argparse.Namespace):
+    """Simulate with tracing on, under fault injection when requested."""
+    if getattr(args, "inject", None):
+        try:
+            outcome = run_with_faults(
+                plan,
+                args.inject,
+                seed=args.seed,
+                recovery=args.recovery,
+                record_trace=True,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        return outcome.report
+    return simulate(plan, record_trace=True)
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     cluster = _cluster_from(args)
     program = _resolve_algorithm(args.algorithm, cluster)
@@ -263,15 +331,69 @@ def cmd_trace(args: argparse.Namespace) -> int:
         plan = backend.plan(cluster, program.collective, args.buffer_mb * MB)
     else:
         plan = backend.plan(cluster, program, args.buffer_mb * MB)
-    report = simulate(plan, record_trace=True)
+    try:
+        report = _traced_report(plan, args)
+    except SimulationDeadlock as exc:
+        _print_deadlock(exc)
+        return 2
     print(report.summary())
     print()
-    ranks = None if args.rank is None or args.rank < 0 else [args.rank]
+    ranks = _parse_ranks(args)
     print(ascii_gantt(report, width=args.width, ranks=ranks))
     if args.output:
-        write_chrome_trace(report, args.output)
+        write_chrome_trace(report, args.output, ranks=ranks)
         print(f"\nChrome trace written to {args.output} "
               "(load in chrome://tracing or Perfetto)")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    cluster = _cluster_from(args)
+    program = _resolve_algorithm(args.algorithm, cluster)
+    cluster = _fit_cluster(args, cluster, program)
+    backend = _make_backend(args.backend, args.mbs)
+    ranks = _parse_ranks(args)
+    try:
+        with observe() as obs:
+            if isinstance(backend, NCCLBackend):
+                plan = backend.plan(
+                    cluster, program.collective, args.buffer_mb * MB
+                )
+            else:
+                plan = backend.plan(cluster, program, args.buffer_mb * MB)
+            report = _traced_report(plan, args)
+    except SimulationDeadlock as exc:
+        _print_deadlock(exc)
+        return 2
+    print(report.summary())
+    if report.fault_stats is not None:
+        print(report.fault_stats.summary())
+    print()
+    print("pipeline spans (wall clock):")
+    print(obs.tracer.render())
+    print()
+    print(attribute(report, dag=plan.dag).render())
+    print()
+    print("metrics:")
+    print(obs.registry.render(limit=args.metrics_limit))
+    if args.output:
+        trace = to_chrome_trace(
+            report,
+            ranks=ranks,
+            spans=obs.tracer.to_chrome_events(),
+            include_counters=True,
+        )
+        validate_chrome_trace(trace)
+        Path(args.output).write_text(json.dumps(trace))
+        print(f"\nunified trace written to {args.output} "
+              "(load in Perfetto or chrome://tracing)")
+    if args.metrics_out:
+        out = Path(args.metrics_out)
+        if out.suffix == ".prom":
+            out.write_text(obs.registry.to_prometheus())
+        else:
+            out.write_text(json.dumps(obs.registry.to_json(), indent=2))
+        print(f"metrics written to {out}")
     return 0
 
 
@@ -402,9 +524,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--mbs", type=int, default=8)
     p_trace.add_argument("--rank", type=int, default=0,
                          help="rank whose TBs to chart (-1 for all)")
+    p_trace.add_argument("--ranks", default=None, metavar="R1,R2,...",
+                         help="comma-separated rank filter "
+                         "(overrides --rank)")
     p_trace.add_argument("--width", type=int, default=100)
     p_trace.add_argument("--output", help="write Chrome trace JSON here")
+    _add_fault_args(p_trace)
     _add_cluster_args(p_trace)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="pipeline spans, critical-path attribution, unified trace",
+    )
+    p_prof.add_argument("algorithm")
+    p_prof.add_argument("--backend", default="resccl")
+    p_prof.add_argument("--buffer-mb", type=int, default=64)
+    p_prof.add_argument("--mbs", type=int, default=8)
+    p_prof.add_argument("--ranks", default=None, metavar="R1,R2,...",
+                        help="rank filter for the exported trace lanes")
+    p_prof.add_argument("--output",
+                        help="write the unified Perfetto/Chrome trace here")
+    p_prof.add_argument("--metrics-out",
+                        help="write metrics here (.prom for Prometheus "
+                        "text format, anything else for JSON)")
+    p_prof.add_argument("--metrics-limit", type=int, default=12,
+                        help="metric series shown inline (0 = all)")
+    _add_fault_args(p_prof)
+    _add_cluster_args(p_prof)
 
     p_exp = sub.add_parser(
         "experiment", help="reproduce one of the paper's tables/figures"
@@ -426,6 +572,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "export": cmd_export,
     "trace": cmd_trace,
+    "profile": cmd_profile,
     "experiment": cmd_experiment,
 }
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
 from ..lang.builder import AlgoProgram
+from ..obs.spans import span as obs_span
 from ..runtime.plan import (
     ExecMode,
     ExecutionPlan,
@@ -80,16 +81,20 @@ class ResCCLBackend:
         past its static window, so windows closer than one pipeline depth
         are not truly disjoint).
         """
-        compiled = self.compile(program, cluster)
-        n_mb, chunk_bytes = plan_microbatches(
-            buffer_bytes,
-            compiled.program.nchunks,
-            max_microbatches=self.max_microbatches,
-        )
-        assignments = allocate_tbs(
-            compiled.dag, compiled.pipeline, pipelining_allowance=n_mb
-        )
-        tb_programs = lower_to_programs(assignments, n_mb, nwarps=self.nwarps)
+        with obs_span("plan", backend=self.name) as sp:
+            compiled = self.compile(program, cluster)
+            n_mb, chunk_bytes = plan_microbatches(
+                buffer_bytes,
+                compiled.program.nchunks,
+                max_microbatches=self.max_microbatches,
+            )
+            assignments = allocate_tbs(
+                compiled.dag, compiled.pipeline, pipelining_allowance=n_mb
+            )
+            tb_programs = lower_to_programs(
+                assignments, n_mb, nwarps=self.nwarps
+            )
+            sp.set(n_microbatches=n_mb, tbs=len(tb_programs))
         return ExecutionPlan(
             name=f"ResCCL/{compiled.program.name}",
             cluster=cluster,

@@ -25,6 +25,7 @@ from ..lang.builder import AlgoProgram
 from ..lang.parser import parse_module
 from ..lang.builder import evaluate_module
 from ..lang.validate import validate_program
+from ..obs.spans import span as obs_span
 from ..topology import Cluster
 from .hpds import hpds_schedule
 from .kernelgen import render_kernel_source
@@ -92,31 +93,42 @@ class ResCCLCompiler:
         """Run the full pipeline on DSL source text or a built program."""
         times: Dict[str, float] = {}
 
-        # Phase 1: Parsing (DSL text -> AST -> elaborated program).
-        start = time.perf_counter()
-        if isinstance(algorithm, str):
-            program = evaluate_module(parse_module(algorithm))
-        else:
-            program = algorithm
-        times["parsing"] = (time.perf_counter() - start) * 1e6
+        with obs_span("compile", scheduler=self.scheduler):
+            # Phase 1: Parsing (DSL text -> AST -> elaborated program).
+            start = time.perf_counter()
+            with obs_span("parsing") as sp:
+                if isinstance(algorithm, str):
+                    program = evaluate_module(parse_module(algorithm))
+                else:
+                    program = algorithm
+                sp.set(transfers=len(program.transfers))
+            times["parsing"] = (time.perf_counter() - start) * 1e6
 
-        # Phase 2: Analysis (program -> dependency DAG).
-        start = time.perf_counter()
-        if self.validate:
-            validate_program(program, cluster).raise_if_failed()
-        dag = build_dag(program.transfers, cluster)
-        times["analysis"] = (time.perf_counter() - start) * 1e6
+            # Phase 2: Analysis (program -> dependency DAG).
+            start = time.perf_counter()
+            with obs_span("analysis") as sp:
+                if self.validate:
+                    validate_program(program, cluster).raise_if_failed()
+                dag = build_dag(program.transfers, cluster)
+                sp.set(dag_nodes=len(dag), dag_edges=dag.edge_count)
+            times["analysis"] = (time.perf_counter() - start) * 1e6
 
-        # Phase 3: Scheduling (DAG -> global task pipeline).
-        start = time.perf_counter()
-        pipeline = SCHEDULERS[self.scheduler](dag)
-        pipeline.check_all(dag)
-        times["scheduling"] = (time.perf_counter() - start) * 1e6
+            # Phase 3: Scheduling (DAG -> global task pipeline).
+            start = time.perf_counter()
+            with obs_span("scheduling") as sp:
+                pipeline = SCHEDULERS[self.scheduler](dag)
+                pipeline.check_all(dag)
+                sp.set(
+                    tasks_scheduled=pipeline.task_count,
+                    sub_pipelines=pipeline.depth,
+                )
+            times["scheduling"] = (time.perf_counter() - start) * 1e6
 
-        # Phase 4: Lowering (pipeline -> TB assignments).
-        start = time.perf_counter()
-        assignments = allocate_tbs(dag, pipeline)
-        times["lowering"] = (time.perf_counter() - start) * 1e6
+            # Phase 4: Lowering (pipeline -> TB assignments).
+            start = time.perf_counter()
+            with obs_span("lowering"):
+                assignments = allocate_tbs(dag, pipeline)
+            times["lowering"] = (time.perf_counter() - start) * 1e6
 
         return CompileResult(
             program=program,

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Set
 
 from ..ir.dag import DependencyDAG
+from ..obs.spans import current_span
 from .pipeline import GlobalPipeline, SubPipeline
 
 
@@ -177,6 +178,11 @@ def hpds_schedule(dag: DependencyDAG) -> GlobalPipeline:
             )
         sub_pipelines.append(current)
 
+    current_span().set(
+        hpds_tasks=len(dag),
+        hpds_sub_pipelines=len(sub_pipelines),
+        hpds_chunks=len(chunks),
+    )
     return GlobalPipeline(sub_pipelines=sub_pipelines, scheduler="hpds")
 
 

@@ -24,6 +24,7 @@ from typing import Dict, List
 from ..ir.dag import DependencyDAG
 from ..ir.primitives import PrimKind
 from ..ir.task import CommType
+from ..obs.spans import span as obs_span
 from ..runtime.plan import Invocation, Side, TBProgram
 from .tballoc import TBAssignment
 
@@ -34,24 +35,29 @@ def lower_to_programs(
     nwarps: int,
 ) -> List[TBProgram]:
     """Lower TB assignments into task-level invocation programs."""
-    programs: List[TBProgram] = []
-    per_rank: Dict[int, int] = {}
-    for assignment in assignments:
-        invocations = [
-            Invocation(task_id=task_id, side=side, mb=mb)
-            for task_id, side in assignment.ordered_sides()
-            for mb in range(n_microbatches)
-        ]
-        index = per_rank.get(assignment.rank, 0)
-        per_rank[assignment.rank] = index + 1
-        programs.append(
-            TBProgram(
-                rank=assignment.rank,
-                tb_index=index,
-                invocations=invocations,
-                nwarps=nwarps,
-                label=assignment.label,
+    with obs_span("kernelgen") as sp:
+        programs: List[TBProgram] = []
+        per_rank: Dict[int, int] = {}
+        for assignment in assignments:
+            invocations = [
+                Invocation(task_id=task_id, side=side, mb=mb)
+                for task_id, side in assignment.ordered_sides()
+                for mb in range(n_microbatches)
+            ]
+            index = per_rank.get(assignment.rank, 0)
+            per_rank[assignment.rank] = index + 1
+            programs.append(
+                TBProgram(
+                    rank=assignment.rank,
+                    tb_index=index,
+                    invocations=invocations,
+                    nwarps=nwarps,
+                    label=assignment.label,
+                )
             )
+        sp.set(
+            tb_programs=len(programs),
+            invocations=sum(len(p.invocations) for p in programs),
         )
     return programs
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from ..ir.dag import DependencyDAG
+from ..obs.spans import span as obs_span
 from ..runtime.plan import Side
 from .pipeline import GlobalPipeline
 
@@ -150,24 +151,39 @@ def allocate_tbs(
     actually overlaps.  Backends pass a value derived from the
     micro-batch count.
     """
-    by_rank: Dict[int, List[EndpointGroup]] = defaultdict(list)
-    for group in build_endpoint_groups(dag, pipeline):
-        by_rank[group.rank].append(group)
+    with obs_span("tballoc") as sp:
+        by_rank: Dict[int, List[EndpointGroup]] = defaultdict(list)
+        endpoint_count = 0
+        for group in build_endpoint_groups(dag, pipeline):
+            by_rank[group.rank].append(group)
+            endpoint_count += 1
 
-    assignments: List[TBAssignment] = []
-    for rank in sorted(by_rank):
-        open_tbs: List[TBAssignment] = []
-        for group in by_rank[rank]:  # already sorted by window start
-            best = None
-            for tb in open_tbs:
-                if tb.window[1] + pipelining_allowance < group.window[0]:
-                    if best is None or tb.window[1] > best.window[1]:
-                        best = tb
-            if best is None:
-                best = TBAssignment(rank=rank)
-                open_tbs.append(best)
-            best.groups.append(group)
-        assignments.extend(open_tbs)
+        merges_accepted = 0
+        merges_rejected = 0
+        assignments: List[TBAssignment] = []
+        for rank in sorted(by_rank):
+            open_tbs: List[TBAssignment] = []
+            for group in by_rank[rank]:  # already sorted by window start
+                best = None
+                for tb in open_tbs:
+                    if tb.window[1] + pipelining_allowance < group.window[0]:
+                        if best is None or tb.window[1] > best.window[1]:
+                            best = tb
+                if best is None:
+                    if open_tbs:
+                        merges_rejected += 1
+                    best = TBAssignment(rank=rank)
+                    open_tbs.append(best)
+                else:
+                    merges_accepted += 1
+                best.groups.append(group)
+            assignments.extend(open_tbs)
+        sp.set(
+            endpoints=endpoint_count,
+            tbs=len(assignments),
+            merges_accepted=merges_accepted,
+            merges_rejected=merges_rejected,
+        )
     return assignments
 
 

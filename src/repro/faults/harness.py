@@ -14,11 +14,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
+from ..obs.metrics import current_registry
 from ..runtime.metrics import SimReport
 from ..runtime.plan import ExecutionPlan
 from ..runtime.simulator import Simulator
 from .plan import FaultPlan, parse_inject_spec
 from .recovery import RecoveryPolicy, ResilientRunner, make_policy
+
+
+def _publish_fault_metrics(report: SimReport) -> None:
+    """Publish the faulted run's counters into the ambient registry."""
+    registry = current_registry()
+    stats = report.fault_stats
+    if registry is None or stats is None:
+        return
+    registry.inc("fault_injected_total", stats.injected)
+    registry.inc("fault_stalls_detected_total", stats.detected_stalls)
+    registry.inc("fault_recovered_total", stats.recovered)
+    registry.inc("fault_retries_total", stats.retries)
+    registry.inc("fault_unrecovered_total", stats.unrecovered)
+    registry.inc("fault_fallbacks_total", stats.fallbacks)
+    registry.set("fault_downtime_us", stats.downtime_us)
+    for latency in stats.recovery_latencies_us:
+        registry.observe("fault_recovery_latency_us", latency)
 
 
 def plan_edges(plan: ExecutionPlan) -> List[str]:
@@ -114,6 +132,7 @@ def run_with_faults(
         fallback_capacity_factor=fallback_capacity_factor,
     )
     report = runner.run()
+    _publish_fault_metrics(report)
     return FaultRunOutcome(
         baseline=baseline, report=report, fault_plan=fault_plan
     )

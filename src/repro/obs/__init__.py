@@ -1,0 +1,92 @@
+"""Cross-cutting observability: pipeline spans and a metrics registry.
+
+Two independent, individually armable instruments:
+
+* :mod:`repro.obs.spans` — a nested wall-clock **span tracer** over the
+  offline pipeline (parse → DAG analysis → HPDS scheduling → TB
+  allocation → kernelgen → simulation), with per-span counters;
+* :mod:`repro.obs.metrics` — a **metrics registry** (labelled counters,
+  gauges, histograms) the runtime publishes into, exportable as JSON or
+  Prometheus text format.
+
+Both are opt-in and ~zero cost when disarmed: instrumentation sites
+either call :func:`repro.obs.spans.span` (which returns a shared no-op
+context manager) or guard on a ``None`` registry reference.  The
+:func:`observe` context manager arms both at once — this is what
+``resccl profile`` uses::
+
+    from repro import obs
+
+    with obs.observe() as ob:
+        plan = backend.plan(cluster, program, nbytes)
+        report = simulate(plan, record_trace=True)
+    print(ob.tracer.render())
+    print(ob.registry.to_prometheus())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    current_registry,
+    install_registry,
+)
+from .spans import (
+    Span,
+    SpanTracer,
+    current_span,
+    current_tracer,
+    install_tracer,
+    span,
+    tracing,
+)
+
+
+@dataclass
+class Observation:
+    """The armed instruments yielded by :func:`observe`."""
+
+    tracer: SpanTracer
+    registry: MetricsRegistry
+
+
+class observe:
+    """Arm a fresh span tracer *and* metrics registry together."""
+
+    def __enter__(self) -> Observation:
+        self._tracing = tracing()
+        self._collecting = collecting()
+        tracer = self._tracing.__enter__()
+        registry = self._collecting.__enter__()
+        return Observation(tracer=tracer, registry=registry)
+
+    def __exit__(self, *exc) -> bool:
+        self._collecting.__exit__(*exc)
+        self._tracing.__exit__(*exc)
+        return False
+
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "span",
+    "current_span",
+    "current_tracer",
+    "install_tracer",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_registry",
+    "install_registry",
+    "collecting",
+    "Observation",
+    "observe",
+]

@@ -1,0 +1,327 @@
+"""Metrics registry: labelled counters, gauges, and histograms.
+
+The runtime publishes operational measurements here — per-link bytes and
+busy time, FIFO credit stalls and queue depths, flow admissions and rate
+reallocations, fault/recovery counts — when a registry is armed via
+:func:`collecting` (or :func:`repro.obs.observe`).  Publishers hold a
+reference obtained from :func:`current_registry` at construction time
+and guard every publish with a ``None`` check, so the disarmed path
+costs one attribute test.
+
+Exports: :meth:`MetricsRegistry.to_json` (nested dict) and
+:meth:`MetricsRegistry.to_prometheus` (Prometheus text exposition
+format, one sample per label set).
+
+Metric names use Prometheus conventions: ``<subsystem>_<what>_<unit>``
+with ``_total`` suffixes on counters (``sim_credit_stalls_total``,
+``net_flows_admitted_total``, ``sim_link_bytes_total{link="..."}``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds (microsecond-scale durations
+#: and small integer depths both fit this decade ladder).
+DEFAULT_BUCKETS = (
+    1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0,
+)
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing value, one series per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.series: Dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        self.series[key] = self.series.get(key, 0.0) + value
+
+    def value(self, **labels: str) -> float:
+        return self.series.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        return sorted(self.series.items())
+
+
+class Gauge:
+    """Point-in-time value, one series per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.series: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        self.series[_label_key(labels)] = value
+
+    def value(self, **labels: str) -> float:
+        return self.series.get(_label_key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        return sorted(self.series.items())
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.bucket_counts = [0] * (nbuckets + 1)  # +inf bucket last
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class Histogram:
+    """Cumulative-bucket distribution, one series per label set."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets = tuple(sorted(buckets))
+        self.series: Dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        series = self.series.get(key)
+        if series is None:
+            series = self.series[key] = _HistogramSeries(len(self.buckets))
+        series.count += 1
+        series.sum += value
+        series.min = min(series.min, value)
+        series.max = max(series.max, value)
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                series.bucket_counts[index] += 1
+                return
+        series.bucket_counts[-1] += 1
+
+    def samples(self) -> List[Tuple[LabelKey, _HistogramSeries]]:
+        return sorted(self.series.items(), key=lambda item: item[0])
+
+
+class MetricsRegistry:
+    """Creates, deduplicates, and exports metrics.
+
+    Convenience forms (``inc`` / ``set`` / ``observe``) auto-create the
+    metric on first use, which keeps publisher call sites to one line.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    # -- typed accessors ------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, help, buckets)
+            self._metrics[name] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def _get_or_create(self, name: str, cls, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    # -- one-line publish helpers --------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        self.counter(name).inc(value, **labels)
+
+    def set(self, name: str, value: float, **labels: str) -> None:
+        self.gauge(name).set(value, **labels)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.histogram(name).observe(value, **labels)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -- export ---------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Nested dict: name -> {type, help, samples: [{labels, ...}]}."""
+        out: Dict[str, dict] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            entry: dict = {"type": metric.kind, "help": metric.help}
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["samples"] = [
+                    {
+                        "labels": dict(key),
+                        "count": s.count,
+                        "sum": s.sum,
+                        "min": s.min if s.count else None,
+                        "max": s.max if s.count else None,
+                        "bucket_counts": list(s.bucket_counts),
+                    }
+                    for key, s in metric.samples()
+                ]
+            else:
+                entry["samples"] = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in metric.samples()
+                ]
+            out[name] = entry
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key, series in metric.samples():
+                    cumulative = 0
+                    for bound, count in zip(
+                        metric.buckets, series.bucket_counts
+                    ):
+                        cumulative += count
+                        bucket_key = key + (("le", _fmt(bound)),)
+                        lines.append(
+                            f"{name}_bucket{_render_labels(bucket_key)} "
+                            f"{cumulative}"
+                        )
+                    inf_key = key + (("le", "+Inf"),)
+                    lines.append(
+                        f"{name}_bucket{_render_labels(inf_key)} {series.count}"
+                    )
+                    lines.append(
+                        f"{name}_sum{_render_labels(key)} {_fmt(series.sum)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_render_labels(key)} {series.count}"
+                    )
+            else:
+                for key, value in metric.samples():
+                    lines.append(
+                        f"{name}{_render_labels(key)} {_fmt(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def render(self, limit: int = 0) -> str:
+        """Compact human-readable dump for CLI output."""
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                for key, series in metric.samples():
+                    mean = series.sum / series.count if series.count else 0.0
+                    lines.append(
+                        f"  {name}{_render_labels(key)} "
+                        f"count={series.count} mean={mean:.1f} "
+                        f"max={series.max if series.count else 0:.1f}"
+                    )
+            else:
+                for key, value in metric.samples():
+                    lines.append(
+                        f"  {name}{_render_labels(key)} {_fmt(value)}"
+                    )
+        if limit and len(lines) > limit:
+            hidden = len(lines) - limit
+            lines = lines[:limit] + [f"  ... {hidden} more series"]
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+# ----------------------------------------------------------------------
+# Ambient (module-level) registry
+# ----------------------------------------------------------------------
+
+_current: Optional[MetricsRegistry] = None
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The armed registry, or ``None`` when metrics collection is off."""
+    return _current
+
+
+def install_registry(registry: Optional[MetricsRegistry]) -> None:
+    """Arm (or, with ``None``, disarm) the ambient registry."""
+    global _current
+    _current = registry
+
+
+class collecting:
+    """Context manager arming a fresh :class:`MetricsRegistry`."""
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = _current
+        registry = MetricsRegistry()
+        install_registry(registry)
+        return registry
+
+    def __exit__(self, *exc) -> bool:
+        install_registry(self._previous)
+        return False
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "current_registry",
+    "install_registry",
+    "collecting",
+]

@@ -1,0 +1,305 @@
+"""Pipeline span tracing: nested wall-clock timing with counters.
+
+A :class:`SpanTracer` records a tree of named spans over the offline
+pipeline — parse, DAG analysis, HPDS scheduling, TB allocation, kernel
+generation, simulation — each carrying wall time (microseconds since the
+tracer was armed), free-form string attributes, and numeric counters
+(tasks scheduled, merges accepted, DAG nodes, ...).
+
+Tracing is **opt-in and free when off**: instrumentation sites call the
+module-level :func:`span` helper, which returns a shared null context
+manager whenever no tracer is installed — one global read and one no-op
+method call, no allocation, no clock read.  Arm a tracer with
+:func:`tracing`::
+
+    from repro.obs import tracing
+
+    with tracing() as tracer:
+        compiled = ResCCLCompiler().compile(program, cluster)
+    print(tracer.render())
+
+Instrumented code inside the ``with`` block nests automatically::
+
+    with span("scheduling") as sp:
+        pipeline = hpds_schedule(dag)
+        sp.set(tasks_scheduled=pipeline.task_count)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class Span:
+    """One timed region of the pipeline.
+
+    Attributes:
+        name: region name (``parsing``, ``scheduling``, ``simulate``...).
+        start_us / end_us: wall-clock bounds, microseconds relative to
+            the owning tracer's arming instant.
+        attrs: free-form string attributes (algorithm, backend, ...).
+        counters: numeric measurements set by the instrumented code.
+        children: nested spans, in start order.
+    """
+
+    __slots__ = ("name", "start_us", "end_us", "attrs", "counters", "children")
+
+    def __init__(self, name: str, start_us: float, attrs: Dict[str, str]) -> None:
+        self.name = name
+        self.start_us = start_us
+        self.end_us = start_us
+        self.attrs = attrs
+        self.counters: Dict[str, float] = {}
+        self.children: List["Span"] = []
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    @property
+    def self_time_us(self) -> float:
+        """Duration not covered by child spans."""
+        return self.duration_us - sum(c.duration_us for c in self.children)
+
+    def set(self, **counters: float) -> None:
+        """Set (overwrite) counter values on this span."""
+        self.counters.update(counters)
+
+    def incr(self, name: str, value: float = 1) -> None:
+        """Increment one counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def to_dict(self) -> dict:
+        """JSON-friendly nested representation."""
+        return {
+            "name": self.name,
+            "start_us": self.start_us,
+            "duration_us": self.duration_us,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class _NullSpan:
+    """Absorbs counter calls when tracing is disarmed."""
+
+    __slots__ = ()
+
+    def set(self, **counters: float) -> None:
+        pass
+
+    def incr(self, name: str, value: float = 1) -> None:
+        pass
+
+
+class _NullSpanContext:
+    """Shared no-op context manager returned while disarmed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager pushing/popping one span on an armed tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "SpanTracer", name: str, attrs: Dict[str, str]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._push(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._pop(self._span)
+        return False
+
+
+class SpanTracer:
+    """Collects a forest of nested spans with a monotonic clock."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def _push(self, name: str, attrs: Dict[str, str]) -> Span:
+        span = Span(name, self._now_us(), attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def _pop(self, span: Span) -> None:
+        span.end_us = self._now_us()
+        # Tolerate mismatched exits (an exception may unwind several
+        # levels): pop up to and including the span being closed.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            top.end_us = span.end_us
+
+    def span(self, name: str, **attrs: str) -> _SpanContext:
+        """Open a nested span under the current one."""
+        return _SpanContext(self, name, attrs)
+
+    def current(self) -> Span:
+        """Innermost open span (a null span when none is open)."""
+        if self._stack:
+            return self._stack[-1]
+        return NULL_SPAN  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> List[dict]:
+        return [root.to_dict() for root in self.roots]
+
+    def render(self) -> str:
+        """ASCII span tree with durations and counters."""
+        lines: List[str] = []
+
+        def visit(span: Span, depth: int) -> None:
+            pad = "  " * depth
+            detail = ""
+            if span.attrs:
+                detail += " " + " ".join(
+                    f"{k}={v}" for k, v in sorted(span.attrs.items())
+                )
+            if span.counters:
+                detail += "  [" + ", ".join(
+                    f"{k}={_fmt_counter(v)}"
+                    for k, v in sorted(span.counters.items())
+                ) + "]"
+            lines.append(
+                f"{pad}{span.name:<{max(1, 24 - 2 * depth)}} "
+                f"{span.duration_us / 1000.0:9.3f} ms{detail}"
+            )
+            for child in span.children:
+                visit(child, depth + 1)
+
+        for root in self.roots:
+            visit(root, 0)
+        return "\n".join(lines)
+
+    def to_chrome_events(self, pid: int = 9992, tid: int = 0) -> List[dict]:
+        """Spans as Chrome trace-event ``X`` entries (wall-clock µs).
+
+        NOTE: span timestamps are *wall-clock* microseconds since the
+        tracer was armed, while TB lanes use *simulated* microseconds;
+        the exporter places spans in their own process so the two time
+        bases never share a track.
+        """
+        events: List[dict] = []
+
+        def visit(span: Span) -> None:
+            args: Dict[str, object] = dict(span.attrs)
+            args.update(span.counters)
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "pipeline",
+                    "ph": "X",
+                    "ts": span.start_us,
+                    "dur": span.duration_us,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+            for child in span.children:
+                visit(child)
+
+        for root in self.roots:
+            visit(root)
+        return events
+
+
+def _fmt_counter(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+# ----------------------------------------------------------------------
+# Ambient (module-level) tracer
+# ----------------------------------------------------------------------
+
+_current: Optional[SpanTracer] = None
+
+
+def current_tracer() -> Optional[SpanTracer]:
+    """The armed tracer, or ``None`` when tracing is off."""
+    return _current
+
+
+def install_tracer(tracer: Optional[SpanTracer]) -> None:
+    """Arm (or, with ``None``, disarm) the ambient tracer."""
+    global _current
+    _current = tracer
+
+
+def span(name: str, **attrs: str):
+    """Open a span on the ambient tracer; a shared no-op when disarmed."""
+    tracer = _current
+    if tracer is None:
+        return _NULL_CONTEXT
+    return tracer.span(name, **attrs)
+
+
+def current_span():
+    """Innermost open span of the ambient tracer (null when disarmed)."""
+    tracer = _current
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.current()
+
+
+class tracing:
+    """Context manager arming a fresh :class:`SpanTracer`.
+
+    Nested arming restores the previous tracer on exit.
+    """
+
+    def __enter__(self) -> SpanTracer:
+        self._previous = _current
+        tracer = SpanTracer()
+        install_tracer(tracer)
+        return tracer
+
+    def __exit__(self, *exc) -> bool:
+        install_tracer(self._previous)
+        return False
+
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "NULL_SPAN",
+    "span",
+    "current_span",
+    "current_tracer",
+    "install_tracer",
+    "tracing",
+]

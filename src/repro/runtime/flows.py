@@ -72,7 +72,12 @@ class Flow:
 class FlowNetwork:
     """Tracks active flows and allocates contended edge bandwidth."""
 
-    def __init__(self, edge_capacity: Dict[str, float], gamma: float = 0.03) -> None:
+    def __init__(
+        self,
+        edge_capacity: Dict[str, float],
+        gamma: float = 0.03,
+        metrics=None,
+    ) -> None:
         if gamma < 0:
             raise ValueError(f"gamma must be non-negative, got {gamma}")
         self._capacity = dict(edge_capacity)
@@ -83,6 +88,9 @@ class FlowNetwork:
         # Fault-injection capacity scaling; empty when no faults are armed,
         # so the healthy-fabric math is untouched.
         self._factor: Dict[str, float] = {}
+        # Optional repro.obs.metrics.MetricsRegistry; None means every
+        # publish site is a single attribute test (observability off).
+        self._metrics = metrics
 
     @property
     def gamma(self) -> float:
@@ -124,6 +132,8 @@ class FlowNetwork:
             self._factor.pop(edge, None)
         else:
             self._factor[edge] = max(0.0, factor)
+        if self._metrics is not None:
+            self._metrics.inc("net_capacity_derates_total", edge=edge)
         return self._reallocate(self._affected_flows((edge,)), now)
 
     # ------------------------------------------------------------------
@@ -146,6 +156,13 @@ class FlowNetwork:
         self._flows[flow.flow_id] = flow
         for edge in flow.edges:
             self._edge_flows.setdefault(edge, set()).add(flow.flow_id)
+        if self._metrics is not None:
+            self._metrics.inc("net_flows_admitted_total")
+            for edge in flow.edges:
+                self._metrics.observe(
+                    "net_edge_flow_depth", len(self._edge_flows[edge]),
+                    edge=edge,
+                )
         changed = self._reallocate(self._affected_flows(flow.edges), now)
         return flow, changed
 
@@ -234,6 +251,10 @@ class FlowNetwork:
                 flow.advance_to(now)
                 flow.rate = new_rate
                 changed.append(flow)
+        if self._metrics is not None and flows:
+            self._metrics.inc("net_reallocations_total")
+            if changed:
+                self._metrics.inc("net_rate_changes_total", len(changed))
         return changed
 
 

@@ -156,10 +156,18 @@ class SimReport:
     completion_order: List[Tuple[int, int]] = field(default_factory=list)
     #: Per-TB activity intervals; populated only when the simulator runs
     #: with ``record_trace=True``.  Fault, detection, and recovery events
-    #: are recorded unconditionally whenever an injector is armed.
+    #: are recorded unconditionally whenever an injector is armed, into a
+    #: bounded ring buffer (``SimConfig.fault_trace_cap``).
     trace: List["TraceEvent"] = field(default_factory=list)
     #: Fault-injection counters; ``None`` unless an injector was armed.
     fault_stats: Optional["FaultStats"] = None
+    #: Fault/recovery events evicted from the bounded fault-trace ring
+    #: buffer (oldest first) because a chaos run outgrew the cap.
+    trace_dropped: int = 0
+    #: Link-occupancy counter samples ``(link, time_us, active_flows)``;
+    #: populated only with ``record_trace=True``.  Feeds the Perfetto
+    #: counter tracks of the unified trace export.
+    link_trace: List[Tuple[str, float, int]] = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # Headline metrics

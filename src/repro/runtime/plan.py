@@ -117,6 +117,10 @@ class SimConfig:
             window — and nothing scheduled that could produce either —
             is declared stalled.  Set to 0 to disable the watchdog and
             fall back to the drained-queue deadlock check only.
+        fault_trace_cap: ring-buffer bound on the unconditionally
+            recorded fault/detection/recovery trace events.  Long chaos
+            runs evict oldest-first past the cap (surfaced as
+            ``SimReport.trace_dropped``); 0 means unbounded.
     """
 
     gamma: float = 0.03
@@ -125,6 +129,7 @@ class SimConfig:
     kernel_load_us: float = 5.0
     protocol: Protocol = Protocol.SIMPLE
     watchdog_window_us: float = 2000.0
+    fault_trace_cap: int = 4096
 
 
 @dataclass

@@ -31,6 +31,8 @@ from collections import defaultdict, deque
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..ir.task import CommType
+from ..obs.metrics import current_registry
+from ..obs.spans import span as obs_span
 from .flows import Flow, FlowNetwork
 from .metrics import FaultStats, LinkStats, SimReport, TBStats, TraceEvent
 from .plan import ExecMode, ExecutionPlan, Invocation, Side
@@ -124,9 +126,13 @@ class Simulator:
         self.cluster = plan.cluster
         self.config = plan.config
         self.dag = plan.dag
+        # Ambient metrics registry; None (the common case) means every
+        # publish site is a single attribute test and nothing else.
+        self._metrics = current_registry()
         self.network = FlowNetwork(
             {e: self.cluster.edge_capacity(e) for e in self.cluster.edges},
             gamma=self.config.gamma,
+            metrics=self._metrics,
         )
         self.now = 0.0
         self._heap: List[Tuple[float, int, str, object]] = []
@@ -186,6 +192,13 @@ class Simulator:
 
         self._record_trace = record_trace
         self._trace: List[TraceEvent] = []
+        # Fault/detection/recovery events live in their own bounded ring
+        # buffer: they are recorded even with tracing off, so a long
+        # chaos run must not grow memory without limit.
+        self._fault_trace: Deque[TraceEvent] = deque()
+        self._trace_dropped = 0
+        # Link-occupancy counter samples (link, time, active flows).
+        self._link_trace: List[Tuple[str, float, int]] = []
 
         # Per-logical-link activity.
         self._link_stats: Dict[str, LinkStats] = {}
@@ -358,8 +371,18 @@ class Simulator:
                 tb.stats.data_wait += waited
             else:
                 tb.stats.sync_wait += waited
+            if self._metrics is not None:
+                self._metrics.observe(
+                    "sim_wait_us", waited, kind=tb.wait_kind
+                )
+            # Bind the wait to the blocked task when the key carries one
+            # (deps/data waits); the analyzer uses it to splice the
+            # critical path across TBs at wait boundaries.
+            kind, key = tb.blocked_on
+            task_id, mb = key if kind in ("deps", "data") else (-1, -1)
             self._trace_event(
-                tb, f"wait:{tb.wait_kind}", tb.wait_start, self.now
+                tb, f"wait:{tb.wait_kind}", tb.wait_start, self.now,
+                task_id, mb,
             )
         tb.blocked_on = None
         tb.wait_kind = ""
@@ -392,6 +415,12 @@ class Simulator:
                 self._unblock(tb)
                 self._block(tb, "credit", credit_key, "sync")
                 self._credit_queue[credit_key].append(tb.index)
+                if self._metrics is not None:
+                    self._metrics.inc("sim_credit_stalls_total")
+                    self._metrics.observe(
+                        "sim_credit_queue_depth",
+                        len(self._credit_queue[credit_key]),
+                    )
             return False
         self._unblock(tb)
         self._credits[credit_key] -= 1
@@ -416,6 +445,8 @@ class Simulator:
         self._flow_version[flow.flow_id] = 0
         tb.phase = _INFLIGHT
         self._progress()
+        if self._metrics is not None:
+            self._metrics.inc("sim_flows_started_total")
         self._link_enter(task.link)
         self._post_flow_eta(flow)
         for other in changed:
@@ -458,6 +489,11 @@ class Simulator:
 
         task = self.dag.task(task_id)
         self._link_exit(task.link, flow.nbytes)
+        if self._metrics is not None:
+            self._metrics.inc("sim_flows_completed_total")
+            self._metrics.inc(
+                "sim_link_bytes_total", flow.nbytes, link=task.link
+            )
 
         sender = self.tbs[sender_index]
         send_start = flow.start_time - self._route_latency(task)
@@ -582,6 +618,8 @@ class Simulator:
         if self._link_active[link] == 0:
             self._link_busy_since[link] = self.now
         self._link_active[link] += 1
+        if self._record_trace:
+            self._link_trace.append((link, self.now, self._link_active[link]))
 
     def _link_exit(self, link: str, bytes_moved: float) -> None:
         stats = self._link_stats[link]
@@ -589,6 +627,8 @@ class Simulator:
         self._link_active[link] -= 1
         if self._link_active[link] == 0:
             stats.busy_time += self.now - self._link_busy_since.pop(link)
+        if self._record_trace:
+            self._link_trace.append((link, self.now, self._link_active[link]))
 
     # ------------------------------------------------------------------
     # Progress watchdog
@@ -629,6 +669,8 @@ class Simulator:
         if not self._stall_reported:
             self._stall_reported = True
             self.stalls_detected += 1
+            if self._metrics is not None:
+                self._metrics.inc("sim_watchdog_stalls_total")
             if self.fault_stats is not None:
                 self.fault_stats.detected_stalls += 1
             self.record_fault_event(
@@ -662,14 +704,21 @@ class Simulator:
     def record_fault_event(
         self, kind: str, start: float, end: float, tb_index: int = -1
     ) -> None:
-        """Append a fault/detection/recovery event to the trace.
+        """Append a fault/detection/recovery event to the fault trace.
 
         Unlike :meth:`_trace_event` these are recorded unconditionally:
         a faulted run's trace must show its fault timeline even when
-        per-TB activity tracing is off.
+        per-TB activity tracing is off.  The buffer is a bounded ring
+        (``SimConfig.fault_trace_cap``) so long chaos runs cannot grow
+        memory without limit; evictions surface as
+        ``SimReport.trace_dropped``.
         """
+        cap = self.config.fault_trace_cap
+        if cap > 0 and len(self._fault_trace) >= cap:
+            self._fault_trace.popleft()
+            self._trace_dropped += 1
         rank = self.tbs[tb_index].program.rank if tb_index >= 0 else -1
-        self._trace.append(
+        self._fault_trace.append(
             TraceEvent(
                 tb_index=tb_index,
                 rank=rank,
@@ -678,6 +727,8 @@ class Simulator:
                 end_us=end,
             )
         )
+        if self._metrics is not None:
+            self._metrics.inc("sim_fault_events_total", kind=kind)
 
     def apply_edge_factor(self, edge: str, factor: float) -> None:
         """Derate (or restore) a contention edge mid-run."""
@@ -743,6 +794,19 @@ class Simulator:
         completion = max(
             (tb.stats.release_time for tb in self.tbs), default=self.now
         )
+        trace = self._trace
+        if self._fault_trace:
+            # Interleave the (bounded) fault timeline chronologically.
+            trace = sorted(
+                [*trace, *self._fault_trace],
+                key=lambda e: (e.start_us, e.end_us),
+            )
+        if self._metrics is not None:
+            self._metrics.set("sim_completion_time_us", completion)
+            for link, stats in self._link_stats.items():
+                self._metrics.set(
+                    "sim_link_busy_us", stats.busy_time, link=link
+                )
         return SimReport(
             plan_name=self.plan.name,
             mode=self.plan.mode,
@@ -751,8 +815,10 @@ class Simulator:
             tb_stats=[tb.stats for tb in self.tbs],
             link_stats=self._link_stats,
             completion_order=self._completion_log,
-            trace=self._trace,
+            trace=trace,
             fault_stats=self.fault_stats,
+            trace_dropped=self._trace_dropped,
+            link_trace=self._link_trace,
         )
 
     def _describe_invocation(self, inv: Optional[Invocation]) -> str:
@@ -818,13 +884,20 @@ def simulate(
     recovery=None,
 ) -> SimReport:
     """Convenience wrapper: build a simulator, run it, return the report."""
-    return Simulator(
-        plan,
-        background_traffic=background_traffic,
-        record_trace=record_trace,
-        injector=injector,
-        recovery=recovery,
-    ).run()
+    with obs_span("simulate", plan=plan.name) as sp:
+        report = Simulator(
+            plan,
+            background_traffic=background_traffic,
+            record_trace=record_trace,
+            injector=injector,
+            recovery=recovery,
+        ).run()
+        sp.set(
+            completion_time_us=report.completion_time_us,
+            tbs=report.tb_count(),
+            trace_events=len(report.trace),
+        )
+    return report
 
 
 __all__ = ["Simulator", "SimulationDeadlock", "SimulationStall", "simulate"]

@@ -1,0 +1,181 @@
+"""Tests for critical-path attribution over simulation traces."""
+
+import pytest
+
+from repro import MB, ResCCLBackend, multi_node
+from repro.algorithms import hm_allreduce
+from repro.analysis import BUCKETS, attribute, critical_path
+from repro.baselines import MSCCLBackend, NCCLBackend
+from repro.ir.task import Collective
+from repro.runtime.metrics import SimReport, TraceEvent
+from repro.runtime.plan import ExecMode
+from repro.runtime.simulator import simulate
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return multi_node(2, 4)
+
+
+@pytest.fixture(scope="module")
+def plan(cluster):
+    return ResCCLBackend(max_microbatches=3).plan(
+        cluster, hm_allreduce(2, 4), 24 * MB
+    )
+
+
+@pytest.fixture(scope="module")
+def traced_report(plan):
+    return simulate(plan, record_trace=True)
+
+
+class TestCriticalPath:
+    def test_partitions_completion_time(self, traced_report):
+        segments = critical_path(traced_report)
+        assert segments, "critical path must not be empty"
+        assert segments[0].start_us == pytest.approx(0.0, abs=1e-6)
+        previous_end = 0.0
+        for segment in segments:
+            assert segment.start_us == pytest.approx(previous_end, abs=1e-6)
+            assert segment.end_us >= segment.start_us
+            previous_end = segment.end_us
+        assert previous_end == pytest.approx(
+            traced_report.completion_time_us, abs=1e-6
+        )
+
+    def test_known_buckets_only(self, traced_report):
+        for segment in critical_path(traced_report):
+            assert segment.kind in BUCKETS
+
+    def test_requires_trace(self, plan):
+        untraced = simulate(plan)
+        with pytest.raises(ValueError, match="trace"):
+            critical_path(untraced)
+
+    def test_empty_report_raises(self):
+        report = SimReport(
+            plan_name="empty",
+            mode=ExecMode.KERNEL,
+            completion_time_us=0.0,
+            total_bytes=0.0,
+        )
+        with pytest.raises(ValueError):
+            critical_path(report)
+
+    def test_single_event_trace(self):
+        report = SimReport(
+            plan_name="single",
+            mode=ExecMode.KERNEL,
+            completion_time_us=10.0,
+            total_bytes=1.0,
+            trace=[
+                TraceEvent(
+                    tb_index=0, rank=0, kind="send",
+                    start_us=2.0, end_us=8.0, task_id=0, mb=0,
+                )
+            ],
+        )
+        segments = critical_path(report)
+        kinds = [(s.kind, s.start_us, s.end_us) for s in segments]
+        assert kinds == [
+            ("idle", 0.0, 2.0),
+            ("send", 2.0, 8.0),
+            ("idle", 8.0, 10.0),
+        ]
+
+    def test_wait_splices_to_producer(self):
+        # TB 1 waits on task 0; TB 0's send (task 0) ends exactly when
+        # the wait lifts, so the walk must charge [0, 5] to the send.
+        report = SimReport(
+            plan_name="splice",
+            mode=ExecMode.KERNEL,
+            completion_time_us=9.0,
+            total_bytes=1.0,
+            trace=[
+                TraceEvent(tb_index=0, rank=0, kind="send",
+                           start_us=0.0, end_us=5.0, task_id=0, mb=0),
+                TraceEvent(tb_index=1, rank=1, kind="wait:data",
+                           start_us=0.0, end_us=5.0, task_id=0, mb=0),
+                TraceEvent(tb_index=1, rank=1, kind="recv",
+                           start_us=5.0, end_us=9.0, task_id=0, mb=0),
+            ],
+        )
+        segments = critical_path(report)
+        assert [(s.kind, s.tb_index) for s in segments] == [
+            ("send", 0), ("recv", 1)
+        ]
+        assert sum(s.duration_us for s in segments) == pytest.approx(9.0)
+
+
+class TestAttribution:
+    def test_buckets_sum_to_completion(self, traced_report, plan):
+        result = attribute(traced_report, dag=plan.dag)
+        assert result.attributed_total_us == pytest.approx(
+            traced_report.completion_time_us,
+            rel=0.01,  # the acceptance bound; exact by construction
+        )
+
+    def test_buckets_sum_across_backends(self, cluster):
+        backends = [
+            ResCCLBackend(max_microbatches=2),
+            MSCCLBackend(max_microbatches=2),
+            NCCLBackend(max_microbatches=2),
+        ]
+        for backend in backends:
+            if isinstance(backend, NCCLBackend):
+                plan = backend.plan(cluster, Collective.ALLREDUCE, 16 * MB)
+            else:
+                plan = backend.plan(cluster, hm_allreduce(2, 4), 16 * MB)
+            report = simulate(plan, record_trace=True)
+            result = attribute(report)
+            assert result.attributed_total_us == pytest.approx(
+                report.completion_time_us, rel=0.01
+            )
+
+    def test_per_rank_sums_to_total(self, traced_report):
+        result = attribute(traced_report)
+        per_rank_total = sum(
+            value
+            for buckets in result.per_rank.values()
+            for value in buckets.values()
+        )
+        assert per_rank_total == pytest.approx(result.attributed_total_us)
+
+    def test_per_link_requires_dag(self, traced_report, plan):
+        assert attribute(traced_report).per_link == {}
+        with_links = attribute(traced_report, dag=plan.dag)
+        assert with_links.per_link
+        links = set(with_links.per_link)
+        assert links <= {task.link for task in plan.dag.tasks}
+
+    def test_bubble_threshold(self):
+        report = SimReport(
+            plan_name="bubbly",
+            mode=ExecMode.KERNEL,
+            completion_time_us=100.0,
+            total_bytes=1.0,
+            trace=[
+                TraceEvent(tb_index=0, rank=0, kind="send",
+                           start_us=0.0, end_us=10.0, task_id=0, mb=0),
+                TraceEvent(tb_index=0, rank=0, kind="send",
+                           start_us=90.0, end_us=100.0, task_id=1, mb=0),
+            ],
+        )
+        result = attribute(report, bubble_threshold_us=50.0)
+        assert len(result.bubbles) == 1
+        bubble = result.bubbles[0]
+        assert bubble.kind == "idle"
+        assert bubble.duration_us == pytest.approx(80.0)
+        # Raising the threshold above the gap suppresses the flag.
+        assert attribute(report, bubble_threshold_us=90.0).bubbles == []
+
+    def test_render(self, traced_report, plan):
+        text = attribute(traced_report, dag=plan.dag).render()
+        assert "critical path" in text
+        assert "bucket" in text
+        assert "us" in text
+
+    def test_share(self, traced_report):
+        result = attribute(traced_report)
+        total_share = sum(result.share(bucket) for bucket in BUCKETS)
+        assert total_share == pytest.approx(1.0)

@@ -263,6 +263,193 @@ class TestTraceCommand:
         assert "timeline" in printed
         assert out.exists()
 
+    def test_ranks_filter_applies_to_both_outputs(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis import validate_chrome_trace
+        from repro.analysis.timeline import FAULT_PID
+
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "hm-allreduce",
+                    "--nodes", "2", "--gpus", "4",
+                    "--buffer-mb", "16",
+                    "--mbs", "2",
+                    "--ranks", "1,2",
+                    "--width", "40",
+                    "--output", str(out),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "r1 " in printed and "r0 " not in printed
+        trace = json.loads(out.read_text())
+        validate_chrome_trace(trace)
+        lane_pids = {
+            e["pid"] for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] < FAULT_PID
+        }
+        assert lane_pids == {1, 2}
+
+    def test_inject_includes_fault_events(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis.timeline import FAULT_PID
+
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "ring-allreduce",
+                    "--nodes", "1", "--gpus", "4",
+                    "--buffer-mb", "16",
+                    "--mbs", "2",
+                    "--inject", "link-flap",
+                    "--seed", "0",
+                    "--output", str(out),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "fault/recovery events" in printed
+        trace = json.loads(out.read_text())
+        fault_kinds = {
+            e["name"] for e in trace["traceEvents"]
+            if e.get("pid") == FAULT_PID and e["ph"] == "X"
+        }
+        assert any(k.startswith("fault:") for k in fault_kinds)
+
+    def test_bad_ranks_spec(self):
+        with pytest.raises(SystemExit, match="--ranks"):
+            main(
+                [
+                    "trace", "ring-allreduce",
+                    "--nodes", "1", "--gpus", "4",
+                    "--buffer-mb", "16", "--mbs", "2",
+                    "--ranks", "zero,one",
+                ]
+            )
+
+
+class TestProfileCommand:
+    def test_span_tree_attribution_and_exports(self, tmp_path, capsys):
+        import json
+
+        from repro.analysis import validate_chrome_trace
+        from repro.analysis.timeline import SPAN_PID
+
+        out = tmp_path / "profile.json"
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "profile",
+                    "ring-allreduce",
+                    "--nodes", "1", "--gpus", "4",
+                    "--buffer-mb", "16",
+                    "--mbs", "2",
+                    "--output", str(out),
+                    "--metrics-out", str(metrics),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        # The span tree covers the pipeline end to end.
+        for phase in ("plan", "parsing", "analysis", "scheduling",
+                      "kernelgen", "simulate"):
+            assert phase in printed
+        assert "critical path" in printed
+        assert "metrics:" in printed
+        trace = json.loads(out.read_text())
+        validate_chrome_trace(trace)
+        phs = {e["ph"] for e in trace["traceEvents"]}
+        assert {"X", "C", "M"} <= phs
+        span_names = {
+            e["name"] for e in trace["traceEvents"]
+            if e.get("pid") == SPAN_PID and e["ph"] == "X"
+        }
+        assert "simulate" in span_names
+        exported = json.loads(metrics.read_text())
+        assert "sim_completion_time_us" in exported
+
+    def test_attribution_sums_within_one_percent(self, capsys):
+        assert (
+            main(
+                [
+                    "profile",
+                    "hm-allreduce",
+                    "--nodes", "2", "--gpus", "4",
+                    "--buffer-mb", "16",
+                    "--mbs", "2",
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        import re
+
+        match = re.search(
+            r"critical path — .*: ([\d.]+) us", printed
+        )
+        assert match, printed
+        completion = float(match.group(1))
+        bucket_times = [
+            float(m.group(1))
+            for m in re.finditer(
+                r"^\s+(?:send|recv|overhead|wait:data|wait:sync|idle)"
+                r"\s+([\d.]+)\s+[\d.]+%$",
+                printed,
+                re.MULTILINE,
+            )
+        ]
+        assert bucket_times, printed
+        assert sum(bucket_times) == pytest.approx(completion, rel=0.01)
+
+    def test_prometheus_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "profile",
+                    "ring-allreduce",
+                    "--backend", "nccl",
+                    "--nodes", "1", "--gpus", "4",
+                    "--buffer-mb", "16",
+                    "--mbs", "2",
+                    "--metrics-out", str(metrics),
+                ]
+            )
+            == 0
+        )
+        text = metrics.read_text()
+        assert "# TYPE sim_completion_time_us gauge" in text
+
+    def test_profile_with_faults(self, capsys):
+        assert (
+            main(
+                [
+                    "profile",
+                    "ring-allreduce",
+                    "--nodes", "1", "--gpus", "4",
+                    "--buffer-mb", "16",
+                    "--mbs", "2",
+                    "--inject", "link-flap",
+                    "--seed", "0",
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "faults:" in printed
+        assert "critical path" in printed
+
 
 class TestFaultInjection:
     RING8 = "examples/algorithms/ring_allreduce_8.rescclang"

@@ -17,6 +17,7 @@ from repro.faults import (
 from repro.faults.recovery import ResilientRunner
 from repro.runtime import MB, SimulationDeadlock, SimulationStall, Simulator, simulate
 from repro.runtime.flows import FlowNetwork
+from repro.runtime.plan import SimConfig
 from repro.topology import Cluster
 
 
@@ -213,3 +214,40 @@ class TestDegradedCluster:
             cluster.degraded(["nv:out:0"], 0.0)
         with pytest.raises(KeyError):
             cluster.degraded(["no:such:edge"], 0.5)
+
+
+# ----------------------------------------------------------------------
+# Fault-trace ring buffer
+# ----------------------------------------------------------------------
+
+
+class TestFaultTraceRingBuffer:
+    def _plan_with_cap(self, cluster, cap):
+        backend = ResCCLBackend(
+            max_microbatches=4, config=SimConfig(fault_trace_cap=cap)
+        )
+        return backend.plan(cluster, ring_allreduce(4), 8 * MB)
+
+    def test_cap_evicts_oldest_and_counts_drops(self, cluster):
+        sim = Simulator(self._plan_with_cap(cluster, 3))
+        for i in range(10):
+            sim.record_fault_event("fault:test", float(i), float(i + 1))
+        report = sim.run()
+        kept = [e for e in report.trace if e.kind == "fault:test"]
+        assert len(kept) == 3
+        assert report.trace_dropped == 7
+        # Ring semantics: the oldest events are the ones evicted.
+        assert [e.start_us for e in kept] == [7.0, 8.0, 9.0]
+
+    def test_cap_zero_is_unbounded(self, cluster):
+        sim = Simulator(self._plan_with_cap(cluster, 0))
+        for i in range(10):
+            sim.record_fault_event("fault:test", float(i), float(i + 1))
+        report = sim.run()
+        kept = [e for e in report.trace if e.kind == "fault:test"]
+        assert len(kept) == 10
+        assert report.trace_dropped == 0
+
+    def test_default_chaos_run_reports_no_drops(self, plan):
+        outcome = run_with_faults(plan, "link-flap", seed=0)
+        assert outcome.report.trace_dropped == 0

@@ -6,8 +6,16 @@ import pytest
 
 from repro import MB, ResCCLBackend, multi_node
 from repro.algorithms import hm_allreduce
-from repro.analysis import ascii_gantt, to_chrome_trace, write_chrome_trace
-from repro.runtime.metrics import TraceEvent
+from repro.analysis import (
+    ascii_gantt,
+    partition_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.analysis.timeline import FAULT_PID, LINK_PID, SPAN_PID
+from repro.runtime.metrics import SimReport, TraceEvent
+from repro.runtime.plan import ExecMode
 from repro.runtime.simulator import simulate
 
 
@@ -111,3 +119,124 @@ class TestChromeTrace:
     def test_requires_trace(self, untraced_report):
         with pytest.raises(ValueError, match="no trace"):
             to_chrome_trace(untraced_report)
+
+    def test_link_counter_tracks(self, traced_report):
+        trace = to_chrome_trace(traced_report)
+        counters = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "C" and e["pid"] == LINK_PID
+        ]
+        assert counters, "record_trace=True must yield link counter tracks"
+        assert all("active_flows" in e["args"] for e in counters)
+        without = to_chrome_trace(traced_report, include_counters=False)
+        assert not any(e["ph"] == "C" for e in without["traceEvents"])
+
+    def test_span_lane(self, traced_report):
+        spans = [
+            {"name": "compile", "cat": "pipeline", "ph": "X",
+             "ts": 0.0, "dur": 5.0, "pid": SPAN_PID, "tid": 0, "args": {}},
+        ]
+        trace = to_chrome_trace(traced_report, spans=spans)
+        names = {
+            e["name"] for e in trace["traceEvents"] if e["pid"] == SPAN_PID
+        }
+        assert "compile" in names
+        validate_chrome_trace(trace)
+
+    def test_is_schema_valid(self, traced_report):
+        validate_chrome_trace(to_chrome_trace(traced_report))
+
+
+def _fault_report():
+    """A hand-built report mixing TB activity with global fault events."""
+    return SimReport(
+        plan_name="faulty",
+        mode=ExecMode.KERNEL,
+        completion_time_us=20.0,
+        total_bytes=1.0,
+        trace=[
+            TraceEvent(tb_index=0, rank=0, kind="send",
+                       start_us=0.0, end_us=8.0, task_id=0, mb=0),
+            TraceEvent(tb_index=1, rank=1, kind="recv",
+                       start_us=8.0, end_us=20.0, task_id=0, mb=0),
+            TraceEvent(tb_index=-1, rank=-1, kind="fault:link-down",
+                       start_us=3.0, end_us=6.0),
+            TraceEvent(tb_index=-1, rank=-1, kind="recover:resume",
+                       start_us=6.0, end_us=6.0),
+        ],
+        trace_dropped=2,
+    )
+
+
+class TestRankFiltering:
+    def test_partition_keeps_globals(self):
+        lanes, global_events = partition_trace(_fault_report(), ranks=[0])
+        assert [e.rank for e in lanes] == [0]
+        assert {e.kind for e in global_events} == {
+            "fault:link-down", "recover:resume"
+        }
+
+    def test_gantt_and_chrome_agree(self):
+        report = _fault_report()
+        chart = ascii_gantt(report, width=20, ranks=[0])
+        trace = to_chrome_trace(report, ranks=[0])
+        lane_pids = {
+            e["pid"] for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] != FAULT_PID
+        }
+        assert lane_pids == {0}
+        # Both renderers keep the (global) fault timeline.
+        assert "fault:link-down" in chart
+        fault_names = {
+            e["name"] for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == FAULT_PID
+        }
+        assert fault_names == {"fault:link-down", "recover:resume"}
+
+    def test_dropped_counter_surfaces(self):
+        report = _fault_report()
+        assert "dropped 2" in ascii_gantt(report, width=20)
+        trace = to_chrome_trace(report)
+        assert trace["otherData"]["trace_dropped"] == 2
+
+    def test_instant_fault_event_visible(self):
+        trace = to_chrome_trace(_fault_report())
+        resume = [
+            e for e in trace["traceEvents"]
+            if e.get("name") == "recover:resume" and e["ph"] == "X"
+        ]
+        assert resume and resume[0]["dur"] > 0
+        validate_chrome_trace(trace)
+
+
+class TestValidateChromeTrace:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+
+    def test_rejects_empty_events(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_bad_ph(self):
+        with pytest.raises(ValueError, match="unsupported ph"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "Z", "pid": 0}]}
+            )
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace(
+                {
+                    "traceEvents": [
+                        {"name": "x", "ph": "X", "pid": 0, "tid": 0,
+                         "ts": 1.0, "dur": -2.0}
+                    ]
+                }
+            )
+
+    def test_rejects_missing_pid(self):
+        with pytest.raises(ValueError, match="pid"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "M"}]}
+            )
