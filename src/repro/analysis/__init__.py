@@ -23,6 +23,13 @@ from .tables import (
     tb_breakdown,
     worst_idle_tb,
 )
+from .verify_delivery import (
+    DeliveryError,
+    DeliveryReport,
+    ResumeTaskMeta,
+    verify_delivery,
+    verify_stitched,
+)
 
 __all__ = [
     "BUCKETS",
@@ -42,4 +49,9 @@ __all__ = [
     "worst_idle_tb",
     "compare_bandwidth",
     "format_table",
+    "DeliveryError",
+    "DeliveryReport",
+    "ResumeTaskMeta",
+    "verify_delivery",
+    "verify_stitched",
 ]

@@ -1,0 +1,469 @@
+"""Semantic delivery verification: exactly-once chunk data flow.
+
+The symbolic engine in :mod:`repro.runtime.memory` tracks *sets* of
+contributions, which proves nothing was lost but cannot see a reduction
+contribution applied twice (set union is idempotent).  Recovery makes
+duplicates a live hazard: a resume plan that retransmits a chunk whose
+``recvReduceCopy`` already landed would silently corrupt the reduction.
+
+This module re-executes a plan under **counting semantics**: every
+``(rank, chunk, micro-batch)`` slot holds a multiset of contributing
+ranks.  A plain ``recv`` *replaces* the destination slot (copy
+semantics); a ``recvReduceCopy`` *adds* the payload's counts to it.  The
+collective postcondition then demands each expected contributor with
+count exactly one — catching loss *and* duplication — and flags any
+transfer that streams from a never-written slot.
+
+Two entry points:
+
+* :func:`verify_delivery` — check one :class:`ExecutionPlan` end to end,
+  either along a static topological order or along the dynamic
+  ``completion_order`` a simulation actually executed.
+* :func:`verify_stitched` — check a recovered run: replay the
+  checkpointed prefix of the primary plan, then each resume plan's
+  executed tasks (interpreted through their :class:`ResumeTaskMeta`
+  records, including two-hop relay scratch semantics), and prove the
+  stitched whole still meets the postcondition with every instance
+  delivered exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..ir.task import Collective, CommType
+from ..obs.metrics import current_registry
+from ..obs.spans import span as obs_span
+from ..runtime.plan import ExecutionPlan
+
+#: (rank, chunk, micro-batch) -> {contributing rank: count}.
+Slot = Tuple[int, int, int]
+State = Dict[Slot, Dict[int, int]]
+
+#: Resume-task kinds (see :class:`ResumeTaskMeta`).
+DIRECT = "direct"
+RELAY_IN = "relay-in"
+RELAY_OUT = "relay-out"
+
+
+class DeliveryError(RuntimeError):
+    """The delivery verifier found a postcondition or data-flow violation."""
+
+
+@dataclass(frozen=True)
+class ResumeTaskMeta:
+    """Semantic record of one resume-plan task.
+
+    A resume plan lives in a synthetic chunk-id space (residual instances
+    flattened to ``mb * chunks_per_microbatch + chunk``), so its tasks
+    cannot be interpreted positionally; each carries the original
+    instance it serves and how:
+
+    * ``direct`` — the original transfer rerouted verbatim: apply
+      ``op`` from ``src``'s main slot to ``dst``'s main slot.
+    * ``relay-in`` — first hop of a two-hop detour around a dead edge:
+      copy ``src``'s main slot into a scratch slot at ``relay_rank``
+      (never the relay's own main slot, which would corrupt the relay's
+      reduction state).
+    * ``relay-out`` — second hop: apply the *original* ``op`` from the
+      relay scratch slot to ``dst``'s main slot.
+
+    An instance counts as delivered when its ``direct`` or ``relay-out``
+    task completes; a completed ``relay-in`` alone leaves the payload
+    parked in scratch, unapplied.
+    """
+
+    orig_task_id: int
+    mb: int
+    kind: str
+    src: int
+    dst: int
+    chunk: int
+    op: CommType
+    relay_rank: int = -1
+
+    @property
+    def delivers(self) -> bool:
+        return self.kind != RELAY_IN
+
+
+@dataclass
+class DeliveryReport:
+    """Outcome of one delivery verification."""
+
+    plan_name: str
+    ok: bool
+    errors: List[str] = field(default_factory=list)
+    applied: int = 0
+    checked_slots: int = 0
+    microbatches: int = 0
+    duplicates: int = 0
+    losses: int = 0
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            shown = self.errors[:20]
+            more = len(self.errors) - len(shown)
+            tail = f"\n  ... and {more} more" if more > 0 else ""
+            raise DeliveryError(
+                f"delivery verification failed for {self.plan_name!r} "
+                f"({len(self.errors)} violation(s)):\n  "
+                + "\n  ".join(shown)
+                + tail
+            )
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"FAILED ({len(self.errors)} errors)"
+        return (
+            f"delivery {status}: {self.applied} transfers applied over "
+            f"{self.microbatches} micro-batch(es), "
+            f"{self.checked_slots} slots checked"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Counting-semantics execution
+# ---------------------------------------------------------------------------
+
+
+def initial_state(
+    collective: Collective,
+    nranks: int,
+    chunks: Sequence[int],
+    microbatches: Sequence[int],
+) -> State:
+    """Pre-collective buffer contents under counting semantics.
+
+    The owner of chunk id ``q`` is ``q % nranks`` — the identity map for
+    programs whose chunk space equals the rank count, and the correct
+    generalization for backends that slice data across parallel channel
+    instances in an extended space (each channel's chunks map back to
+    their owning rank modulo ``nranks``).
+    """
+    state: State = {}
+    for mb in microbatches:
+        for q in chunks:
+            owner = q % nranks
+            if collective is Collective.ALLGATHER:
+                state[(owner, q, mb)] = {owner: 1}
+            else:
+                for rank in range(nranks):
+                    state[(rank, q, mb)] = {rank: 1}
+    return state
+
+
+def _apply(
+    state: State,
+    src_slot: Slot,
+    dst_slot: Slot,
+    op: CommType,
+    errors: List[str],
+    label: str,
+    source: Optional[Dict[int, int]] = None,
+) -> None:
+    payload = source if source is not None else state.get(src_slot)
+    if not payload:
+        errors.append(f"{label}: streams from empty slot {src_slot} (loss)")
+        return
+    if op is CommType.RECV:
+        state[dst_slot] = dict(payload)
+        return
+    dst = state.setdefault(dst_slot, {})
+    for contributor, count in payload.items():
+        dst[contributor] = dst.get(contributor, 0) + count
+
+
+def _expected_contributors(
+    collective: Collective, nranks: int, rank: int, chunk: int
+) -> Optional[Dict[int, int]]:
+    """Postcondition for one slot; ``None`` means unconstrained."""
+    owner = chunk % nranks
+    if collective is Collective.ALLGATHER:
+        return {owner: 1}
+    if collective is Collective.ALLREDUCE:
+        return {r: 1 for r in range(nranks)}
+    if collective is Collective.REDUCESCATTER:
+        if rank == owner:
+            return {r: 1 for r in range(nranks)}
+        return None
+    raise ValueError(f"unsupported collective {collective}")
+
+
+def _check_postcondition(
+    state: State,
+    collective: Collective,
+    nranks: int,
+    chunks: Sequence[int],
+    microbatches: Sequence[int],
+    report: DeliveryReport,
+) -> None:
+    for mb in microbatches:
+        for q in chunks:
+            for rank in range(nranks):
+                expected = _expected_contributors(collective, nranks, rank, q)
+                if expected is None:
+                    continue
+                report.checked_slots += 1
+                actual = state.get((rank, q, mb), {})
+                for contributor, want in sorted(expected.items()):
+                    have = actual.get(contributor, 0)
+                    if have == want:
+                        continue
+                    if have < want:
+                        report.losses += 1
+                        report.errors.append(
+                            f"rank {rank} chunk {q} mb {mb}: contribution "
+                            f"of rank {contributor} applied {have}x, "
+                            f"expected {want}x (loss)"
+                        )
+                    else:
+                        report.duplicates += 1
+                        report.errors.append(
+                            f"rank {rank} chunk {q} mb {mb}: contribution "
+                            f"of rank {contributor} applied {have}x, "
+                            f"expected {want}x (duplicate)"
+                        )
+                for contributor in sorted(set(actual) - set(expected)):
+                    report.errors.append(
+                        f"rank {rank} chunk {q} mb {mb}: unexpected "
+                        f"contribution from rank {contributor}"
+                    )
+
+
+def _static_order(plan: ExecutionPlan) -> List[Tuple[int, int]]:
+    """Per-micro-batch topological replay order for a plan."""
+    topo = plan.dag.topological_order()
+    return [
+        (task_id, mb)
+        for mb in range(plan.n_microbatches)
+        for task_id in topo
+    ]
+
+
+def _publish(report: DeliveryReport, span) -> None:
+    span.set(
+        applied=report.applied,
+        checked_slots=report.checked_slots,
+        errors=len(report.errors),
+    )
+    registry = current_registry()
+    if registry is not None:
+        registry.inc("delivery_verifications_total")
+        if not report.ok:
+            registry.inc("delivery_violations_total", len(report.errors))
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def verify_delivery(
+    plan: ExecutionPlan,
+    order: Optional[Sequence[Tuple[int, int]]] = None,
+    expected_chunks: Optional[Iterable[int]] = None,
+) -> DeliveryReport:
+    """Symbolically execute ``plan`` and prove its collective postcondition.
+
+    Args:
+        plan: any execution plan (ResCCL, MSCCL, NCCL — extended chunk
+            spaces are handled via owner-modulo-nranks semantics).
+        order: an executed ``(task_id, mb)`` schedule to replay (e.g.
+            ``SimReport.completion_order``); defaults to a static
+            topological order.  When given, the schedule must also cover
+            every instance exactly once.
+        expected_chunks: override the verified chunk universe (defaults
+            to ``range(plan.chunks_per_microbatch)``).
+    """
+    with obs_span("recovery_verify", plan=plan.name, mode="plan") as sp:
+        program = plan.program
+        chunks = (
+            sorted(expected_chunks)
+            if expected_chunks is not None
+            else list(range(plan.chunks_per_microbatch))
+        )
+        mbs = list(range(plan.n_microbatches))
+        report = DeliveryReport(
+            plan_name=plan.name, ok=True, microbatches=len(mbs)
+        )
+        state = initial_state(
+            program.collective, program.nranks, chunks, mbs
+        )
+        schedule = list(order) if order is not None else _static_order(plan)
+        if order is not None:
+            _check_schedule_coverage(plan, schedule, report)
+        for task_id, mb in schedule:
+            task = plan.dag.task(task_id)
+            _apply(
+                state,
+                (task.src, task.chunk, mb),
+                (task.dst, task.chunk, mb),
+                task.op,
+                report.errors,
+                f"task {task_id} ({task.src}->{task.dst} chunk "
+                f"{task.chunk} mb {mb})",
+            )
+            report.applied += 1
+        _check_postcondition(
+            state, program.collective, program.nranks, chunks, mbs, report
+        )
+        report.ok = not report.errors
+        _publish(report, sp)
+    return report
+
+
+def _check_schedule_coverage(
+    plan: ExecutionPlan,
+    schedule: Sequence[Tuple[int, int]],
+    report: DeliveryReport,
+) -> None:
+    seen: Dict[Tuple[int, int], int] = {}
+    for pair in schedule:
+        seen[pair] = seen.get(pair, 0) + 1
+    for pair, count in sorted(seen.items()):
+        if count > 1:
+            report.errors.append(
+                f"instance (task {pair[0]}, mb {pair[1]}) executed "
+                f"{count}x in the replayed schedule"
+            )
+    expected = plan.n_microbatches * len(plan.dag)
+    if len(seen) != expected:
+        report.errors.append(
+            f"replayed schedule covers {len(seen)} instances, plan has "
+            f"{expected}"
+        )
+
+
+def verify_stitched(
+    plan: ExecutionPlan,
+    prefix: Sequence[Tuple[int, int]],
+    segments: Sequence[Tuple[Sequence[ResumeTaskMeta], Sequence[int]]],
+    expected_chunks: Optional[Iterable[int]] = None,
+) -> DeliveryReport:
+    """Verify a checkpoint + resume-plan(s) execution as one collective.
+
+    Args:
+        plan: the primary (failed) plan.
+        prefix: the checkpointed ``(task_id, mb)`` completion log of the
+            primary attempt, in execution order.
+        segments: one entry per resume plan actually run, in order: the
+            resume plan's per-task :class:`ResumeTaskMeta` list and the
+            resume task ids in the order they completed.  All but the
+            last segment may be partial (a later fault cut them short).
+        expected_chunks: as in :func:`verify_delivery`.
+    """
+    with obs_span("recovery_verify", plan=plan.name, mode="stitched") as sp:
+        program = plan.program
+        chunks = (
+            sorted(expected_chunks)
+            if expected_chunks is not None
+            else list(range(plan.chunks_per_microbatch))
+        )
+        mbs = list(range(plan.n_microbatches))
+        report = DeliveryReport(
+            plan_name=f"{plan.name}+resume", ok=True, microbatches=len(mbs)
+        )
+        state = initial_state(
+            program.collective, program.nranks, chunks, mbs
+        )
+        delivered: Dict[Tuple[int, int], int] = {}
+
+        # Primary-attempt prefix: the completion log is closed under
+        # predecessors, so replaying it in order is a valid execution.
+        for task_id, mb in prefix:
+            task = plan.dag.task(task_id)
+            _apply(
+                state,
+                (task.src, task.chunk, mb),
+                (task.dst, task.chunk, mb),
+                task.op,
+                report.errors,
+                f"prefix task {task_id} mb {mb}",
+            )
+            report.applied += 1
+            delivered[(task_id, mb)] = delivered.get((task_id, mb), 0) + 1
+
+        # Resume segments: relay hops go through per-(relay, chunk, mb)
+        # scratch slots so relaying never disturbs the relay rank's own
+        # reduction state.
+        scratch: Dict[Slot, Dict[int, int]] = {}
+        for seg_index, (metas, completed) in enumerate(segments):
+            for resume_task_id in completed:
+                meta = metas[resume_task_id]
+                label = (
+                    f"resume[{seg_index}] task {resume_task_id} "
+                    f"({meta.kind} for task {meta.orig_task_id} mb {meta.mb})"
+                )
+                main_src = (meta.src, meta.chunk, meta.mb)
+                main_dst = (meta.dst, meta.chunk, meta.mb)
+                if meta.kind == RELAY_IN:
+                    payload = state.get(main_src)
+                    if not payload:
+                        report.errors.append(
+                            f"{label}: streams from empty slot {main_src} "
+                            f"(loss)"
+                        )
+                    else:
+                        scratch[(meta.relay_rank, meta.chunk, meta.mb)] = (
+                            dict(payload)
+                        )
+                elif meta.kind == RELAY_OUT:
+                    key = (meta.relay_rank, meta.chunk, meta.mb)
+                    payload = scratch.pop(key, None)
+                    if payload is None:
+                        report.errors.append(
+                            f"{label}: relay scratch {key} empty — "
+                            f"relay-out completed before relay-in"
+                        )
+                    else:
+                        _apply(
+                            state, main_src, main_dst, meta.op,
+                            report.errors, label, source=payload,
+                        )
+                else:
+                    _apply(
+                        state, main_src, main_dst, meta.op,
+                        report.errors, label,
+                    )
+                report.applied += 1
+                if meta.delivers:
+                    key2 = (meta.orig_task_id, meta.mb)
+                    delivered[key2] = delivered.get(key2, 0) + 1
+
+        # Exactly-once delivery over the stitched whole.
+        for (task_id, mb), count in sorted(delivered.items()):
+            if count > 1:
+                report.duplicates += 1
+                report.errors.append(
+                    f"instance (task {task_id}, mb {mb}) delivered "
+                    f"{count}x across checkpoint and resume plans"
+                )
+        expected_instances = plan.n_microbatches * len(plan.dag)
+        if len(delivered) != expected_instances:
+            missing = expected_instances - len(delivered)
+            report.losses += abs(missing)
+            report.errors.append(
+                f"stitched execution delivered {len(delivered)} of "
+                f"{expected_instances} instances"
+            )
+
+        _check_postcondition(
+            state, program.collective, program.nranks, chunks, mbs, report
+        )
+        report.ok = not report.errors
+        _publish(report, sp)
+    return report
+
+
+__all__ = [
+    "DIRECT",
+    "RELAY_IN",
+    "RELAY_OUT",
+    "DeliveryError",
+    "DeliveryReport",
+    "ResumeTaskMeta",
+    "initial_state",
+    "verify_delivery",
+    "verify_stitched",
+]

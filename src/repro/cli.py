@@ -31,7 +31,7 @@ from .analysis import format_table
 from .baselines import MSCCLBackend, NCCLBackend
 from .core import ResCCLBackend, ResCCLCompiler
 from .experiments import available_experiments, run_experiment
-from .faults import INJECT_SCENARIOS, run_with_faults
+from .faults import INJECT_SCENARIOS, POLICY_NAMES, run_with_faults
 from .ir.task import parse_collective
 from .lang import AlgoProgram, parse_program, validate_program
 from .analysis import (
@@ -39,6 +39,7 @@ from .analysis import (
     attribute,
     to_chrome_trace,
     validate_chrome_trace,
+    verify_delivery,
     write_chrome_trace,
 )
 from .obs import observe
@@ -72,8 +73,14 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
                         help="fault-schedule RNG seed")
     parser.add_argument(
         "--recovery", default="fallback",
-        choices=["none", "retry", "fallback"],
+        choices=list(POLICY_NAMES),
         help="recovery policy when faults are injected",
+    )
+    parser.add_argument(
+        "--failover-factor", type=float, default=0.25,
+        help="capacity retained by dead edges in a fallback/resume "
+        "cluster; 0 means no failover path, so a partitioned topology "
+        "makes recovery impossible (exit code 2)",
     )
 
 
@@ -187,6 +194,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
         return 1
     print(f"collective semantics: ok ({program.collective.value} "
           "postcondition established)")
+    plan = ResCCLBackend(max_microbatches=4).plan(cluster, program, 4 * MB)
+    delivery = verify_delivery(plan)
+    if not delivery.ok:
+        print("chunk-level delivery FAILED:")
+        for error in delivery.errors[:20]:
+            print(f"  - {error}")
+        return 1
+    print(f"chunk-level delivery: ok ({delivery.summary()})")
     return 0
 
 
@@ -234,6 +249,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                     intensity=args.fault_intensity,
                     recovery=args.recovery,
                     record_trace=True,
+                    fallback_capacity_factor=args.failover_factor,
                 )
             except ValueError as exc:
                 raise SystemExit(f"error: {exc}") from None
@@ -316,6 +332,9 @@ def _traced_report(plan, args: argparse.Namespace):
                 seed=args.seed,
                 recovery=args.recovery,
                 record_trace=True,
+                fallback_capacity_factor=getattr(
+                    args, "failover_factor", 0.25
+                ),
             )
         except ValueError as exc:
             raise SystemExit(f"error: {exc}") from None
@@ -411,8 +430,14 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
     params = {}
     runner = REGISTRY.get(args.name)
-    if runner is not None and "seed" in inspect.signature(runner).parameters:
-        params["seed"] = args.seed
+    if runner is not None:
+        accepted = inspect.signature(runner).parameters
+        if "seed" in accepted:
+            params["seed"] = args.seed
+        if args.recovery and "policies" in accepted:
+            params["policies"] = tuple(args.recovery)
+        if args.scenario and "scenario" in accepted:
+            params["scenario"] = args.scenario
     result = run_experiment(args.name, **params)
     print(result.render())
     return 0
@@ -495,8 +520,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--fault-intensity", type=float, default=1.0,
                        help="fraction of the fault schedule to apply [0,1]")
     p_run.add_argument(
-        "--recovery", default="fallback", choices=["none", "retry", "fallback"],
+        "--recovery", default="fallback", choices=list(POLICY_NAMES),
         help="recovery policy when faults are injected",
+    )
+    p_run.add_argument(
+        "--failover-factor", type=float, default=0.25,
+        help="capacity retained by dead edges in a fallback/resume "
+        "cluster; 0 means no failover path, so a partitioned topology "
+        "makes recovery impossible (exit code 2)",
     )
     _add_cluster_args(p_run)
 
@@ -560,6 +591,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list available experiments")
     p_exp.add_argument("--seed", type=int, default=0,
                        help="RNG seed for seeded experiments")
+    p_exp.add_argument(
+        "--recovery", action="append", choices=list(POLICY_NAMES),
+        metavar="POLICY", default=None,
+        help="recovery policies to sweep (repeatable; experiments that "
+        f"take none ignore it; one of {'/'.join(POLICY_NAMES)})",
+    )
+    p_exp.add_argument(
+        "--scenario", default=None, metavar="SPEC",
+        help="fault scenario for resilience experiments "
+        f"({'/'.join(INJECT_SCENARIOS)})",
+    )
 
     return parser
 

@@ -1,7 +1,12 @@
 """ResCCL core: HPDS scheduling, flexible TB allocation, kernel generation."""
 
 from .backend import ResCCLBackend
-from .compiler import CompileResult, ResCCLCompiler, SCHEDULERS
+from .compiler import (
+    CompileResult,
+    ResCCLCompiler,
+    SCHEDULERS,
+    compile_residual,
+)
 from .hpds import hpds_schedule
 from .kernelgen import lower_to_programs, render_kernel_source
 from .pipeline import GlobalPipeline, SubPipeline
@@ -20,6 +25,7 @@ __all__ = [
     "ResCCLCompiler",
     "CompileResult",
     "SCHEDULERS",
+    "compile_residual",
     "hpds_schedule",
     "rr_schedule",
     "GlobalPipeline",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Union
+from typing import Callable, Dict, List, Tuple, Union
 
 from ..ir.dag import DependencyDAG, build_dag
 from ..lang.builder import AlgoProgram
@@ -141,4 +141,38 @@ class ResCCLCompiler:
         )
 
 
-__all__ = ["ResCCLCompiler", "CompileResult", "SCHEDULERS"]
+def compile_residual(
+    dag: DependencyDAG,
+    scheduler: str = "hpds",
+    pipelining_allowance: int = 1,
+) -> Tuple[GlobalPipeline, List[TBAssignment]]:
+    """Scheduling + lowering for an already-built (residual) DAG.
+
+    The replan-and-resume recovery path enters the pipeline here: it has
+    no DSL source and must not re-run whole-program validation — its
+    transfer set is a precedence-closed *residue* of a collective, built
+    directly against the degraded cluster (whose link annotations the DAG
+    already carries).  Phases 3 and 4 are identical to a full compile:
+    HPDS (or round-robin) over the DAG, then state-based TB allocation.
+
+    Returns ``(pipeline, assignments)``; kernel generation stays with the
+    caller, which knows the resume plan's micro-batch count.
+    """
+    if scheduler not in SCHEDULERS:
+        known = ", ".join(sorted(SCHEDULERS))
+        raise ValueError(f"unknown scheduler {scheduler!r}; known: {known}")
+    with obs_span("compile_residual", scheduler=scheduler) as sp:
+        pipeline = SCHEDULERS[scheduler](dag)
+        pipeline.check_all(dag)
+        assignments = allocate_tbs(
+            dag, pipeline, pipelining_allowance=pipelining_allowance
+        )
+        sp.set(
+            dag_nodes=len(dag),
+            sub_pipelines=pipeline.depth,
+            tbs=len(assignments),
+        )
+    return pipeline, assignments
+
+
+__all__ = ["ResCCLCompiler", "CompileResult", "SCHEDULERS", "compile_residual"]

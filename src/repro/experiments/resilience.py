@@ -4,9 +4,10 @@ The chaos sweep behind ``resccl experiment resilience`` and
 ``benchmarks/test_resilience_recovery.py``: one seeded fault scenario is
 generated at full intensity per backend, then replayed at cumulative
 prefixes (:meth:`~repro.faults.plan.FaultPlan.scaled_to`) under each
-recovery policy.  Because every lower intensity is a strict subset of a
-higher one, goodput degradation is monotone by construction and the
-sweep isolates the *recovery policy's* contribution to it.
+recovery policy (retry/backoff vs ring fallback vs replan-and-resume by
+default).  Because every lower intensity is a strict subset of a higher
+one, goodput degradation is monotone by construction and the sweep
+isolates the *recovery policy's* contribution to it.
 
 ``data`` maps ``backend -> policy -> [cell, ...]`` where each cell
 carries intensity, goodput ratio vs the clean run, completion time, and
@@ -31,7 +32,7 @@ from .base import (
 )
 
 DEFAULT_INTENSITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
-DEFAULT_POLICIES = ("retry", "fallback")
+DEFAULT_POLICIES = ("retry", "fallback", "replan")
 DEFAULT_BACKENDS = ("ResCCL", "MSCCL", "NCCL")
 
 
@@ -80,10 +81,15 @@ def run(
                     report.algo_bandwidth / baseline.algo_bandwidth
                     if baseline.algo_bandwidth > 0 else 0.0
                 )
+                slowdown = (
+                    report.completion_time_us / baseline.completion_time_us
+                    if baseline.completion_time_us > 0 else 1.0
+                )
                 cells.append(
                     {
                         "intensity": intensity,
                         "goodput": goodput,
+                        "slowdown": slowdown,
                         "completion_time_us": report.completion_time_us,
                         "fault_stats": report.fault_stats,
                     }
@@ -94,8 +100,10 @@ def run(
                         policy_name,
                         f"{intensity:.2f}",
                         f"{goodput:.3f}",
+                        f"{slowdown:.2f}x",
                         f"{report.completion_time_us / 1e3:.2f}",
                         str(report.fault_stats.recovered),
+                        str(report.fault_stats.replans),
                         str(report.fault_stats.fallbacks),
                     ]
                 )
@@ -108,8 +116,8 @@ def run(
             f"({cluster.world_size}-rank AllReduce, {size_mb} MB, seed {seed})"
         ),
         headers=[
-            "backend", "policy", "intensity", "goodput", "time (ms)",
-            "recovered", "fallbacks",
+            "backend", "policy", "intensity", "goodput", "slowdown",
+            "time (ms)", "recovered", "replans", "fallbacks",
         ],
         rows=rows,
         data=data,

@@ -9,12 +9,26 @@ for it:
 * :mod:`repro.faults.watchdog` — structured stall diagnostics
   (:class:`ProgressStall`) built when the simulator's progress watchdog
   fires;
+* :mod:`repro.faults.checkpoint` — delivered-progress snapshots at
+  stall time (chunk possession, applied reductions, in-flight bytes);
+* :mod:`repro.faults.replan` — residual-collective replanning: the
+  undelivered demand is rerouted around dead edges and re-compiled
+  through the full HPDS → TB-allocation → kernelgen pipeline;
 * :mod:`repro.faults.recovery` — pluggable recovery policies
-  (retry/backoff, flap re-admission, ring fallback);
+  (retry/backoff, flap re-admission, replan-and-resume, ring fallback);
 * :mod:`repro.faults.harness` — the chaos harness gluing it together.
 """
 
-from .harness import FaultRunOutcome, plan_edges, run_with_faults
+from .checkpoint import CollectiveCheckpoint
+from .harness import (
+    CHAOS_ALGORITHMS,
+    CHAOS_SCENARIOS,
+    CHAOS_SEEDS,
+    FaultRunOutcome,
+    plan_edges,
+    run_chaos_corpus,
+    run_with_faults,
+)
 from .injector import FaultInjector
 from .plan import (
     INJECT_SCENARIOS,
@@ -24,12 +38,16 @@ from .plan import (
     parse_inject_spec,
 )
 from .recovery import (
+    POLICY_NAMES,
     FallbackRequested,
+    RecoveryImpossible,
     RecoveryPolicy,
+    ReplanRequested,
     ResilientRunner,
     RetryBackoffPolicy,
     make_policy,
 )
+from .replan import ReplanInfeasible, ResumePlan, build_resume_plan, find_relay
 from .watchdog import EdgeCensus, ProgressStall, TBStallInfo, build_progress_stall
 
 __all__ = [
@@ -43,12 +61,24 @@ __all__ = [
     "TBStallInfo",
     "EdgeCensus",
     "build_progress_stall",
+    "CollectiveCheckpoint",
+    "ReplanInfeasible",
+    "ResumePlan",
+    "build_resume_plan",
+    "find_relay",
+    "POLICY_NAMES",
     "RecoveryPolicy",
     "RetryBackoffPolicy",
     "FallbackRequested",
+    "ReplanRequested",
+    "RecoveryImpossible",
     "ResilientRunner",
     "make_policy",
     "FaultRunOutcome",
     "plan_edges",
+    "run_chaos_corpus",
     "run_with_faults",
+    "CHAOS_ALGORITHMS",
+    "CHAOS_SCENARIOS",
+    "CHAOS_SEEDS",
 ]

@@ -1,0 +1,198 @@
+"""Collective checkpoints: delivered progress frozen at stall time.
+
+When a recovery policy escalates a permanent link death, the failed
+simulation still holds real, usable progress: every ``(task, micro-batch)``
+instance whose receive completed has landed its payload — applied its
+copy or reduction at the destination — and can never need redoing.  A
+:class:`CollectiveCheckpoint` snapshots exactly that set (plus partial
+in-flight bytes, for accounting) through
+:meth:`~repro.runtime.simulator.Simulator.export_checkpoint`, and derives
+the two things replanning needs:
+
+* the **residual demand** — every instance not yet completed.  The
+  completion set is closed under DAG predecessors (an instance cannot
+  complete before its dependencies), so its complement is closed under
+  successors: the residue is a valid precedence-closed sub-collective
+  whose chunk step-chains are truncated at the last delivered hop.
+* the **per-rank possession state** — which chunks each rank holds and
+  which reduction contributions each slot has absorbed, obtained by
+  replaying the completion log through the counting-semantics engine of
+  :mod:`repro.analysis.verify_delivery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..analysis.verify_delivery import State, initial_state
+from ..obs.metrics import current_registry
+from ..obs.spans import span as obs_span
+from ..runtime.plan import ExecutionPlan
+
+Instance = Tuple[int, int]  # (task_id, micro_batch)
+
+
+@dataclass
+class CollectiveCheckpoint:
+    """Progress snapshot of a stalled collective execution.
+
+    Attributes:
+        plan: the primary execution plan the snapshot belongs to.
+        at_us: checkpoint (stall/escalation) time; resume plans start
+            their clock here.
+        completed: ``(task_id, mb)`` instances in completion order — the
+            executed prefix, replayable through the delivery verifier.
+        inflight_bytes: bytes already streamed by flows that had not
+            finished at checkpoint time, per instance.  Reporting only:
+            recovery retransmits those chunks whole.
+        dead_edges: the permanently dead contention edges that triggered
+            the checkpoint.
+    """
+
+    plan: ExecutionPlan
+    at_us: float
+    completed: List[Instance]
+    inflight_bytes: Dict[Instance, float] = field(default_factory=dict)
+    dead_edges: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.completed_set: Set[Instance] = set(self.completed)
+
+    @classmethod
+    def capture(cls, sim, dead_edges) -> "CollectiveCheckpoint":
+        """Snapshot a (stalled) simulator's delivered progress."""
+        with obs_span(
+            "recovery_checkpoint", plan=sim.plan.name
+        ) as sp:
+            raw = sim.export_checkpoint()
+            checkpoint = cls(
+                plan=sim.plan,
+                at_us=raw["at_us"],
+                completed=raw["completed"],
+                inflight_bytes=raw["inflight_bytes"],
+                dead_edges=tuple(sorted(dead_edges)),
+            )
+            sp.set(
+                at_us=checkpoint.at_us,
+                completed=len(checkpoint.completed),
+                residual=len(checkpoint.residual_instances()),
+            )
+            registry = current_registry()
+            if registry is not None:
+                registry.inc("recovery_checkpoints_total")
+                registry.set(
+                    "recovery_checkpoint_progress",
+                    checkpoint.progress_fraction,
+                )
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+
+    @property
+    def total_instances(self) -> int:
+        return len(self.plan.dag) * self.plan.n_microbatches
+
+    @property
+    def progress_fraction(self) -> float:
+        """Fraction of instances fully delivered before the stall."""
+        total = self.total_instances
+        if total <= 0:
+            return 0.0
+        return len(self.completed_set) / total
+
+    @property
+    def delivered_bytes(self) -> float:
+        """Bytes landed by completed instances plus partial in-flight."""
+        return (
+            len(self.completed_set) * self.plan.chunk_bytes
+            + sum(self.inflight_bytes.values())
+        )
+
+    def residual_instances(self) -> List[Instance]:
+        """The precedence-closed remaining demand, in (step, id) order."""
+        residue = []
+        for task in self.plan.dag.tasks:
+            for mb in range(self.plan.n_microbatches):
+                if (task.task_id, mb) not in self.completed_set:
+                    residue.append((task.task_id, mb))
+        residue.sort(
+            key=lambda pair: (
+                self.plan.dag.task(pair[0]).step, pair[0], pair[1]
+            )
+        )
+        return residue
+
+    def advanced(
+        self,
+        newly_delivered: List[Instance],
+        at_us: float,
+        dead_edges,
+    ) -> "CollectiveCheckpoint":
+        """Fold a partial resume run's deliveries into a new checkpoint.
+
+        Used when a *second* fault interrupts a resume plan: the next
+        replan round must exclude everything either attempt delivered.
+        The extended ``completed`` list is valid for residue computation
+        but is no longer a primary-plan execution order — stitched
+        verification replays resume segments through their own metadata
+        instead.
+        """
+        merged = list(self.completed)
+        merged.extend(
+            pair for pair in newly_delivered
+            if pair not in self.completed_set
+        )
+        return CollectiveCheckpoint(
+            plan=self.plan,
+            at_us=at_us,
+            completed=merged,
+            inflight_bytes={},
+            dead_edges=tuple(sorted(set(self.dead_edges) | set(dead_edges))),
+        )
+
+    def possession(self) -> Dict[int, Dict[int, FrozenSet[int]]]:
+        """Per-rank chunk possession at checkpoint time.
+
+        Returns ``{rank: {(chunk index): frozenset(contributing ranks)}}``
+        for micro-batch-0 slots (representative; micro-batches are data
+        independent), derived by replaying the completion log under
+        counting semantics.  A chunk is "held" when its slot is non-empty;
+        the contributor set shows which partial reductions have been
+        applied.
+        """
+        state = self._buffer_state()
+        held: Dict[int, Dict[int, FrozenSet[int]]] = {}
+        for (rank, chunk, mb), contributors in state.items():
+            if mb != 0 or not contributors:
+                continue
+            held.setdefault(rank, {})[chunk] = frozenset(contributors)
+        return held
+
+    def _buffer_state(self) -> State:
+        """Counting-semantics buffer state after the completed prefix."""
+        program = self.plan.program
+        chunks = list(range(self.plan.chunks_per_microbatch))
+        mbs = list(range(self.plan.n_microbatches))
+        state = initial_state(
+            program.collective, program.nranks, chunks, mbs
+        )
+        errors: List[str] = []
+        from ..analysis.verify_delivery import _apply
+
+        for task_id, mb in self.completed:
+            task = self.plan.dag.task(task_id)
+            _apply(
+                state,
+                (task.src, task.chunk, mb),
+                (task.dst, task.chunk, mb),
+                task.op,
+                errors,
+                f"checkpoint prefix task {task_id} mb {mb}",
+            )
+        return state
+
+
+__all__ = ["CollectiveCheckpoint", "Instance"]

@@ -12,7 +12,7 @@ requested recovery policy and ring fallback armed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 from ..obs.metrics import current_registry
 from ..runtime.metrics import SimReport
@@ -34,6 +34,7 @@ def _publish_fault_metrics(report: SimReport) -> None:
     registry.inc("fault_retries_total", stats.retries)
     registry.inc("fault_unrecovered_total", stats.unrecovered)
     registry.inc("fault_fallbacks_total", stats.fallbacks)
+    registry.inc("fault_replans_total", stats.replans)
     registry.set("fault_downtime_us", stats.downtime_us)
     for latency in stats.recovery_latencies_us:
         registry.observe("fault_recovery_latency_us", latency)
@@ -79,6 +80,8 @@ def run_with_faults(
     record_trace: bool = False,
     background_traffic=None,
     fallback_capacity_factor: float = 0.25,
+    verify: bool = True,
+    max_replans: int = 3,
 ) -> FaultRunOutcome:
     """Run ``plan`` clean, then under faults, and report both.
 
@@ -90,12 +93,17 @@ def run_with_faults(
             on an empty schedule.
         seed: single RNG seed for schedule generation (determinism).
         intensity: scales the generated event count (cumulative prefix).
-        recovery: policy name (``none``/``retry``/``fallback``) or a
-            policy instance.
+        recovery: policy name (``none``/``retry``/``fallback``/
+            ``replan``) or a policy instance.
         record_trace: record fault/recovery :class:`TraceEvent`\\ s.
         background_traffic: forwarded to both runs.
         fallback_capacity_factor: derating applied to dead edges when the
-            run falls back to a ring plan.
+            run falls back to a ring plan (0 models "no failover path":
+            a partition then raises ``RecoveryImpossible``).
+        verify: prove the collective postcondition of every surviving
+            run — including stitched checkpoint + resume executions —
+            with the semantic delivery verifier.
+        max_replans: re-replanning budget before escalating to ring.
     """
     baseline = Simulator(
         plan,
@@ -130,6 +138,8 @@ def run_with_faults(
         record_trace=record_trace,
         background_traffic=background_traffic,
         fallback_capacity_factor=fallback_capacity_factor,
+        max_replans=max_replans,
+        verify=verify,
     )
     report = runner.run()
     _publish_fault_metrics(report)
@@ -138,4 +148,79 @@ def run_with_faults(
     )
 
 
-__all__ = ["FaultRunOutcome", "plan_edges", "run_with_faults"]
+#: The seeded chaos corpus: every (algorithm, scenario, seed) cell is
+#: replayed identically for each recovery policy under test.
+CHAOS_ALGORITHMS = ("ring-allreduce", "ring-allgather", "mesh-allreduce")
+CHAOS_SCENARIOS = ("link-flap", "link-kill", "chaos")
+CHAOS_SEEDS = (0, 1)
+
+
+def run_chaos_corpus(
+    policies: Sequence[str] = ("retry", "fallback", "replan"),
+    algorithms: Sequence[str] = CHAOS_ALGORITHMS,
+    scenarios: Sequence[str] = CHAOS_SCENARIOS,
+    seeds: Sequence[int] = CHAOS_SEEDS,
+    nodes: int = 2,
+    gpus_per_node: int = 4,
+    buffer_mb: float = 8.0,
+) -> List[dict]:
+    """Replay the seeded fault corpus under the given recovery policies.
+
+    Every surviving run is postcondition-checked by the semantic
+    delivery verifier (``verify=True`` hard-fails on any violation) —
+    this is the CI chaos-matrix entry point.  Runs that legitimately
+    cannot survive a scenario under a weak policy (e.g. ``retry`` against
+    a permanent kill) are recorded as ``stalled`` rather than failed.
+
+    Returns one row per (algorithm, scenario, seed, policy) cell.
+    """
+    from ..algorithms.registry import build_algorithm
+    from ..core.backend import ResCCLBackend
+    from ..runtime.simulator import SimulationDeadlock
+    from ..topology import Cluster
+
+    cluster = Cluster(nodes=nodes, gpus_per_node=gpus_per_node)
+    backend = ResCCLBackend(max_microbatches=4)
+    rows: List[dict] = []
+    for algo_name in algorithms:
+        program = build_algorithm(algo_name, cluster)
+        plan = backend.plan(cluster, program, buffer_mb * 1e6)
+        for scenario in scenarios:
+            for seed in seeds:
+                for policy in policies:
+                    row = {
+                        "algorithm": algo_name,
+                        "scenario": scenario,
+                        "seed": seed,
+                        "policy": policy,
+                        "outcome": "completed",
+                        "goodput_ratio": 0.0,
+                        "replans": 0,
+                        "fallbacks": 0,
+                    }
+                    try:
+                        outcome = run_with_faults(
+                            plan, scenario, seed=seed, recovery=policy,
+                            verify=True,
+                        )
+                    except SimulationDeadlock:
+                        row["outcome"] = "stalled"
+                    else:
+                        row["goodput_ratio"] = outcome.goodput_ratio
+                        stats = outcome.report.fault_stats
+                        if stats is not None:
+                            row["replans"] = stats.replans
+                            row["fallbacks"] = stats.fallbacks
+                    rows.append(row)
+    return rows
+
+
+__all__ = [
+    "CHAOS_ALGORITHMS",
+    "CHAOS_SCENARIOS",
+    "CHAOS_SEEDS",
+    "FaultRunOutcome",
+    "plan_edges",
+    "run_chaos_corpus",
+    "run_with_faults",
+]

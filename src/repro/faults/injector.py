@@ -33,6 +33,7 @@ class FaultInjector:
         # Active credit-delay windows: (start, end, delay).
         self._credit_windows: List[Tuple[float, float, float]] = []
         self._pending_transitions = 0
+        self._pending_restores = 0
 
     # ------------------------------------------------------------------
     # Arming and event application
@@ -57,6 +58,7 @@ class FaultInjector:
             if not event.is_permanent and event.kind is not FaultKind.TB_STALL:
                 sim._post(event.end_us, "fault", ("revert", index))
                 self._pending_transitions += 1
+                self._pending_restores += 1
 
     def on_event(self, sim, payload: Tuple[str, int]) -> None:
         action, index = payload
@@ -65,6 +67,7 @@ class FaultInjector:
         if action == "apply":
             self._apply(sim, index, event)
         else:
+            self._pending_restores -= 1
             self._revert(sim, index, event)
 
     def _apply(self, sim, index: int, event: FaultEvent) -> None:
@@ -165,6 +168,18 @@ class FaultInjector:
         dead — the watchdog defers to the timeline before escalating.
         """
         return self._pending_transitions > 0
+
+    def has_pending_restorations(self) -> bool:
+        """True while a link-up that could unstick the run is scheduled.
+
+        Pending *applications* (a second kill, a future degrade) can only
+        make a stall worse, so the watchdog escalates through them; only
+        a pending restoration justifies waiting.  This is what lets a
+        permanent-death escalation fire promptly even when the fault
+        timeline holds later events — e.g. a second kill that must land
+        *during* the first resume plan, not be folded into it.
+        """
+        return self._pending_restores > 0
 
 
 __all__ = ["FaultInjector"]

@@ -119,6 +119,8 @@ class FaultStats:
     retries: int = 0
     unrecovered: int = 0
     fallbacks: int = 0
+    #: Resume plans compiled after a checkpoint (replan-and-resume rung).
+    replans: int = 0
     downtime_us: float = 0.0
     fallback_overhead_us: float = 0.0
     recovery_latencies_us: List[float] = field(default_factory=list)
@@ -136,7 +138,8 @@ class FaultStats:
             f"{self.detected_stalls} stall(s) detected, "
             f"{self.recovered} recovered "
             f"(mean latency {self.mean_recovery_latency_us:.0f} us), "
-            f"{self.retries} retries, {self.fallbacks} fallback(s), "
+            f"{self.retries} retries, {self.replans} replan(s), "
+            f"{self.fallbacks} fallback(s), "
             f"{self.unrecovered} unrecovered"
         )
 

@@ -104,6 +104,7 @@ class Simulator:
         record_trace: bool = False,
         injector=None,
         recovery=None,
+        start_at_us: float = 0.0,
     ) -> None:
         """Args:
             plan: the execution plan to run.
@@ -120,6 +121,11 @@ class Simulator:
             recovery: optional recovery policy (see
                 :mod:`repro.faults.recovery`) consulted by the progress
                 watchdog before a stall is raised.
+            start_at_us: clock origin.  A resume plan produced by the
+                replan-and-resume recovery path starts where the failed
+                primary attempt stalled, so its completion time — and
+                every trace/fault timestamp — is already in global run
+                time and stitches directly onto the checkpoint.
         """
         plan.validate()
         self.plan = plan
@@ -134,13 +140,14 @@ class Simulator:
             gamma=self.config.gamma,
             metrics=self._metrics,
         )
-        self.now = 0.0
+        self.start_at_us = start_at_us
+        self.now = start_at_us
         self._heap: List[Tuple[float, int, str, object]] = []
         self._seq = itertools.count()
         for edges, cap in background_traffic or ():
             # Effectively-infinite payload: the congestor never drains.
             self.network.start_flow(
-                edges=tuple(edges), nbytes=float("inf"), cap=cap, now=0.0
+                edges=tuple(edges), nbytes=float("inf"), cap=cap, now=self.now
             )
 
         self.tbs = [
@@ -214,7 +221,7 @@ class Simulator:
         # could move it (no draining flow, no pending recv clock, no
         # pending TB timer).
         self._progress_counter = 0
-        self._last_progress_us = 0.0
+        self._last_progress_us = self.now
         self._watchdog_seen_counter = -1
         self._stall_reported = False
         self._tb_timers = 0  # pending "tb" wakeups (overhead / unfreeze)
@@ -278,7 +285,7 @@ class Simulator:
         for tb in self.tbs:
             self._advance(tb)
         if self.watchdog_window_us > 0:
-            self._post(self.watchdog_window_us, "watchdog", None)
+            self._post(self.now + self.watchdog_window_us, "watchdog", None)
         while self._heap:
             time, _, kind, payload = heapq.heappop(self._heap)
             self.now = max(self.now, time)
@@ -676,9 +683,14 @@ class Simulator:
             self.record_fault_event(
                 "detect:stall", self._last_progress_us, self.now
             )
-        # A pending fault-timeline transition (e.g. a flap's link-up) may
+        # A pending fault-timeline *restoration* (a flap's link-up) may
         # unstick the run by itself; defer to it before escalating.
-        if self.injector is not None and self.injector.has_pending_transitions():
+        # Pending applications (a future kill/degrade) cannot, so they do
+        # not delay escalation.
+        if (
+            self.injector is not None
+            and self.injector.has_pending_restorations()
+        ):
             self._post(self.now + window, "watchdog", None)
             return
         if self.recovery is not None and self.recovery.on_stall(self, stall):
@@ -783,6 +795,31 @@ class Simulator:
         return [
             entry for entry in self._flows.values() if entry[0].rate <= 0.0
         ]
+
+    def export_checkpoint(self) -> Dict[str, object]:
+        """Snapshot delivered progress for the replan-and-resume path.
+
+        Returns the raw material a
+        :class:`~repro.faults.checkpoint.CollectiveCheckpoint` is built
+        from: the ordered ``(task_id, micro_batch)`` completion log (the
+        instances whose payload has fully landed and been copied out),
+        per-instance bytes already streamed by in-flight-but-unfinished
+        flows, and the current clock.  Partial in-flight bytes are
+        reported for accounting only — recovery retransmits those chunks
+        whole, which is always safe because a send never destroys its
+        source slot and the receive that would apply the payload has not
+        completed.
+        """
+        inflight: Dict[Tuple[int, int], float] = {}
+        for flow, task_id, mb, _sender in self._flows.values():
+            flow.advance_to(self.now)
+            inflight[(task_id, mb)] = max(0.0, flow.nbytes - flow.remaining)
+        return {
+            "plan_name": self.plan.name,
+            "at_us": self.now,
+            "completed": list(self._completion_log),
+            "inflight_bytes": inflight,
+        }
 
     # ------------------------------------------------------------------
     # Reporting

@@ -4,8 +4,9 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis import verify_delivery
 from repro.lang import parse_program, validate_program
-from repro.runtime import verify_collective
+from repro.runtime import MB, verify_collective
 from repro.topology import Cluster
 
 CORPUS = sorted(
@@ -39,6 +40,23 @@ class TestCorpus:
         program = parse_program(path.read_text())
         compiled = ResCCLCompiler().compile(program, cluster_for(program))
         compiled.pipeline.check_all(compiled.dag)
+
+    @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+    def test_chunk_level_delivery(self, path):
+        """The counting verifier proves every corpus plan exactly-once.
+
+        Stronger than ``verify_collective``'s set semantics: a duplicate
+        reduction contribution is invisible to a set union but counts as
+        a violation here.
+        """
+        from repro.core import ResCCLBackend
+
+        program = parse_program(path.read_text())
+        cluster = cluster_for(program)
+        plan = ResCCLBackend(max_microbatches=4).plan(
+            cluster, program, 4 * MB
+        )
+        verify_delivery(plan).raise_if_failed()
 
     def test_headers_document_usage(self):
         for path in CORPUS:

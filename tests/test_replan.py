@@ -1,0 +1,384 @@
+"""Replan-and-resume recovery: checkpoint, residual replanning, verifier."""
+
+import pytest
+
+from repro.algorithms.ring import ring_allreduce
+from repro.analysis import verify_delivery
+from repro.analysis.verify_delivery import (
+    DIRECT,
+    RELAY_IN,
+    RELAY_OUT,
+    DeliveryError,
+)
+from repro.core import ResCCLBackend
+from repro.faults import (
+    CollectiveCheckpoint,
+    FaultInjector,
+    FaultPlan,
+    RecoveryImpossible,
+    ReplanInfeasible,
+    ReplanRequested,
+    build_resume_plan,
+    find_relay,
+    make_policy,
+    plan_edges,
+)
+from repro.faults.recovery import ResilientRunner
+from repro.runtime import MB, SimulationDeadlock, Simulator, simulate
+from repro.topology import Cluster
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster(nodes=2, gpus_per_node=4)
+
+
+@pytest.fixture(scope="module")
+def plan(cluster):
+    backend = ResCCLBackend(max_microbatches=4)
+    return backend.plan(cluster, ring_allreduce(8), 16 * MB)
+
+
+@pytest.fixture(scope="module")
+def clean(plan):
+    return simulate(plan)
+
+
+@pytest.fixture(scope="module")
+def single_node_plan():
+    cluster = Cluster(nodes=1, gpus_per_node=4)
+    backend = ResCCLBackend(max_microbatches=4)
+    return backend.plan(cluster, ring_allreduce(4), 8 * MB)
+
+
+def request_replan(plan, fault_plan) -> ReplanRequested:
+    """Run to the first stall under the replan policy, return the request."""
+    sim = Simulator(
+        plan,
+        injector=FaultInjector(fault_plan),
+        recovery=make_policy("replan"),
+    )
+    with pytest.raises(ReplanRequested) as info:
+        sim.run()
+    return info.value
+
+
+def mid_run_kill(plan, clean, edge="nv:out:0") -> FaultPlan:
+    return FaultPlan().kill(edge, at_us=0.5 * clean.completion_time_us)
+
+
+# ----------------------------------------------------------------------
+# Checkpointing
+# ----------------------------------------------------------------------
+
+
+class TestCheckpoint:
+    def test_capture_snapshots_partial_progress(self, plan, clean):
+        request = request_replan(plan, mid_run_kill(plan, clean))
+        ckpt = CollectiveCheckpoint.capture(request.sim, request.dead_edges)
+        assert ckpt.plan is plan
+        assert ckpt.at_us == request.at_us
+        assert 0.0 < ckpt.progress_fraction < 1.0
+        assert ckpt.total_instances == plan.n_microbatches * len(plan.dag)
+        assert len(ckpt.completed) + len(ckpt.residual_instances()) == (
+            ckpt.total_instances
+        )
+
+    def test_completion_is_precedence_closed(self, plan, clean):
+        request = request_replan(plan, mid_run_kill(plan, clean))
+        ckpt = CollectiveCheckpoint.capture(request.sim, request.dead_edges)
+        done = ckpt.completed_set
+        for task_id, mb in ckpt.completed:
+            for pred in plan.dag.preds[task_id]:
+                assert (pred, mb) in done, (task_id, pred, mb)
+
+    def test_possession_replays_delivered_chunks(self, plan, clean):
+        request = request_replan(plan, mid_run_kill(plan, clean))
+        ckpt = CollectiveCheckpoint.capture(request.sim, request.dead_edges)
+        possession = ckpt.possession()
+        assert set(possession) == set(range(plan.cluster.world_size))
+        # Partial progress: someone holds a chunk beyond their own shard.
+        contributions = sum(
+            len(holders)
+            for chunks in possession.values()
+            for holders in chunks.values()
+        )
+        assert contributions > 0
+
+    def test_advanced_folds_in_resume_deliveries(self, plan, clean):
+        request = request_replan(plan, mid_run_kill(plan, clean))
+        ckpt = CollectiveCheckpoint.capture(request.sim, request.dead_edges)
+        residue = ckpt.residual_instances()
+        newly = residue[: len(residue) // 2]
+        later = ckpt.advanced(newly, ckpt.at_us + 100.0, ckpt.dead_edges)
+        assert later.at_us == ckpt.at_us + 100.0
+        assert len(later.completed) == len(ckpt.completed) + len(newly)
+        assert not set(newly) & set(later.residual_instances())
+
+
+# ----------------------------------------------------------------------
+# Relay routing and resume-plan compilation
+# ----------------------------------------------------------------------
+
+
+class TestFindRelay:
+    def test_detours_through_remote_node(self, cluster):
+        # nv:out:0 dead: 0's intra-node egress is gone, but the NIC path
+        # to node 1 survives, so some remote rank bridges 0 -> 1.
+        relay = find_relay(cluster, 0, 1, {"nv:out:0"})
+        assert relay is not None
+        assert relay >= 4
+        # Both legs avoid the dead edge.
+        assert "nv:out:0" not in cluster.path(0, relay).edges
+        assert "nv:out:0" not in cluster.path(relay, 1).edges
+
+    def test_exclude_skips_claimed_relays(self, cluster):
+        first = find_relay(cluster, 0, 1, {"nv:out:0"})
+        second = find_relay(cluster, 0, 1, {"nv:out:0"}, exclude={first})
+        assert second is not None
+        assert second != first
+
+    def test_single_node_partition_has_no_relay(self):
+        cluster = Cluster(nodes=1, gpus_per_node=4)
+        assert find_relay(cluster, 0, 1, {"nv:out:0"}) is None
+
+
+class TestBuildResumePlan:
+    def test_residue_compiles_with_metadata(self, plan, clean):
+        request = request_replan(plan, mid_run_kill(plan, clean))
+        ckpt = CollectiveCheckpoint.capture(request.sim, request.dead_edges)
+        resume = build_resume_plan(plan, ckpt, sorted(request.dead_edges))
+        assert resume.residual_instances == len(ckpt.residual_instances())
+        assert resume.relay_instances > 0
+        assert resume.plan.n_microbatches == 1
+        assert resume.plan.name.endswith("+replan")
+        # Metas align 1:1 with resume task ids and kinds are consistent.
+        assert len(resume.metas) == len(resume.plan.dag)
+        for task in resume.plan.dag.tasks:
+            meta = resume.metas[task.task_id]
+            assert (task.src, task.dst) == (meta.src, meta.dst)
+            assert meta.kind in (DIRECT, RELAY_IN, RELAY_OUT)
+        # Every residual instance is served by exactly one delivering task.
+        delivered = [
+            (meta.orig_task_id, meta.mb)
+            for meta in resume.metas
+            if meta.delivers
+        ]
+        assert len(delivered) == len(set(delivered))
+        assert set(delivered) == set(ckpt.residual_instances())
+        # No resume route crosses a dead edge.
+        for task in resume.plan.dag.tasks:
+            edges = resume.plan.cluster.path(task.src, task.dst).edges
+            assert not set(edges) & set(request.dead_edges)
+
+    def test_complete_checkpoint_has_nothing_to_replan(self, plan, clean):
+        ckpt = CollectiveCheckpoint(
+            plan=plan,
+            at_us=clean.completion_time_us,
+            completed=list(clean.completion_order),
+            inflight_bytes={},
+            dead_edges=(),
+        )
+        with pytest.raises(ReplanInfeasible, match="complete"):
+            build_resume_plan(plan, ckpt, [])
+
+    def test_partition_is_flagged(self, single_node_plan):
+        clean = simulate(single_node_plan)
+        edge = plan_edges(single_node_plan)[0]
+        request = request_replan(
+            single_node_plan, mid_run_kill(single_node_plan, clean, edge)
+        )
+        ckpt = CollectiveCheckpoint.capture(request.sim, request.dead_edges)
+        with pytest.raises(ReplanInfeasible, match="partitioned") as info:
+            build_resume_plan(single_node_plan, ckpt, sorted(request.dead_edges))
+        assert info.value.partitioned
+
+
+# ----------------------------------------------------------------------
+# The semantic delivery verifier
+# ----------------------------------------------------------------------
+
+
+class TestDeliveryVerifier:
+    def test_static_and_dynamic_orders_pass(self, plan, clean):
+        verify_delivery(plan).raise_if_failed()
+        report = verify_delivery(plan, order=clean.completion_order)
+        report.raise_if_failed()
+        assert report.applied == len(clean.completion_order)
+
+    def test_catches_lost_instance(self, plan, clean):
+        truncated = list(clean.completion_order)[:-1]
+        report = verify_delivery(plan, order=truncated)
+        assert not report.ok
+        assert any("once" in e or "loss" in e for e in report.errors)
+        with pytest.raises(DeliveryError):
+            report.raise_if_failed()
+
+    def test_catches_duplicate_application(self, plan, clean):
+        # Set-semantics checkers are blind to this: a second reduction
+        # contribution unions to the same set but double-counts the sum.
+        doubled = list(clean.completion_order)
+        doubled.append(doubled[len(doubled) // 2])
+        report = verify_delivery(plan, order=doubled)
+        assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# End-to-end recovery rungs
+# ----------------------------------------------------------------------
+
+
+class TestReplanRecovery:
+    def test_kill_replans_and_resumes(self, plan, clean):
+        report = ResilientRunner(
+            plan, mid_run_kill(plan, clean), policy=make_policy("replan")
+        ).run()
+        stats = report.fault_stats
+        assert stats.replans == 1
+        assert stats.fallbacks == 0
+        assert report.plan_name.endswith("+replan")
+        assert report.completion_time_us > clean.completion_time_us
+        assert report.algo_bandwidth > 0.0
+        kinds = [e.kind for e in report.trace]
+        assert "recover:checkpoint" in kinds
+        assert "recover:replan" in kinds
+
+    def test_replan_beats_ring_fallback(self, plan, clean):
+        fp = mid_run_kill(plan, clean)
+        replan = ResilientRunner(
+            plan, fp, policy=make_policy("replan")
+        ).run()
+        fallback = ResilientRunner(
+            plan, fp, policy=make_policy("fallback")
+        ).run()
+        assert replan.completion_time_us < fallback.completion_time_us
+
+    def test_flap_during_backoff_of_prior_retry(self, plan, clean):
+        # First flap outlives several backoff rounds; the second lands
+        # while those retries are still waiting.  The run must heal and
+        # the stitched-free completion still verifies exactly-once.
+        window = plan.config.watchdog_window_us
+        fp = (
+            FaultPlan()
+            .flap("nv:out:0", at_us=200.0, down_us=3.0 * window)
+            .flap("nv:out:1", at_us=200.0 + 1.25 * window, down_us=0.5 * window)
+        )
+        report = ResilientRunner(
+            plan, fp, policy=make_policy("retry")
+        ).run()
+        stats = report.fault_stats
+        assert stats.detected_stalls >= 1
+        assert stats.recovered >= 1
+        assert stats.replans == 0
+        assert report.completion_time_us > clean.completion_time_us
+
+    def test_second_kill_during_resume_forces_rereplanning(self, plan, clean):
+        first_at = 0.5 * clean.completion_time_us
+        first_kill = FaultPlan().kill("nv:out:0", at_us=first_at)
+        # Rehearse the resume run fault-free to find a second victim that
+        # is provably mid-flight during the resume: faulted and clean
+        # runs are identical up to the second kill, so the chosen flow is
+        # guaranteed to starve and force a re-replan.
+        request = request_replan(plan, first_kill)
+        ckpt = CollectiveCheckpoint.capture(request.sim, request.dead_edges)
+        resume = build_resume_plan(plan, ckpt, sorted(request.dead_edges))
+        rehearsal = Simulator(
+            resume.plan, record_trace=True, start_at_us=ckpt.at_us
+        ).run()
+        second_edge, second_at = None, 0.0
+        for event in sorted(rehearsal.trace, key=lambda e: e.start_us):
+            if event.kind != "send" or event.task_id < 0:
+                continue
+            task = resume.plan.dag.task(event.task_id)
+            for edge in resume.plan.cluster.path(task.src, task.dst).edges:
+                if edge.startswith("nv:out:") and edge != "nv:out:0":
+                    midpoint = 0.5 * (event.start_us + event.end_us)
+                    if midpoint > ckpt.at_us:
+                        second_edge, second_at = edge, midpoint
+            if second_edge is not None:
+                break
+        assert second_edge is not None, "no NVLink send in the resume run"
+        fp = (
+            FaultPlan()
+            .kill("nv:out:0", at_us=first_at)
+            .kill(second_edge, at_us=second_at)
+        )
+        report = ResilientRunner(
+            plan, fp, policy=make_policy("replan")
+        ).run()
+        stats = report.fault_stats
+        assert stats.replans == 2
+        assert stats.fallbacks == 0
+        assert report.plan_name.endswith("+replan")
+        assert report.completion_time_us > second_at
+
+    def test_partition_without_failover_is_unrecoverable(
+        self, single_node_plan
+    ):
+        clean = simulate(single_node_plan)
+        edge = plan_edges(single_node_plan)[0]
+        runner = ResilientRunner(
+            single_node_plan,
+            mid_run_kill(single_node_plan, clean, edge),
+            policy=make_policy("replan"),
+            fallback_capacity_factor=0.0,
+        )
+        with pytest.raises(RecoveryImpossible) as info:
+            runner.run()
+        assert isinstance(info.value, SimulationDeadlock)
+        assert "no failover path" in str(info.value)
+
+    def test_partition_with_failover_escalates_to_ring(
+        self, single_node_plan
+    ):
+        clean = simulate(single_node_plan)
+        edge = plan_edges(single_node_plan)[0]
+        report = ResilientRunner(
+            single_node_plan,
+            mid_run_kill(single_node_plan, clean, edge),
+            policy=make_policy("replan"),
+            fallback_capacity_factor=0.25,
+        ).run()
+        assert report.fault_stats.fallbacks == 1
+        assert report.plan_name.endswith("ring-fallback")
+
+
+# ----------------------------------------------------------------------
+# Policy vocabulary and CLI surface
+# ----------------------------------------------------------------------
+
+
+class TestPolicyNames:
+    def test_make_policy_rejects_unknown_names(self):
+        with pytest.raises(ValueError) as info:
+            make_policy("reboot")
+        message = str(info.value)
+        for name in ("none", "retry", "fallback", "replan"):
+            assert name in message
+
+    def test_cli_rejects_unknown_recovery(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as info:
+            main(
+                ["run", "ring-allreduce", "--nodes", "1", "--gpus", "4",
+                 "--buffer-mb", "8", "--mbs", "4",
+                 "--inject", "link-kill", "--recovery", "reboot"]
+            )
+        assert info.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_cli_partition_without_failover_exits_2(self, capsys):
+        from repro.cli import main
+
+        # Any killed edge partitions a single-node topology (all routes
+        # are fixed NVLink pairs), and --failover-factor 0 removes the
+        # ring escape hatch: a hard error, not a hang or a fake success.
+        code = main(
+            ["run", "ring-allreduce", "--nodes", "1", "--gpus", "4",
+             "--buffer-mb", "8", "--mbs", "4",
+             "--inject", "link-kill", "--recovery", "replan",
+             "--failover-factor", "0"]
+        )
+        assert code == 2
+        assert "deadlock" in capsys.readouterr().err
