@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -30,6 +31,7 @@ from .algorithms import available_algorithms, build_algorithm
 from .analysis import format_table
 from .baselines import MSCCLBackend, NCCLBackend
 from .core import ResCCLBackend, ResCCLCompiler
+from .core import plancache
 from .experiments import available_experiments, run_experiment
 from .faults import INJECT_SCENARIOS, POLICY_NAMES, run_with_faults
 from .ir.task import parse_collective
@@ -82,6 +84,26 @@ def _add_fault_args(parser: argparse.ArgumentParser) -> None:
         "cluster; 0 means no failover path, so a partitioned topology "
         "makes recovery impossible (exit code 2)",
     )
+
+
+def _add_cache_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", nargs="?", const="auto", default=None, metavar="DIR",
+        help="persist compiled plans on disk; without a DIR argument uses "
+        "$XDG_CACHE_HOME/resccl (~/.cache/resccl)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the compiled-plan cache entirely",
+    )
+
+
+def _configure_cache(args: argparse.Namespace) -> None:
+    """Apply ``--cache-dir``/``--no-cache`` to the process-wide plan cache."""
+    if getattr(args, "no_cache", False):
+        plancache.configure(enabled=False)
+    elif getattr(args, "cache_dir", None) is not None:
+        plancache.configure(cache_dir=args.cache_dir)
 
 
 def _cluster_from(args: argparse.Namespace) -> Cluster:
@@ -231,6 +253,7 @@ def _print_deadlock(exc: SimulationDeadlock) -> None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    _configure_cache(args)
     cluster = _cluster_from(args)
     program = _resolve_algorithm(args.algorithm, cluster)
     cluster = _fit_cluster(args, cluster, program)
@@ -367,6 +390,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
+    _configure_cache(args)
     cluster = _cluster_from(args)
     program = _resolve_algorithm(args.algorithm, cluster)
     cluster = _fit_cluster(args, cluster, program)
@@ -387,6 +411,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print(report.summary())
     if report.fault_stats is not None:
         print(report.fault_stats.summary())
+    print(report.counters.summary())
+    print(plancache.get_cache().stats.summary())
     print()
     print("pipeline spans (wall clock):")
     print(obs.tracer.render())
@@ -426,6 +452,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             "error: give an experiment id or --list; known: "
             + ", ".join(available_experiments())
         )
+    _configure_cache(args)
     from .experiments import REGISTRY
 
     params = {}
@@ -438,12 +465,17 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             params["policies"] = tuple(args.recovery)
         if args.scenario and "scenario" in accepted:
             params["scenario"] = args.scenario
+        if "jobs" in accepted:
+            params["jobs"] = (
+                args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+            )
     result = run_experiment(args.name, **params)
     print(result.render())
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    _configure_cache(args)
     cluster = _cluster_from(args)
     program = _resolve_algorithm(args.algorithm, cluster)
     cluster = _fit_cluster(args, cluster, program)
@@ -529,12 +561,14 @@ def build_parser() -> argparse.ArgumentParser:
         "cluster; 0 means no failover path, so a partitioned topology "
         "makes recovery impossible (exit code 2)",
     )
+    _add_cache_args(p_run)
     _add_cluster_args(p_run)
 
     p_cmp = sub.add_parser("compare", help="all three backends side by side")
     p_cmp.add_argument("algorithm")
     p_cmp.add_argument("--buffer-mb", type=int, default=256)
     p_cmp.add_argument("--mbs", type=int, default=16)
+    _add_cache_args(p_cmp)
     _add_cluster_args(p_cmp)
 
     p_export = sub.add_parser(
@@ -581,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--metrics-limit", type=int, default=12,
                         help="metric series shown inline (0 = all)")
     _add_fault_args(p_prof)
+    _add_cache_args(p_prof)
     _add_cluster_args(p_prof)
 
     p_exp = sub.add_parser(
@@ -602,6 +637,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault scenario for resilience experiments "
         f"({'/'.join(INJECT_SCENARIOS)})",
     )
+    p_exp.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep experiments that support it "
+        "(default: one per CPU core)",
+    )
+    _add_cache_args(p_exp)
 
     return parser
 

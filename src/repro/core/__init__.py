@@ -10,6 +10,12 @@ from .compiler import (
 from .hpds import hpds_schedule
 from .kernelgen import lower_to_programs, render_kernel_source
 from .pipeline import GlobalPipeline, SubPipeline
+from .plancache import (
+    CacheStats,
+    PlanCache,
+    configure as configure_plan_cache,
+    get_cache as get_plan_cache,
+)
 from .rr import rr_schedule
 from .tballoc import (
     EndpointGroup,
@@ -26,6 +32,10 @@ __all__ = [
     "CompileResult",
     "SCHEDULERS",
     "compile_residual",
+    "CacheStats",
+    "PlanCache",
+    "configure_plan_cache",
+    "get_plan_cache",
     "hpds_schedule",
     "rr_schedule",
     "GlobalPipeline",

@@ -15,7 +15,7 @@ mode is available for the Figure 3 ablation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple, Union
+from typing import Optional, Union
 
 from ..lang.builder import AlgoProgram
 from ..obs.spans import span as obs_span
@@ -28,6 +28,7 @@ from ..runtime.plan import (
 from ..topology import Cluster
 from .compiler import CompileResult, ResCCLCompiler
 from .kernelgen import lower_to_programs
+from .plancache import get_cache
 from .tballoc import allocate_tbs
 
 
@@ -54,18 +55,18 @@ class ResCCLBackend:
 
     def __post_init__(self) -> None:
         self._compiler = ResCCLCompiler(scheduler=self.scheduler)
-        self._cache: Dict[Tuple[int, int], CompileResult] = {}
 
     def compile(
         self, algorithm: Union[str, AlgoProgram], cluster: Cluster
     ) -> CompileResult:
-        """Compile (with memoization) an algorithm for a cluster."""
-        key = (id(algorithm), id(cluster))
-        result = self._cache.get(key)
-        if result is None:
-            result = self._compiler.compile(algorithm, cluster)
-            self._cache[key] = result
-        return result
+        """Compile an algorithm for a cluster through the shared plan cache.
+
+        Memoization is content-addressed (``repro.core.plancache``): the
+        key covers the DSL source, the cluster fingerprint, and this
+        backend's scheduler, so two backends compiling the same
+        algorithm on equivalent clusters share one ``CompileResult``.
+        """
+        return get_cache().compile(self._compiler, algorithm, cluster)
 
     def plan(
         self,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..ir.dag import DependencyDAG, build_dag
 from ..lang.builder import AlgoProgram
@@ -89,29 +89,42 @@ class ResCCLCompiler:
         self,
         algorithm: Union[str, AlgoProgram],
         cluster: Cluster,
+        frontend: Optional[Tuple[AlgoProgram, DependencyDAG]] = None,
     ) -> CompileResult:
-        """Run the full pipeline on DSL source text or a built program."""
+        """Run the full pipeline on DSL source text or a built program.
+
+        ``frontend`` optionally supplies an already-parsed ``(program,
+        dag)`` pair for this exact (algorithm, cluster, validate)
+        combination — the plan cache uses it to skip phases 1-2 when
+        only the scheduler differs between compiles.  Their phase times
+        are recorded as 0.0.
+        """
         times: Dict[str, float] = {}
 
         with obs_span("compile", scheduler=self.scheduler):
-            # Phase 1: Parsing (DSL text -> AST -> elaborated program).
-            start = time.perf_counter()
-            with obs_span("parsing") as sp:
-                if isinstance(algorithm, str):
-                    program = evaluate_module(parse_module(algorithm))
-                else:
-                    program = algorithm
-                sp.set(transfers=len(program.transfers))
-            times["parsing"] = (time.perf_counter() - start) * 1e6
+            if frontend is not None:
+                program, dag = frontend
+                times["parsing"] = 0.0
+                times["analysis"] = 0.0
+            else:
+                # Phase 1: Parsing (DSL text -> AST -> elaborated program).
+                start = time.perf_counter()
+                with obs_span("parsing") as sp:
+                    if isinstance(algorithm, str):
+                        program = evaluate_module(parse_module(algorithm))
+                    else:
+                        program = algorithm
+                    sp.set(transfers=len(program.transfers))
+                times["parsing"] = (time.perf_counter() - start) * 1e6
 
-            # Phase 2: Analysis (program -> dependency DAG).
-            start = time.perf_counter()
-            with obs_span("analysis") as sp:
-                if self.validate:
-                    validate_program(program, cluster).raise_if_failed()
-                dag = build_dag(program.transfers, cluster)
-                sp.set(dag_nodes=len(dag), dag_edges=dag.edge_count)
-            times["analysis"] = (time.perf_counter() - start) * 1e6
+                # Phase 2: Analysis (program -> dependency DAG).
+                start = time.perf_counter()
+                with obs_span("analysis") as sp:
+                    if self.validate:
+                        validate_program(program, cluster).raise_if_failed()
+                    dag = build_dag(program.transfers, cluster)
+                    sp.set(dag_nodes=len(dag), dag_edges=dag.edge_count)
+                times["analysis"] = (time.perf_counter() - start) * 1e6
 
             # Phase 3: Scheduling (DAG -> global task pipeline).
             start = time.perf_counter()

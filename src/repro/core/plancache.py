@@ -1,0 +1,329 @@
+"""Content-addressed cache of compiled execution pipelines (GC3).
+
+Every sweep point, chaos-corpus cell, and replan retry re-enters
+:meth:`~repro.core.compiler.ResCCLCompiler.compile` — usually with the
+*same* algorithm on the *same* fabric.  This module memoizes the
+compiler behind a content hash so compilation is amortized across
+executions:
+
+* **Key** — SHA-256 over the ResCCLang source text (built programs are
+  serialized through :meth:`AlgoProgram.to_source`, which round-trips
+  through the parser), the cluster's :meth:`~repro.topology.Cluster.
+  fingerprint` (shape + hardware constants + per-edge capacities, so a
+  degraded fabric never aliases a healthy one), the scheduler name, the
+  validation flag, and :data:`CACHE_FORMAT_VERSION`.
+* **In-process tier** — an LRU of :class:`CompileResult` objects.
+  Results are treated as immutable by every caller (TB allocation at
+  plan time re-derives assignments from the cached DAG + pipeline).
+* **On-disk tier** — opt-in (``--cache-dir``, the ``RESCCL_CACHE_DIR``
+  environment variable, or :func:`configure`): one pickle per key under
+  the cache directory, written atomically.  A version bump, an unknown
+  key, or any unpickling failure invalidates an entry silently — the
+  compiler simply runs.
+* **Front-end tier** — ``(source, topology, validate)`` →
+  ``(program, DAG)``, so recompiling the same algorithm under a
+  different scheduler (the Figure 10(b) HPDS-vs-RR sweeps) reuses
+  parsing and analysis.  :func:`~repro.core.compiler.compile_residual`
+  is the cache-bypassing phase-3 entry: it is handed an already-built
+  residual DAG, so it reuses the front end by construction and never
+  re-parses.
+
+Hits and misses are published to the ambient metrics registry
+(``compile_cache_{hits,misses}_total``) and tracked on
+:class:`CacheStats` for the benchmarks and ``resccl profile``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..obs.metrics import current_registry
+
+#: Bump whenever CompileResult (or anything reachable from it) changes
+#: shape — stale on-disk entries are then invisible, not corrupt.
+CACHE_FORMAT_VERSION = 1
+
+#: Default in-process LRU capacity (compiled pipelines are small
+#: relative to a simulation's working set).
+DEFAULT_CAPACITY = 128
+
+
+def default_cache_dir() -> Path:
+    """``$XDG_CACHE_HOME/resccl`` (or ``~/.cache/resccl``)."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "resccl"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    frontend_hits: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of :meth:`PlanCache.compile` calls served cached."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def summary(self) -> str:
+        return (
+            f"plan cache: {self.hits}/{self.lookups} hit(s) "
+            f"({self.hit_rate:.1%}; {self.disk_hits} from disk, "
+            f"{self.frontend_hits} front-end reuse(s), "
+            f"{self.disk_writes} disk write(s))"
+        )
+
+
+class PlanCache:
+    """LRU + optional on-disk cache of :class:`CompileResult` objects.
+
+    Args:
+        capacity: in-process LRU entry bound (0 disables memoization,
+            leaving only the disk tier if one is configured).
+        cache_dir: directory for the on-disk tier; ``None`` keeps the
+            cache purely in-process.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        cache_dir: Union[str, Path, None] = None,
+    ) -> None:
+        self.capacity = capacity
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memo: "OrderedDict[str, object]" = OrderedDict()
+        self._frontend: "OrderedDict[str, Tuple[object, object]]" = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- keying ---------------------------------------------------------
+
+    @staticmethod
+    def _source_of(algorithm) -> str:
+        if isinstance(algorithm, str):
+            return algorithm
+        return algorithm.to_source()
+
+    @staticmethod
+    def _digest(*parts: str) -> str:
+        payload = "\x00".join(parts).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()
+
+    def compile_key(
+        self, source: str, cluster, scheduler: str, validate: bool
+    ) -> str:
+        """Content-hash key for a full compile."""
+        return self._digest(
+            f"v{CACHE_FORMAT_VERSION}",
+            "compile",
+            source,
+            cluster.fingerprint(),
+            scheduler,
+            f"validate={bool(validate)}",
+        )
+
+    def frontend_key(self, source: str, cluster, validate: bool) -> str:
+        """Key for the parse+analysis (phases 1-2) portion."""
+        return self._digest(
+            f"v{CACHE_FORMAT_VERSION}",
+            "frontend",
+            source,
+            cluster.fingerprint(),
+            f"validate={bool(validate)}",
+        )
+
+    # -- the cached compile entry point --------------------------------
+
+    def compile(self, compiler, algorithm, cluster):
+        """``compiler.compile(algorithm, cluster)``, memoized by content.
+
+        ``compiler`` is a :class:`~repro.core.compiler.ResCCLCompiler`;
+        its ``scheduler`` and ``validate`` attributes are part of the
+        key.  On a full miss the front-end tier may still supply the
+        parsed program + DAG so only scheduling and lowering run.
+        """
+        source = self._source_of(algorithm)
+        key = self.compile_key(
+            source, cluster, compiler.scheduler, compiler.validate
+        )
+        result = self._memo_get(key)
+        if result is not None:
+            self._count_hit()
+            return result
+        result = self._disk_get(key)
+        if result is not None:
+            self._memo_put(key, result)
+            self.stats.disk_hits += 1
+            self._count_hit()
+            return result
+
+        fe_key = self.frontend_key(source, cluster, compiler.validate)
+        frontend = self._frontend.get(fe_key)
+        if frontend is not None:
+            self._frontend.move_to_end(fe_key)
+            self.stats.frontend_hits += 1
+        result = compiler.compile(algorithm, cluster, frontend=frontend)
+        self._count_miss()
+        self._memo_put(key, result)
+        if frontend is None:
+            self._frontend[fe_key] = (result.program, result.dag)
+            while len(self._frontend) > max(self.capacity, 1):
+                self._frontend.popitem(last=False)
+        self._disk_put(key, result)
+        return result
+
+    def clear(self) -> None:
+        """Drop both in-process tiers and reset the statistics."""
+        self._memo.clear()
+        self._frontend.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    # -- in-process tier ------------------------------------------------
+
+    def _memo_get(self, key: str):
+        result = self._memo.get(key)
+        if result is not None:
+            self._memo.move_to_end(key)
+        return result
+
+    def _memo_put(self, key: str, result) -> None:
+        if self.capacity <= 0:
+            return
+        self._memo[key] = result
+        self._memo.move_to_end(key)
+        while len(self._memo) > self.capacity:
+            self._memo.popitem(last=False)
+
+    # -- on-disk tier ---------------------------------------------------
+
+    def _entry_path(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.pkl"
+
+    def _disk_get(self, key: str):
+        path = self._entry_path(key)
+        if path is None:
+            return None
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            # Missing, truncated, or written by an incompatible build:
+            # treat as a miss and let a fresh compile overwrite it.
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("version") != CACHE_FORMAT_VERSION
+            or entry.get("key") != key
+        ):
+            return None
+        return entry.get("result")
+
+    def _disk_put(self, key: str, result) -> None:
+        path = self._entry_path(key)
+        if path is None:
+            return
+        entry = {"version": CACHE_FORMAT_VERSION, "key": key, "result": result}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with tmp.open("wb") as fh:
+                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            self.stats.disk_writes += 1
+        except OSError:
+            # A read-only or full cache directory must never fail a
+            # compile; the result is simply not persisted.
+            pass
+
+    # -- accounting -----------------------------------------------------
+
+    def _count_hit(self) -> None:
+        self.stats.hits += 1
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("compile_cache_hits_total")
+
+    def _count_miss(self) -> None:
+        self.stats.misses += 1
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("compile_cache_misses_total")
+
+
+# ----------------------------------------------------------------------
+# Process-wide default cache (what ResCCLBackend and the CLI use)
+# ----------------------------------------------------------------------
+
+_default_cache: Optional[PlanCache] = None
+
+
+def get_cache() -> PlanCache:
+    """The process-wide plan cache (created on first use).
+
+    The disk tier is enabled automatically when ``RESCCL_CACHE_DIR`` is
+    set; otherwise the default cache is purely in-process until
+    :func:`configure` is called (e.g. by the CLI's ``--cache-dir``).
+    """
+    global _default_cache
+    if _default_cache is None:
+        env_dir = os.environ.get("RESCCL_CACHE_DIR")
+        _default_cache = PlanCache(cache_dir=env_dir or None)
+    return _default_cache
+
+
+def configure(
+    cache_dir: Union[str, Path, None] = None,
+    capacity: Optional[int] = None,
+    enabled: bool = True,
+) -> PlanCache:
+    """Replace the process-wide cache (CLI ``--cache-dir``/``--no-cache``).
+
+    Args:
+        cache_dir: on-disk tier directory; the string ``"auto"`` selects
+            :func:`default_cache_dir`; ``None`` keeps in-process only.
+        capacity: in-process LRU bound override.
+        enabled: ``False`` installs a disabled cache (every compile runs).
+    """
+    global _default_cache
+    if cache_dir == "auto":
+        cache_dir = default_cache_dir()
+    if not enabled:
+        _default_cache = PlanCache(capacity=0, cache_dir=None)
+    else:
+        _default_cache = PlanCache(
+            capacity=DEFAULT_CAPACITY if capacity is None else capacity,
+            cache_dir=cache_dir,
+        )
+    return _default_cache
+
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "PlanCache",
+    "configure",
+    "default_cache_dir",
+    "get_cache",
+]

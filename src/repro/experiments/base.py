@@ -12,14 +12,18 @@ as ``resccl experiment <id>``.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import traceback
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis import format_table
 from ..baselines import MSCCLBackend, NCCLBackend
 from ..core import ResCCLBackend
 from ..ir.task import Collective
 from ..lang.builder import AlgoProgram
+from ..obs.metrics import collecting, current_registry
 from ..runtime import MB, SimReport, simulate
 from ..topology import Cluster, multi_node, v100_profile
 
@@ -106,6 +110,130 @@ def sweep_sizes(sizes_mb: Sequence[int]) -> List[float]:
     return [size * MB for size in sizes_mb]
 
 
+# ----------------------------------------------------------------------
+# Parallel sweep runner
+# ----------------------------------------------------------------------
+
+
+class SweepError(RuntimeError):
+    """A sweep point raised inside a worker.
+
+    Attributes:
+        index: position of the failing point in the input sequence.
+        point: the failing point itself.
+        worker_traceback: the formatted traceback from the worker
+            process (chained into :attr:`args` so it prints by default).
+    """
+
+    def __init__(self, index: int, point: Any, worker_traceback: str) -> None:
+        super().__init__(
+            f"sweep point #{index} ({point!r}) failed in worker:\n"
+            f"{worker_traceback}"
+        )
+        self.index = index
+        self.point = point
+        self.worker_traceback = worker_traceback
+
+
+@dataclass
+class SweepOutcome:
+    """Per-point result of a non-strict :func:`parallel_sweep`."""
+
+    index: int
+    point: Any
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _sweep_worker(payload: Tuple[int, Callable[[Any], Any], Any]):
+    """Run one sweep point under a private metrics registry.
+
+    Module-level (picklable) pool target.  Returns ``(index, status,
+    value_or_traceback, metrics_json_or_None)``; exceptions never
+    propagate raw across the process boundary — they are formatted here
+    so the parent can re-raise with the worker's stack attached.
+    """
+    index, fn, point = payload
+    try:
+        with collecting() as registry:
+            value = fn(point)
+        return (index, "ok", value, registry.to_json())
+    except Exception:  # noqa: BLE001 - must cross the process boundary
+        return (index, "error", traceback.format_exc(), None)
+
+
+def parallel_sweep(
+    fn: Callable[[Any], Any],
+    points: Sequence[Any],
+    jobs: Optional[int] = None,
+    strict: bool = True,
+) -> List[Any]:
+    """Map ``fn`` over sweep ``points``, optionally across processes.
+
+    Args:
+        fn: module-level (picklable) function of one point.
+        jobs: worker-process count; ``None`` means ``os.cpu_count()``.
+            ``jobs <= 1`` (or a single point) runs inline, with no
+            registry juggling — identical to a plain loop.
+        strict: raise :class:`SweepError` carrying the first failing
+            worker's traceback (points are still all attempted).  With
+            ``strict=False`` a list of :class:`SweepOutcome` is returned
+            instead of raw values, errors included.
+
+    Results are ordered by input position regardless of which worker
+    finished first.  Worker metrics are folded into the ambient
+    registry (when one is armed) in point order, so a parallel sweep's
+    exported metrics match the sequential run's.
+    """
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    points = list(points)
+
+    if jobs <= 1 or len(points) <= 1:
+        if not strict:
+            outcomes: List[SweepOutcome] = []
+            for index, point in enumerate(points):
+                try:
+                    outcomes.append(
+                        SweepOutcome(index, point, value=fn(point))
+                    )
+                except Exception:  # noqa: BLE001 - mirrored worker policy
+                    outcomes.append(
+                        SweepOutcome(
+                            index, point, error=traceback.format_exc()
+                        )
+                    )
+            return outcomes
+        return [fn(point) for point in points]
+
+    payloads = [(index, fn, point) for index, point in enumerate(points)]
+    with multiprocessing.Pool(processes=min(jobs, len(points))) as pool:
+        raw = pool.map(_sweep_worker, payloads)
+
+    # pool.map preserves input order; merge metrics in that same order so
+    # the parent registry is deterministic.
+    registry = current_registry()
+    outcomes = []
+    for (index, status, value, metrics), point in zip(raw, points):
+        if status == "ok":
+            if registry is not None and metrics:
+                registry.merge_json(metrics)
+            outcomes.append(SweepOutcome(index, point, value=value))
+        else:
+            outcomes.append(SweepOutcome(index, point, error=value))
+
+    if strict:
+        for outcome in outcomes:
+            if not outcome.ok:
+                raise SweepError(outcome.index, outcome.point, outcome.error)
+        return [outcome.value for outcome in outcomes]
+    return outcomes
+
+
 __all__ = [
     "ExperimentResult",
     "DEFAULT_MAX_MICROBATCHES",
@@ -114,5 +242,8 @@ __all__ = [
     "make_backends",
     "run_backend",
     "sweep_sizes",
+    "SweepError",
+    "SweepOutcome",
+    "parallel_sweep",
     "MB",
 ]

@@ -4,33 +4,64 @@ from __future__ import annotations
 
 from ..algorithms import hm_allgather, hm_allreduce
 from ..ir.task import Collective
-from .base import MB, ExperimentResult, a100_cluster, make_backends, run_backend
+from .base import (
+    MB,
+    ExperimentResult,
+    a100_cluster,
+    make_backends,
+    parallel_sweep,
+    run_backend,
+)
+
+
+def _fig6_point(point):
+    """One grid cell: all three backends at one (nodes, collective, size).
+
+    Module-level so :func:`parallel_sweep` can pickle it; each worker
+    rebuilds the cluster and backends from the cell coordinates.
+    """
+    nodes, gpus, coll_name, size = point
+    cluster = a100_cluster(nodes, gpus)
+    if coll_name == "AllGather":
+        program, collective = hm_allgather(nodes, gpus), Collective.ALLGATHER
+    else:
+        program, collective = hm_allreduce(nodes, gpus), Collective.ALLREDUCE
+    backends = make_backends()
+    return {
+        name: run_backend(
+            backend,
+            cluster,
+            size * MB,
+            program=program,
+            collective=collective,
+        ).algo_bandwidth_gbps
+        for name, backend in backends.items()
+    }
 
 
 def run(
-    sizes_mb=(8, 32, 128, 512, 2048), node_counts=(2, 4), gpus: int = 8
+    sizes_mb=(8, 32, 128, 512, 2048),
+    node_counts=(2, 4),
+    gpus: int = 8,
+    jobs: int = 1,
 ) -> ExperimentResult:
-    """``data`` maps (nodes, collective, size_mb) -> {backend: GB/s}."""
-    results = {}
-    for nodes in node_counts:
-        cluster = a100_cluster(nodes, gpus)
-        programs = {
-            "AllGather": (hm_allgather(nodes, gpus), Collective.ALLGATHER),
-            "AllReduce": (hm_allreduce(nodes, gpus), Collective.ALLREDUCE),
-        }
-        for coll_name, (program, collective) in programs.items():
-            backends = make_backends()
-            for size in sizes_mb:
-                results[(nodes, coll_name, size)] = {
-                    name: run_backend(
-                        backend,
-                        cluster,
-                        size * MB,
-                        program=program,
-                        collective=collective,
-                    ).algo_bandwidth_gbps
-                    for name, backend in backends.items()
-                }
+    """``data`` maps (nodes, collective, size_mb) -> {backend: GB/s}.
+
+    ``jobs > 1`` fans the grid cells out over worker processes; results
+    and metrics are merged back in grid order, so the output is
+    independent of ``jobs``.
+    """
+    points = [
+        (nodes, gpus, coll_name, size)
+        for nodes in node_counts
+        for coll_name in ("AllGather", "AllReduce")
+        for size in sizes_mb
+    ]
+    values = parallel_sweep(_fig6_point, points, jobs=jobs)
+    results = {
+        (nodes, coll_name, size): bws
+        for (nodes, _, coll_name, size), bws in zip(points, values)
+    }
 
     rows = [
         [

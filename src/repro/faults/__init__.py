@@ -24,6 +24,7 @@ from .harness import (
     CHAOS_ALGORITHMS,
     CHAOS_SCENARIOS,
     CHAOS_SEEDS,
+    ChaosCorpusError,
     FaultRunOutcome,
     plan_edges,
     run_chaos_corpus,
@@ -77,6 +78,7 @@ __all__ = [
     "FaultRunOutcome",
     "plan_edges",
     "run_chaos_corpus",
+    "ChaosCorpusError",
     "run_with_faults",
     "CHAOS_ALGORITHMS",
     "CHAOS_SCENARIOS",

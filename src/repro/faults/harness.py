@@ -155,6 +155,68 @@ CHAOS_SCENARIOS = ("link-flap", "link-kill", "chaos")
 CHAOS_SEEDS = (0, 1)
 
 
+class ChaosCorpusError(RuntimeError):
+    """A chaos-corpus cell failed with an unexpected exception.
+
+    The worker's formatted traceback is in the message; ``rows`` holds
+    the full corpus result (failed cells carry ``outcome="failed"`` and
+    an ``error`` traceback string) for post-mortem inspection.
+    """
+
+    def __init__(self, message: str, rows: List[dict]) -> None:
+        super().__init__(message)
+        self.rows = rows
+
+
+def _chaos_cell(point: dict) -> dict:
+    """Run one (algorithm, scenario, seed, policy) corpus cell.
+
+    Module-level so the parallel sweep can pickle it; each worker
+    rebuilds the cluster, backend, and plan from the cell coordinates
+    (compiles hit the worker's plan cache across that worker's cells).
+    Only :class:`SimulationDeadlock` is an expected outcome here; every
+    other exception propagates to the sweep runner as a failure.
+    """
+    from ..algorithms.registry import build_algorithm
+    from ..core.backend import ResCCLBackend
+    from ..runtime.simulator import SimulationDeadlock
+    from ..topology import Cluster
+
+    cluster = Cluster(
+        nodes=point["nodes"], gpus_per_node=point["gpus_per_node"]
+    )
+    backend = ResCCLBackend(max_microbatches=4)
+    program = build_algorithm(point["algorithm"], cluster)
+    plan = backend.plan(cluster, program, point["buffer_mb"] * 1e6)
+    row = {
+        "algorithm": point["algorithm"],
+        "scenario": point["scenario"],
+        "seed": point["seed"],
+        "policy": point["policy"],
+        "outcome": "completed",
+        "goodput_ratio": 0.0,
+        "replans": 0,
+        "fallbacks": 0,
+    }
+    try:
+        outcome = run_with_faults(
+            plan,
+            point["scenario"],
+            seed=point["seed"],
+            recovery=point["policy"],
+            verify=True,
+        )
+    except SimulationDeadlock:
+        row["outcome"] = "stalled"
+    else:
+        row["goodput_ratio"] = outcome.goodput_ratio
+        stats = outcome.report.fault_stats
+        if stats is not None:
+            row["replans"] = stats.replans
+            row["fallbacks"] = stats.fallbacks
+    return row
+
+
 def run_chaos_corpus(
     policies: Sequence[str] = ("retry", "fallback", "replan"),
     algorithms: Sequence[str] = CHAOS_ALGORITHMS,
@@ -163,6 +225,8 @@ def run_chaos_corpus(
     nodes: int = 2,
     gpus_per_node: int = 4,
     buffer_mb: float = 8.0,
+    jobs: int = 1,
+    strict: bool = True,
 ) -> List[dict]:
     """Replay the seeded fault corpus under the given recovery policies.
 
@@ -172,46 +236,65 @@ def run_chaos_corpus(
     cannot survive a scenario under a weak policy (e.g. ``retry`` against
     a permanent kill) are recorded as ``stalled`` rather than failed.
 
-    Returns one row per (algorithm, scenario, seed, policy) cell.
-    """
-    from ..algorithms.registry import build_algorithm
-    from ..core.backend import ResCCLBackend
-    from ..runtime.simulator import SimulationDeadlock
-    from ..topology import Cluster
+    ``jobs > 1`` fans cells out over worker processes.  An unexpected
+    exception in any cell (in-process or in a worker) marks that cell
+    ``outcome="failed"`` with its traceback in ``error``; with
+    ``strict=True`` (the default) the corpus then raises
+    :class:`ChaosCorpusError` carrying the first failing cell's
+    traceback — worker exceptions are never silently dropped.
 
-    cluster = Cluster(nodes=nodes, gpus_per_node=gpus_per_node)
-    backend = ResCCLBackend(max_microbatches=4)
+    Returns one row per (algorithm, scenario, seed, policy) cell, in
+    corpus order regardless of ``jobs``.
+    """
+    from ..experiments.base import parallel_sweep
+
+    points = [
+        {
+            "algorithm": algo_name,
+            "scenario": scenario,
+            "seed": seed,
+            "policy": policy,
+            "nodes": nodes,
+            "gpus_per_node": gpus_per_node,
+            "buffer_mb": buffer_mb,
+        }
+        for algo_name in algorithms
+        for scenario in scenarios
+        for seed in seeds
+        for policy in policies
+    ]
+    outcomes = parallel_sweep(_chaos_cell, points, jobs=jobs, strict=False)
+
     rows: List[dict] = []
-    for algo_name in algorithms:
-        program = build_algorithm(algo_name, cluster)
-        plan = backend.plan(cluster, program, buffer_mb * 1e6)
-        for scenario in scenarios:
-            for seed in seeds:
-                for policy in policies:
-                    row = {
-                        "algorithm": algo_name,
-                        "scenario": scenario,
-                        "seed": seed,
-                        "policy": policy,
-                        "outcome": "completed",
-                        "goodput_ratio": 0.0,
-                        "replans": 0,
-                        "fallbacks": 0,
-                    }
-                    try:
-                        outcome = run_with_faults(
-                            plan, scenario, seed=seed, recovery=policy,
-                            verify=True,
-                        )
-                    except SimulationDeadlock:
-                        row["outcome"] = "stalled"
-                    else:
-                        row["goodput_ratio"] = outcome.goodput_ratio
-                        stats = outcome.report.fault_stats
-                        if stats is not None:
-                            row["replans"] = stats.replans
-                            row["fallbacks"] = stats.fallbacks
-                    rows.append(row)
+    first_failure = None
+    for outcome in outcomes:
+        if outcome.ok:
+            rows.append(outcome.value)
+            continue
+        point = outcome.point
+        rows.append(
+            {
+                "algorithm": point["algorithm"],
+                "scenario": point["scenario"],
+                "seed": point["seed"],
+                "policy": point["policy"],
+                "outcome": "failed",
+                "goodput_ratio": 0.0,
+                "replans": 0,
+                "fallbacks": 0,
+                "error": outcome.error,
+            }
+        )
+        if first_failure is None:
+            first_failure = outcome
+    if strict and first_failure is not None:
+        cell = first_failure.point
+        raise ChaosCorpusError(
+            f"chaos cell ({cell['algorithm']}, {cell['scenario']}, "
+            f"seed={cell['seed']}, {cell['policy']}) failed:\n"
+            f"{first_failure.error}",
+            rows,
+        )
     return rows
 
 
@@ -219,6 +302,7 @@ __all__ = [
     "CHAOS_ALGORITHMS",
     "CHAOS_SCENARIOS",
     "CHAOS_SEEDS",
+    "ChaosCorpusError",
     "FaultRunOutcome",
     "plan_edges",
     "run_chaos_corpus",

@@ -216,6 +216,53 @@ class MetricsRegistry:
             out[name] = entry
         return out
 
+    def merge_json(self, data: dict) -> None:
+        """Fold a :meth:`to_json` export into this registry.
+
+        Sweep workers (``repro.experiments.base.parallel_sweep``) collect
+        into a private registry, serialize it, and the parent merges the
+        exports here in point order: counters add, gauges overwrite
+        (last-merged-wins, matching sequential execution), and histogram
+        series accumulate count/sum/min/max/bucket_counts.  Buckets of an
+        incoming histogram must match any existing metric of the same
+        name.
+        """
+        for name, entry in data.items():
+            kind = entry.get("type")
+            samples = entry.get("samples", ())
+            if kind == "counter":
+                metric = self.counter(name, entry.get("help", ""))
+                for sample in samples:
+                    metric.inc(sample["value"], **sample.get("labels", {}))
+            elif kind == "gauge":
+                metric = self.gauge(name, entry.get("help", ""))
+                for sample in samples:
+                    metric.set(sample["value"], **sample.get("labels", {}))
+            elif kind == "histogram":
+                buckets = tuple(entry.get("buckets", DEFAULT_BUCKETS))
+                metric = self.histogram(name, entry.get("help", ""), buckets)
+                if metric.buckets != buckets:
+                    raise ValueError(
+                        f"histogram {name!r}: incoming buckets {buckets} "
+                        f"do not match registered {metric.buckets}"
+                    )
+                for sample in samples:
+                    key = _label_key(sample.get("labels", {}))
+                    series = metric.series.get(key)
+                    if series is None:
+                        series = metric.series[key] = _HistogramSeries(
+                            len(metric.buckets)
+                        )
+                    series.count += sample["count"]
+                    series.sum += sample["sum"]
+                    if sample["count"]:
+                        series.min = min(series.min, sample["min"])
+                        series.max = max(series.max, sample["max"])
+                    for index, count in enumerate(sample["bucket_counts"]):
+                        series.bucket_counts[index] += count
+            else:
+                raise ValueError(f"metric {name!r}: unknown type {kind!r}")
+
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
         lines: List[str] = []

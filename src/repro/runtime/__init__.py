@@ -10,7 +10,7 @@ from .memory import (
     verify_collective,
     verify_completion_order,
 )
-from .metrics import FaultStats, LinkStats, SimReport, TBStats
+from .metrics import FaultStats, LinkStats, SimCounters, SimReport, TBStats
 from .plan import (
     MB,
     ExecMode,
@@ -28,6 +28,7 @@ from .simulator import SimulationDeadlock, SimulationStall, Simulator, simulate
 __all__ = [
     "Flow",
     "FlowNetwork",
+    "SimCounters",
     "SimReport",
     "TBStats",
     "LinkStats",

@@ -1,4 +1,4 @@
-"""Fluid-flow link model with contention-aware rate allocation.
+"""Fluid-flow link model with contention-aware incremental rate allocation.
 
 A transfer invocation becomes a *flow* over the contention edges of its
 route (NVLink ports intra-node, NIC directions inter-node).  Rates follow
@@ -18,12 +18,40 @@ is ``min(tb_cap, min over edges of share(e))``.  Spare share from capped
 flows is redistributed among the uncapped flows of each edge (one
 water-filling round per edge), which keeps rate updates local to the
 edges a starting/finishing flow touches.
+
+Incremental solver
+------------------
+
+A flow admission/completion (or a fault derating) changes the share of
+exactly the edges whose membership or capacity changed — an edge's share
+is a pure function of its member set (membership + caps), its raw
+capacity, and its fault derating factor.  The network therefore keeps
+
+* an **authoritative per-edge flow index** (`_edge_flows`, an
+  insertion-ordered id set) — the only membership structure; nothing
+  ever scans the global flow table to find the flows of an edge — and
+* a **per-edge share cache** (`_share`) invalidated exactly when an
+  edge's membership or derating factor changes.
+
+A reallocation pass then recomputes shares for the *dirty* edges only
+and re-rates only the flows crossing them; every other edge's share is
+served from the cache bit-for-bit.  Setting ``incremental=False``
+selects the brute-force reference allocator (recompute every occupied
+edge, re-rate every live flow) that the golden determinism tests and the
+``benchmarks/test_perf_scaling.py`` baseline compare against: both modes
+produce identical rates, and hence bit-identical simulations (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Tuple
+
+#: Absolute rate-change floor below which a re-rated flow keeps its old
+#: rate (and no completion event is re-posted).  Matches the seed
+#: implementation's threshold, so the default solver is bit-exact.
+ABS_RATE_EPS = 1e-12
 
 
 @dataclass
@@ -70,31 +98,68 @@ class Flow:
 
 
 class FlowNetwork:
-    """Tracks active flows and allocates contended edge bandwidth."""
+    """Tracks active flows and allocates contended edge bandwidth.
+
+    Args:
+        edge_capacity: raw capacity (bytes/us) per contention edge.
+        gamma: Equation 1 contention penalty coefficient.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`.
+        incremental: use the dirty-edge incremental solver (default).
+            ``False`` selects the brute-force reference allocator, which
+            produces identical rates at ``O(edges + flows)`` per pass.
+        rate_rel_epsilon: optional *relative* rate-change threshold below
+            which a re-rated flow keeps its previous rate.  The default
+            ``0.0`` keeps only the absolute :data:`ABS_RATE_EPS` floor
+            and is bit-exact; a non-zero value trades exactness for
+            fewer completion-event reposts on large fabrics.
+    """
 
     def __init__(
         self,
         edge_capacity: Dict[str, float],
         gamma: float = 0.03,
         metrics=None,
+        incremental: bool = True,
+        rate_rel_epsilon: float = 0.0,
     ) -> None:
         if gamma < 0:
             raise ValueError(f"gamma must be non-negative, got {gamma}")
+        if rate_rel_epsilon < 0:
+            raise ValueError(
+                f"rate_rel_epsilon must be non-negative, got {rate_rel_epsilon}"
+            )
         self._capacity = dict(edge_capacity)
         self._gamma = gamma
         self._flows: Dict[int, Flow] = {}
-        self._edge_flows: Dict[str, Set[int]] = {}
+        # Authoritative per-edge membership: edge -> ordered flow-id set
+        # (a dict used as an insertion-ordered set, so iteration — and
+        # therefore every downstream event sequence — is deterministic).
+        self._edge_flows: Dict[str, Dict[int, None]] = {}
+        # Per-edge share cache; an entry is invalidated exactly when the
+        # edge's membership or derating factor changes.
+        self._share: Dict[str, float] = {}
         self._next_id = 0
+        self._incremental = incremental
+        self._rate_rel_epsilon = rate_rel_epsilon
         # Fault-injection capacity scaling; empty when no faults are armed,
         # so the healthy-fabric math is untouched.
         self._factor: Dict[str, float] = {}
         # Optional repro.obs.metrics.MetricsRegistry; None means every
         # publish site is a single attribute test (observability off).
         self._metrics = metrics
+        # Cheap solver counters, folded into SimReport.counters.
+        self.reallocations = 0
+        self.shares_computed = 0
+        self.rate_updates = 0
+        self.flows_admitted = 0
 
     @property
     def gamma(self) -> float:
         return self._gamma
+
+    @property
+    def incremental(self) -> bool:
+        return self._incremental
 
     def active_count(self) -> int:
         return len(self._flows)
@@ -134,7 +199,7 @@ class FlowNetwork:
             self._factor[edge] = max(0.0, factor)
         if self._metrics is not None:
             self._metrics.inc("net_capacity_derates_total", edge=edge)
-        return self._reallocate(self._affected_flows((edge,)), now)
+        return self._reallocate((edge,), now)
 
     # ------------------------------------------------------------------
 
@@ -155,7 +220,8 @@ class FlowNetwork:
         self._next_id += 1
         self._flows[flow.flow_id] = flow
         for edge in flow.edges:
-            self._edge_flows.setdefault(edge, set()).add(flow.flow_id)
+            self._edge_flows.setdefault(edge, {})[flow.flow_id] = None
+        self.flows_admitted += 1
         if self._metrics is not None:
             self._metrics.inc("net_flows_admitted_total")
             for edge in flow.edges:
@@ -163,7 +229,7 @@ class FlowNetwork:
                     "net_edge_flow_depth", len(self._edge_flows[edge]),
                     edge=edge,
                 )
-        changed = self._reallocate(self._affected_flows(flow.edges), now)
+        changed = self._reallocate(flow.edges, now)
         return flow, changed
 
     def finish_flow(self, flow: Flow, now: float) -> List[Flow]:
@@ -173,10 +239,11 @@ class FlowNetwork:
         for edge in flow.edges:
             peers = self._edge_flows.get(edge)
             if peers is not None:
-                peers.discard(flow.flow_id)
+                peers.pop(flow.flow_id, None)
                 if not peers:
                     del self._edge_flows[edge]
-        return self._reallocate(self._affected_flows(flow.edges), now)
+                    self._share.pop(edge, None)
+        return self._reallocate(flow.edges, now)
 
     def abort_flow(self, flow: Flow, now: float) -> List[Flow]:
         """Tear down an in-flight flow mid-transfer (fault recovery).
@@ -188,14 +255,15 @@ class FlowNetwork:
         return self.finish_flow(flow, now)
 
     def flows_on_edge(self, edge: str) -> List[Flow]:
-        """Live flows currently crossing an edge."""
+        """Live flows currently crossing an edge (via the per-edge index)."""
         return [self._flows[fid] for fid in self._edge_flows.get(edge, ())]
 
     def edge_census(self) -> Dict[str, Tuple[int, int, float]]:
         """Per-occupied-edge ``(flows, zero_rate_flows, effective_capacity)``.
 
         The watchdog embeds this census in its stall diagnostics so a
-        stuck run shows *where* bytes stopped moving.
+        stuck run shows *where* bytes stopped moving.  Served entirely
+        from the per-edge index — no global flow scan.
         """
         census: Dict[str, Tuple[int, int, float]] = {}
         for edge, flow_ids in self._edge_flows.items():
@@ -205,22 +273,13 @@ class FlowNetwork:
 
     # ------------------------------------------------------------------
 
-    def _affected_flows(self, edges: Iterable[str]) -> List[Flow]:
-        seen: Set[int] = set()
-        result: List[Flow] = []
-        for edge in edges:
-            for flow_id in self._edge_flows.get(edge, ()):
-                if flow_id not in seen:
-                    seen.add(flow_id)
-                    result.append(self._flows[flow_id])
-        return result
-
     def _edge_share(self, edge: str) -> float:
         """Per-flow share on one edge after one water-filling round.
 
         Flows capped below the equal share donate their spare capacity to
         the remaining flows of the edge.
         """
+        self.shares_computed += 1
         flow_ids = self._edge_flows.get(edge, ())
         k = len(flow_ids)
         if k == 0:
@@ -237,25 +296,61 @@ class FlowNetwork:
             return equal
         return (capacity - sum(capped)) / uncapped
 
-    def _reallocate(self, flows: List[Flow], now: float) -> List[Flow]:
-        """Recompute rates for ``flows``; returns those that changed."""
+    def _share_of(self, edge: str) -> float:
+        """Cached share of a (clean) edge; computed on first demand."""
+        share = self._share.get(edge)
+        if share is None:
+            share = self._share[edge] = self._edge_share(edge)
+        return share
+
+    def _reallocate(self, dirty_edges: Iterable[str], now: float) -> List[Flow]:
+        """Recompute rates after ``dirty_edges`` changed; returns changes.
+
+        Incremental mode recomputes the share of each dirty edge and
+        re-rates only the flows crossing one; clean edges are served from
+        the share cache.  Reference mode recomputes every occupied edge
+        and re-rates every live flow — same rates, no cache.  The changed
+        list is sorted by flow id so both modes hand the simulator the
+        exact same event-post sequence.
+        """
+        self.reallocations += 1
+        if self._incremental:
+            affected: List[Flow] = []
+            seen = set()
+            for edge in dirty_edges:
+                members = self._edge_flows.get(edge)
+                if members is None:
+                    self._share.pop(edge, None)
+                    continue
+                self._share[edge] = self._edge_share(edge)
+                for flow_id in members:
+                    if flow_id not in seen:
+                        seen.add(flow_id)
+                        affected.append(self._flows[flow_id])
+            share = self._share_of
+        else:
+            shares = {e: self._edge_share(e) for e in self._edge_flows}
+            affected = list(self._flows.values())
+            share = shares.__getitem__
+
+        rel = self._rate_rel_epsilon
         changed: List[Flow] = []
-        shares = {
-            edge: self._edge_share(edge)
-            for flow in flows
-            for edge in flow.edges
-        }
-        for flow in flows:
-            new_rate = min(flow.cap, min(shares[edge] for edge in flow.edges))
-            if abs(new_rate - flow.rate) > 1e-12:
+        for flow in affected:
+            new_rate = min(flow.cap, min(share(e) for e in flow.edges))
+            threshold = ABS_RATE_EPS
+            if rel > 0.0:
+                threshold = max(threshold, rel * abs(flow.rate))
+            if abs(new_rate - flow.rate) > threshold:
                 flow.advance_to(now)
                 flow.rate = new_rate
                 changed.append(flow)
-        if self._metrics is not None and flows:
+        changed.sort(key=lambda f: f.flow_id)
+        self.rate_updates += len(changed)
+        if self._metrics is not None:
             self._metrics.inc("net_reallocations_total")
             if changed:
                 self._metrics.inc("net_rate_changes_total", len(changed))
         return changed
 
 
-__all__ = ["Flow", "FlowNetwork"]
+__all__ = ["ABS_RATE_EPS", "Flow", "FlowNetwork"]

@@ -145,6 +145,40 @@ class FaultStats:
 
 
 @dataclass
+class SimCounters:
+    """Cheap event-loop and rate-solver counters for one simulated run.
+
+    Maintained unconditionally (plain integer bumps on paths that are
+    already per-event), surfaced by ``resccl profile`` and the ``sim_*``
+    metric series, and asserted on by ``benchmarks/test_perf_scaling.py``
+    to keep the incremental solver's work bounded.  ``shares_computed``
+    is the only field allowed to differ between the incremental solver
+    and the brute-force reference allocator — everything else (and the
+    whole report) must be identical between the two.
+    """
+
+    events_posted: int = 0
+    events_popped: int = 0
+    stale_events_skipped: int = 0
+    reallocations: int = 0
+    shares_computed: int = 0
+    rate_updates: int = 0
+    flows_admitted: int = 0
+
+    def summary(self) -> str:
+        """One-line digest for CLI output."""
+        return (
+            f"events: {self.events_posted} posted / "
+            f"{self.events_popped} popped "
+            f"({self.stale_events_skipped} stale skipped); "
+            f"rates: {self.reallocations} reallocation passes, "
+            f"{self.shares_computed} edge shares computed, "
+            f"{self.rate_updates} rate updates; "
+            f"{self.flows_admitted} flow(s) admitted"
+        )
+
+
+@dataclass
 class SimReport:
     """Full outcome of simulating one execution plan."""
 
@@ -171,6 +205,8 @@ class SimReport:
     #: populated only with ``record_trace=True``.  Feeds the Perfetto
     #: counter tracks of the unified trace export.
     link_trace: List[Tuple[str, float, int]] = field(default_factory=list)
+    #: Event-loop and rate-solver work counters (always populated).
+    counters: SimCounters = field(default_factory=SimCounters)
 
     # ------------------------------------------------------------------
     # Headline metrics
@@ -256,4 +292,11 @@ class SimReport:
         )
 
 
-__all__ = ["TBStats", "LinkStats", "SimReport", "TraceEvent", "FaultStats"]
+__all__ = [
+    "TBStats",
+    "LinkStats",
+    "SimCounters",
+    "SimReport",
+    "TraceEvent",
+    "FaultStats",
+]

@@ -121,6 +121,16 @@ class SimConfig:
             recorded fault/detection/recovery trace events.  Long chaos
             runs evict oldest-first past the cap (surfaced as
             ``SimReport.trace_dropped``); 0 means unbounded.
+        incremental_rates: use the incremental dirty-edge rate solver
+            (default).  ``False`` selects the brute-force reference
+            allocator, which recomputes every occupied edge and re-rates
+            every live flow per pass; both modes produce bit-identical
+            reports (see ``docs/performance.md``).
+        rate_rel_epsilon: relative rate-change threshold below which a
+            re-rated flow keeps its old rate (suppressing the completion
+            event repost).  The default 0.0 keeps only the absolute
+            1e-12 floor and is bit-exact; non-zero values are an opt-in
+            approximation for very large fabrics.
     """
 
     gamma: float = 0.03
@@ -130,6 +140,8 @@ class SimConfig:
     protocol: Protocol = Protocol.SIMPLE
     watchdog_window_us: float = 2000.0
     fault_trace_cap: int = 4096
+    incremental_rates: bool = True
+    rate_rel_epsilon: float = 0.0
 
 
 @dataclass

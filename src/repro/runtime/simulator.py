@@ -34,7 +34,14 @@ from ..ir.task import CommType
 from ..obs.metrics import current_registry
 from ..obs.spans import span as obs_span
 from .flows import Flow, FlowNetwork
-from .metrics import FaultStats, LinkStats, SimReport, TBStats, TraceEvent
+from .metrics import (
+    FaultStats,
+    LinkStats,
+    SimCounters,
+    SimReport,
+    TBStats,
+    TraceEvent,
+)
 from .plan import ExecMode, ExecutionPlan, Invocation, Side
 
 
@@ -139,11 +146,16 @@ class Simulator:
             {e: self.cluster.edge_capacity(e) for e in self.cluster.edges},
             gamma=self.config.gamma,
             metrics=self._metrics,
+            incremental=self.config.incremental_rates,
+            rate_rel_epsilon=self.config.rate_rel_epsilon,
         )
         self.start_at_us = start_at_us
         self.now = start_at_us
+        self.counters = SimCounters()
         self._heap: List[Tuple[float, int, str, object]] = []
         self._seq = itertools.count()
+        # Per-task protocol-adjusted route latency (hot on flow finish).
+        self._task_latency: Dict[int, float] = {}
         for edges, cap in background_traffic or ():
             # Effectively-infinite payload: the congestor never drains.
             self.network.start_flow(
@@ -250,6 +262,7 @@ class Simulator:
     def _post(self, time: float, kind: str, payload: object) -> None:
         if kind == "tb":
             self._tb_timers += 1
+        self.counters.events_posted += 1
         heapq.heappush(self._heap, (time, next(self._seq), kind, payload))
 
     def _progress(self) -> None:
@@ -288,6 +301,7 @@ class Simulator:
             self._post(self.now + self.watchdog_window_us, "watchdog", None)
         while self._heap:
             time, _, kind, payload = heapq.heappop(self._heap)
+            self.counters.events_popped += 1
             self.now = max(self.now, time)
             if kind == "tb":
                 self._tb_timers -= 1
@@ -446,7 +460,7 @@ class Simulator:
             edges=route.edges,
             nbytes=self.plan.chunk_bytes,
             cap=cap,
-            now=self.now + route.latency_us * protocol.latency_factor,
+            now=self.now + self._route_latency(inv.task_id, task),
         )
         self._flows[flow.flow_id] = (flow, inv.task_id, inv.mb, tb.index)
         self._flow_version[flow.flow_id] = 0
@@ -482,6 +496,9 @@ class Simulator:
     def _maybe_finish_flow(self, flow_id: int, version: int) -> None:
         entry = self._flows.get(flow_id)
         if entry is None or self._flow_version.get(flow_id) != version:
+            # A superseded (version-bumped) or already-torn-down flow
+            # event: skip without touching any state.
+            self.counters.stale_events_skipped += 1
             return
         flow, task_id, mb, sender_index = entry
         flow.advance_to(self.now)
@@ -503,7 +520,7 @@ class Simulator:
             )
 
         sender = self.tbs[sender_index]
-        send_start = flow.start_time - self._route_latency(task)
+        send_start = flow.start_time - self._route_latency(task_id, task)
         sender.stats.busy += self.now - send_start
         self._trace_event(sender, "send", send_start, self.now, task_id, mb)
         sender.stats.invocations += 1
@@ -520,11 +537,14 @@ class Simulator:
             # the moment the last byte lands.
             self._finish_recv(key)
 
-    def _route_latency(self, task) -> float:
-        return (
-            self.cluster.path(task.src, task.dst).latency_us
-            * self.config.protocol.latency_factor
-        )
+    def _route_latency(self, task_id: int, task) -> float:
+        latency = self._task_latency.get(task_id)
+        if latency is None:
+            latency = self._task_latency[task_id] = (
+                self.cluster.path(task.src, task.dst).latency_us
+                * self.config.protocol.latency_factor
+            )
+        return latency
 
     # ------------------------------------------------------------------
     # Receive side
@@ -838,8 +858,25 @@ class Simulator:
                 [*trace, *self._fault_trace],
                 key=lambda e: (e.start_us, e.end_us),
             )
+        counters = self.counters
+        counters.reallocations = self.network.reallocations
+        counters.shares_computed = self.network.shares_computed
+        counters.rate_updates = self.network.rate_updates
+        counters.flows_admitted = self.network.flows_admitted
         if self._metrics is not None:
             self._metrics.set("sim_completion_time_us", completion)
+            self._metrics.inc("sim_events_posted_total", counters.events_posted)
+            self._metrics.inc("sim_events_popped_total", counters.events_popped)
+            self._metrics.inc(
+                "sim_stale_events_skipped_total",
+                counters.stale_events_skipped,
+            )
+            self._metrics.inc(
+                "sim_rate_reallocations_total", counters.reallocations
+            )
+            self._metrics.inc(
+                "sim_edge_shares_computed_total", counters.shares_computed
+            )
             for link, stats in self._link_stats.items():
                 self._metrics.set(
                     "sim_link_busy_us", stats.busy_time, link=link
@@ -856,6 +893,7 @@ class Simulator:
             fault_stats=self.fault_stats,
             trace_dropped=self._trace_dropped,
             link_trace=self._link_trace,
+            counters=counters,
         )
 
     def _describe_invocation(self, inv: Optional[Invocation]) -> str:

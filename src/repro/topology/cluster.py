@@ -21,6 +21,9 @@ occupies.  Edges are the resources the fluid-flow runtime arbitrates:
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Tuple
 
@@ -153,6 +156,28 @@ class Cluster:
             for nic in range(self.nics_per_node):
                 self._edge_capacity[f"nic:out:{node}:{nic}"] = nic_bw
                 self._edge_capacity[f"nic:in:{node}:{nic}"] = nic_bw
+
+    def fingerprint(self) -> str:
+        """Stable content hash of everything routing/rates depend on.
+
+        Covers the cluster shape, every hardware-profile constant, and
+        the per-edge capacity table — so a :meth:`degraded` clone (whose
+        edge capacities differ) hashes differently even though its shape
+        is identical.  This is the topology component of the
+        compiled-plan cache key (:mod:`repro.core.plancache`).
+        """
+        payload = {
+            "nodes": self.nodes,
+            "gpus_per_node": self.gpus_per_node,
+            "nics_per_node": self.nics_per_node,
+            "nodes_per_rack": self.nodes_per_rack,
+            "profile": dataclasses.asdict(self.profile),
+            "edges": sorted(self._edge_capacity.items()),
+        }
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        )
+        return digest.hexdigest()
 
     def edge_capacity(self, edge: str) -> float:
         """Capacity in bytes/us of a contention edge."""

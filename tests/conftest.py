@@ -1,0 +1,18 @@
+"""Shared test fixtures."""
+
+import pytest
+
+from repro.core import plancache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_cache():
+    """Isolate tests from the process-wide compiled-plan cache.
+
+    The cache is content-addressed and global, so without a reset a test
+    that asserts on compile-time side effects (phase spans, phase times)
+    could observe a hit produced by an unrelated earlier test.
+    """
+    plancache.get_cache().clear()
+    yield
+    plancache.get_cache().clear()

@@ -1,0 +1,134 @@
+"""Golden determinism: the incremental rate solver is bit-identical.
+
+The headline invariant of the incremental dirty-edge allocator
+(``repro.runtime.flows``) is that it is an *optimization*, not an
+approximation: with the default ``rate_rel_epsilon=0.0``, a simulation
+run with ``incremental_rates=True`` must produce a report bitwise equal
+to the brute-force reference allocator that recomputes every edge share
+and re-rates every live flow on each pass.  ``shares_computed`` is the
+one counter allowed to differ (it is exactly the work the optimization
+avoids).
+"""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import build_algorithm
+from repro.core import ResCCLBackend
+from repro.faults import run_with_faults
+from repro.lang import parse_program
+from repro.runtime import MB, SimConfig, simulate
+from repro.topology import Cluster
+
+CORPUS = sorted(
+    (Path(__file__).resolve().parent.parent / "examples" / "algorithms").glob(
+        "*.rescclang"
+    )
+)
+
+
+def cluster_for(program):
+    gpus = program.header.gpus_per_node
+    if program.nranks % gpus:
+        return Cluster(nodes=1, gpus_per_node=program.nranks)
+    return Cluster(nodes=program.nranks // gpus, gpus_per_node=gpus)
+
+
+def report_fingerprint(report):
+    """Everything observable about a run, with exact float identity.
+
+    ``dataclasses.asdict`` recurses through TB stats, link stats, trace
+    events, fault stats, and counters; ``shares_computed`` is masked out
+    as the solver's legitimate degree of freedom.
+    """
+    data = dataclasses.asdict(report)
+    data["counters"].pop("shares_computed")
+    data["mode"] = report.mode.value
+    return data
+
+
+def with_reference_solver(plan):
+    """The same plan, solved by the brute-force reference allocator."""
+    return dataclasses.replace(
+        plan,
+        config=dataclasses.replace(plan.config, incremental_rates=False),
+    )
+
+
+def assert_bit_identical(plan, record_trace=False):
+    fast = simulate(plan, record_trace=record_trace)
+    slow = simulate(with_reference_solver(plan), record_trace=record_trace)
+    assert report_fingerprint(fast) == report_fingerprint(slow)
+    # The optimization actually optimizes: on any contended plan the
+    # reference allocator computes at least as many edge shares.
+    assert fast.counters.shares_computed <= slow.counters.shares_computed
+    return fast
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize(
+        "algo", ["ring-allreduce", "ring-allgather", "mesh-allreduce"]
+    )
+    def test_builtin_collectives(self, algo):
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        program = build_algorithm(algo, cluster)
+        plan = ResCCLBackend(max_microbatches=4).plan(cluster, program, 8 * MB)
+        assert_bit_identical(plan, record_trace=True)
+
+    def test_larger_fabric_with_background_traffic(self):
+        cluster = Cluster(nodes=2, gpus_per_node=8)
+        program = build_algorithm("mesh-allreduce", cluster)
+        plan = ResCCLBackend(max_microbatches=4).plan(cluster, program, 8 * MB)
+        from repro.runtime.simulator import simulate as sim
+
+        fast = sim(plan)
+        slow = sim(with_reference_solver(plan))
+        assert report_fingerprint(fast) == report_fingerprint(slow)
+
+    def test_epsilon_zero_is_default(self):
+        config = SimConfig()
+        assert config.incremental_rates is True
+        assert config.rate_rel_epsilon == 0.0
+
+
+class TestDslCorpus:
+    @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+    def test_corpus_program(self, path):
+        program = parse_program(path.read_text())
+        cluster = cluster_for(program)
+        plan = ResCCLBackend(max_microbatches=4).plan(cluster, program, 4 * MB)
+        assert_bit_identical(plan)
+
+
+class TestFaultInjected:
+    def test_chaos_run_is_bit_identical(self):
+        """Fault injection, watchdog, and recovery replay identically.
+
+        The fault schedule is seeded off the clean-run horizon, so both
+        solver modes face the same injected events; the recovery path
+        (fallback compile + resumed execution) must then complete at the
+        same instant with the same flow history.
+        """
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        program = build_algorithm("ring-allreduce", cluster)
+        backend = ResCCLBackend(max_microbatches=4)
+        plan = backend.plan(cluster, program, 8 * MB)
+
+        fast = run_with_faults(
+            plan, "link-flap", seed=1, recovery="fallback", record_trace=True
+        )
+        slow = run_with_faults(
+            with_reference_solver(plan),
+            "link-flap",
+            seed=1,
+            recovery="fallback",
+            record_trace=True,
+        )
+        assert report_fingerprint(fast.report) == report_fingerprint(
+            slow.report
+        )
+        assert report_fingerprint(fast.baseline) == report_fingerprint(
+            slow.baseline
+        )

@@ -1,0 +1,150 @@
+"""The parallel sweep runner and its chaos-corpus integration."""
+
+import pytest
+
+from repro.experiments.base import (
+    SweepError,
+    SweepOutcome,
+    parallel_sweep,
+)
+from repro.faults.harness import ChaosCorpusError, run_chaos_corpus
+from repro.obs.metrics import collecting, current_registry
+
+
+def _square(point):
+    return point * point
+
+
+def _square_with_metrics(point):
+    registry = current_registry()
+    registry.inc("sweep_points_total")
+    registry.inc("sweep_value_total", point)
+    registry.set("sweep_last_point", point)
+    registry.observe("sweep_point_value", point)
+    return point * point
+
+
+def _fail_on_three(point):
+    if point == 3:
+        raise ValueError(f"bad point {point}")
+    return point
+
+
+class TestInlinePath:
+    def test_plain_map(self):
+        assert parallel_sweep(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_single_point_stays_inline(self):
+        assert parallel_sweep(_square, [5], jobs=8) == [25]
+
+    def test_strict_raises_through(self):
+        with pytest.raises(ValueError):
+            parallel_sweep(_fail_on_three, [1, 3], jobs=1)
+
+    def test_non_strict_collects_outcomes(self):
+        outcomes = parallel_sweep(
+            _fail_on_three, [1, 3, 5], jobs=1, strict=False
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert outcomes[0].value == 1
+        assert "bad point 3" in outcomes[1].error
+        assert outcomes[2].index == 2 and outcomes[2].point == 5
+
+
+class TestPoolPath:
+    def test_results_ordered_by_input_position(self):
+        points = list(range(8))
+        assert parallel_sweep(_square, points, jobs=2) == [
+            p * p for p in points
+        ]
+
+    def test_worker_exception_propagates_with_traceback(self):
+        with pytest.raises(SweepError) as excinfo:
+            parallel_sweep(_fail_on_three, [1, 2, 3, 4], jobs=2)
+        err = excinfo.value
+        assert err.index == 2
+        assert err.point == 3
+        assert "ValueError" in err.worker_traceback
+        assert "bad point 3" in str(err)
+
+    def test_non_strict_pool_keeps_all_outcomes(self):
+        outcomes = parallel_sweep(
+            _fail_on_three, [1, 3, 5], jobs=2, strict=False
+        )
+        assert isinstance(outcomes[0], SweepOutcome)
+        assert [o.ok for o in outcomes] == [True, False, True]
+
+    def test_worker_metrics_merge_into_parent_registry(self):
+        points = [1, 2, 3, 4]
+        with collecting() as registry:
+            parallel_sweep(_square_with_metrics, points, jobs=2)
+        assert registry.counter("sweep_points_total").value() == len(points)
+        assert registry.counter("sweep_value_total").value() == sum(points)
+        # Gauges merge in point order: the last point wins, matching a
+        # sequential run.
+        assert registry.gauge("sweep_last_point").value() == points[-1]
+        series = registry.histogram("sweep_point_value").series[()]
+        assert series.count == len(points)
+        assert series.sum == sum(points)
+        assert series.min == min(points)
+        assert series.max == max(points)
+
+    def test_parallel_metrics_match_sequential(self):
+        points = [1, 2, 3, 4]
+        with collecting() as sequential:
+            parallel_sweep(_square_with_metrics, points, jobs=1)
+        with collecting() as parallel:
+            parallel_sweep(_square_with_metrics, points, jobs=2)
+        assert sequential.to_json() == parallel.to_json()
+
+
+class TestChaosCorpusPropagation:
+    CELL = dict(
+        algorithms=("ring-allreduce",),
+        scenarios=("link-flap",),
+        seeds=(0,),
+        policies=("fallback",),
+    )
+
+    def test_failed_cell_raises_with_worker_traceback(self, monkeypatch):
+        import repro.faults.harness as harness
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected harness bug")
+
+        monkeypatch.setattr(harness, "run_with_faults", boom)
+        with pytest.raises(ChaosCorpusError) as excinfo:
+            run_chaos_corpus(jobs=1, **self.CELL)
+        assert "injected harness bug" in str(excinfo.value)
+        rows = excinfo.value.rows
+        assert len(rows) == 1
+        assert rows[0]["outcome"] == "failed"
+        assert "RuntimeError" in rows[0]["error"]
+
+    def test_non_strict_marks_cell_failed(self, monkeypatch):
+        import repro.faults.harness as harness
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected harness bug")
+
+        monkeypatch.setattr(harness, "run_with_faults", boom)
+        rows = run_chaos_corpus(jobs=1, strict=False, **self.CELL)
+        assert rows[0]["outcome"] == "failed"
+        assert "injected harness bug" in rows[0]["error"]
+
+    def test_parallel_corpus_matches_serial(self):
+        serial = run_chaos_corpus(
+            policies=("fallback",),
+            algorithms=("ring-allreduce",),
+            scenarios=("link-flap",),
+            seeds=(0, 1),
+            jobs=1,
+        )
+        parallel = run_chaos_corpus(
+            policies=("fallback",),
+            algorithms=("ring-allreduce",),
+            scenarios=("link-flap",),
+            seeds=(0, 1),
+            jobs=2,
+        )
+        assert serial == parallel
