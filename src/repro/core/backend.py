@@ -43,6 +43,9 @@ class ResCCLBackend:
             ``ExecMode.INTERPRETER`` for the Figure 3 ablation.
         max_microbatches: cap on micro-batch count per plan.
         config: runtime constants override.
+        indexed_schedule: run the compiler's indexed cold-compile path
+            (default); ``False`` selects the reference implementations.
+            Outputs are bit-identical, so plans do not depend on it.
     """
 
     scheduler: str = "hpds"
@@ -50,11 +53,15 @@ class ResCCLBackend:
     mode: ExecMode = ExecMode.KERNEL
     max_microbatches: int = 32
     config: Optional[SimConfig] = None
+    indexed_schedule: bool = True
 
     name = "ResCCL"
 
     def __post_init__(self) -> None:
-        self._compiler = ResCCLCompiler(scheduler=self.scheduler)
+        self._compiler = ResCCLCompiler(
+            scheduler=self.scheduler,
+            indexed_schedule=self.indexed_schedule,
+        )
 
     def compile(
         self, algorithm: Union[str, AlgoProgram], cluster: Cluster
@@ -90,7 +97,10 @@ class ResCCLBackend:
                 max_microbatches=self.max_microbatches,
             )
             assignments = allocate_tbs(
-                compiled.dag, compiled.pipeline, pipelining_allowance=n_mb
+                compiled.dag,
+                compiled.pipeline,
+                pipelining_allowance=n_mb,
+                indexed=self.indexed_schedule,
             )
             tb_programs = lower_to_programs(
                 assignments, n_mb, nwarps=self.nwarps

@@ -11,7 +11,18 @@ The four serial phases of Figure 10(a):
 
 Each phase's wall-clock time is recorded so the Figure 10(a)
 scalability experiment measures the *actual* cost of this
-implementation, not a model.
+implementation, not a model.  With a metrics registry armed, every
+phase also lands one ``compile_wall_us`` histogram observation labelled
+by stage and entry point, and the ``compile``/``compile_residual``
+spans carry per-stage wall counters — the observability contract of the
+cold-compile path (``docs/performance.md``).
+
+``indexed_schedule`` selects between the near-linearithmic indexed
+implementations of analysis, scheduling, and lowering (default) and the
+original reference implementations kept as the golden comparators.
+Outputs are bit-identical either way — :func:`compile_fingerprint`
+captures everything observable about a compile so tests, benchmarks,
+and CI can assert it.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from ..lang.builder import AlgoProgram
 from ..lang.parser import parse_module
 from ..lang.builder import evaluate_module
 from ..lang.validate import validate_program
+from ..obs.metrics import current_registry
 from ..obs.spans import span as obs_span
 from ..topology import Cluster
 from .hpds import hpds_schedule
@@ -33,10 +45,30 @@ from .pipeline import GlobalPipeline
 from .rr import rr_schedule
 from .tballoc import TBAssignment, allocate_tbs
 
-SCHEDULERS: Dict[str, Callable[[DependencyDAG], GlobalPipeline]] = {
+SCHEDULERS: Dict[str, Callable[..., GlobalPipeline]] = {
     "hpds": hpds_schedule,
     "rr": rr_schedule,
 }
+
+
+def _run_scheduler(
+    name: str, dag: DependencyDAG, indexed: bool
+) -> GlobalPipeline:
+    """Dispatch to a scheduler, forwarding the indexed/reference choice.
+
+    Only HPDS has dual implementations; the round-robin ablation
+    baseline has a single one and takes no mode.
+    """
+    if name == "hpds":
+        return hpds_schedule(dag, indexed=indexed)
+    return SCHEDULERS[name](dag)
+
+
+def _observe_stage_wall(stage: str, micros: float, entry: str) -> None:
+    """Publish one cold-compile stage wall time to the ambient registry."""
+    registry = current_registry()
+    if registry is not None:
+        registry.observe("compile_wall_us", micros, stage=stage, entry=entry)
 
 
 @dataclass
@@ -69,6 +101,39 @@ class CompileResult:
         return len(self.assignments)
 
 
+def compile_fingerprint(
+    result: CompileResult, kernel_ranks: Optional[List[int]] = None
+) -> dict:
+    """Content fingerprint of a compile's observable outputs.
+
+    Captures the global pipeline (per-sub-pipeline task sequences), the
+    TB assignments (per-TB endpoint groups with sides, peers, ordered
+    task ids, and windows), and — when ``kernel_ranks`` is given — the
+    rendered kernel source per rank.  Two compiles are bit-identical iff
+    their fingerprints compare equal; the indexed-vs-reference golden
+    suite and the compile-scaling benchmark both assert on this.
+    """
+    fp = {
+        "scheduler": result.pipeline.scheduler,
+        "pipeline": [list(sp.task_ids) for sp in result.pipeline.sub_pipelines],
+        "assignments": [
+            (
+                tb.rank,
+                [
+                    (g.side.value, g.peer, tuple(g.task_ids), g.window)
+                    for g in tb.groups
+                ],
+            )
+            for tb in result.assignments
+        ],
+    }
+    if kernel_ranks is not None:
+        fp["kernels"] = {
+            rank: result.kernel_source(rank) for rank in kernel_ranks
+        }
+    return fp
+
+
 class ResCCLCompiler:
     """Compiles ResCCLang algorithms into scheduled TB pipelines.
 
@@ -76,14 +141,25 @@ class ResCCLCompiler:
         scheduler: ``"hpds"`` (default) or ``"rr"`` (the ablation
             baseline of Figure 10(b)).
         validate: run static program validation during Analysis.
+        indexed_schedule: run the indexed near-linearithmic analysis /
+            scheduling / lowering implementations (default).  ``False``
+            selects the original reference implementations — the golden
+            escape hatch; outputs are bit-identical in both modes, so
+            the plan cache deliberately keys on neither.
     """
 
-    def __init__(self, scheduler: str = "hpds", validate: bool = True) -> None:
+    def __init__(
+        self,
+        scheduler: str = "hpds",
+        validate: bool = True,
+        indexed_schedule: bool = True,
+    ) -> None:
         if scheduler not in SCHEDULERS:
             known = ", ".join(sorted(SCHEDULERS))
             raise ValueError(f"unknown scheduler {scheduler!r}; known: {known}")
         self.scheduler = scheduler
         self.validate = validate
+        self.indexed_schedule = indexed_schedule
 
     def compile(
         self,
@@ -100,8 +176,13 @@ class ResCCLCompiler:
         are recorded as 0.0.
         """
         times: Dict[str, float] = {}
+        indexed = self.indexed_schedule
 
-        with obs_span("compile", scheduler=self.scheduler):
+        with obs_span(
+            "compile",
+            scheduler=self.scheduler,
+            indexed_schedule=str(indexed).lower(),
+        ) as compile_sp:
             if frontend is not None:
                 program, dag = frontend
                 times["parsing"] = 0.0
@@ -122,14 +203,14 @@ class ResCCLCompiler:
                 with obs_span("analysis") as sp:
                     if self.validate:
                         validate_program(program, cluster).raise_if_failed()
-                    dag = build_dag(program.transfers, cluster)
+                    dag = build_dag(program.transfers, cluster, fused=indexed)
                     sp.set(dag_nodes=len(dag), dag_edges=dag.edge_count)
                 times["analysis"] = (time.perf_counter() - start) * 1e6
 
             # Phase 3: Scheduling (DAG -> global task pipeline).
             start = time.perf_counter()
             with obs_span("scheduling") as sp:
-                pipeline = SCHEDULERS[self.scheduler](dag)
+                pipeline = _run_scheduler(self.scheduler, dag, indexed)
                 pipeline.check_all(dag)
                 sp.set(
                     tasks_scheduled=pipeline.task_count,
@@ -140,8 +221,15 @@ class ResCCLCompiler:
             # Phase 4: Lowering (pipeline -> TB assignments).
             start = time.perf_counter()
             with obs_span("lowering"):
-                assignments = allocate_tbs(dag, pipeline)
+                assignments = allocate_tbs(dag, pipeline, indexed=indexed)
             times["lowering"] = (time.perf_counter() - start) * 1e6
+
+            for stage, micros in times.items():
+                _observe_stage_wall(stage, micros, entry="full")
+            compile_sp.set(
+                total_wall_us=sum(times.values()),
+                **{f"{stage}_wall_us": t for stage, t in times.items()},
+            )
 
         return CompileResult(
             program=program,
@@ -158,6 +246,7 @@ def compile_residual(
     dag: DependencyDAG,
     scheduler: str = "hpds",
     pipelining_allowance: int = 1,
+    indexed: bool = True,
 ) -> Tuple[GlobalPipeline, List[TBAssignment]]:
     """Scheduling + lowering for an already-built (residual) DAG.
 
@@ -167,6 +256,10 @@ def compile_residual(
     directly against the degraded cluster (whose link annotations the DAG
     already carries).  Phases 3 and 4 are identical to a full compile:
     HPDS (or round-robin) over the DAG, then state-based TB allocation.
+    ``indexed`` selects the indexed or reference implementations exactly
+    as :class:`ResCCLCompiler` does — replans on a degraded cluster are
+    cold compiles the plan cache never sees, so they ride the indexed
+    path by default.
 
     Returns ``(pipeline, assignments)``; kernel generation stays with the
     caller, which knows the resume plan's micro-batch count.
@@ -174,18 +267,39 @@ def compile_residual(
     if scheduler not in SCHEDULERS:
         known = ", ".join(sorted(SCHEDULERS))
         raise ValueError(f"unknown scheduler {scheduler!r}; known: {known}")
-    with obs_span("compile_residual", scheduler=scheduler) as sp:
-        pipeline = SCHEDULERS[scheduler](dag)
+    with obs_span(
+        "compile_residual",
+        scheduler=scheduler,
+        indexed_schedule=str(indexed).lower(),
+    ) as sp:
+        start = time.perf_counter()
+        pipeline = _run_scheduler(scheduler, dag, indexed)
         pipeline.check_all(dag)
+        scheduling_us = (time.perf_counter() - start) * 1e6
+        start = time.perf_counter()
         assignments = allocate_tbs(
-            dag, pipeline, pipelining_allowance=pipelining_allowance
+            dag,
+            pipeline,
+            pipelining_allowance=pipelining_allowance,
+            indexed=indexed,
         )
+        lowering_us = (time.perf_counter() - start) * 1e6
+        _observe_stage_wall("scheduling", scheduling_us, entry="residual")
+        _observe_stage_wall("lowering", lowering_us, entry="residual")
         sp.set(
             dag_nodes=len(dag),
             sub_pipelines=pipeline.depth,
             tbs=len(assignments),
+            scheduling_wall_us=scheduling_us,
+            lowering_wall_us=lowering_us,
         )
     return pipeline, assignments
 
 
-__all__ = ["ResCCLCompiler", "CompileResult", "SCHEDULERS", "compile_residual"]
+__all__ = [
+    "ResCCLCompiler",
+    "CompileResult",
+    "SCHEDULERS",
+    "compile_fingerprint",
+    "compile_residual",
+]

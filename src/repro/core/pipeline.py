@@ -87,20 +87,24 @@ class GlobalPipeline:
         in an earlier sub-pipeline or earlier within the same sub-pipeline
         (one sub-pipeline may pack a multi-stage chain, Figure 5(c)).
         """
-        for producer, consumer in dag.edges():
-            if self.order_key(producer) >= self.order_key(consumer):
-                raise ValueError(
-                    f"task {consumer} at {self.order_key(consumer)} depends "
-                    f"on task {producer} scheduled later/equal at "
-                    f"{self.order_key(producer)}"
-                )
+        order = self._order
+        for producer, consumers in dag.succs.items():
+            producer_key = order[producer]
+            for consumer in consumers:
+                if producer_key >= order[consumer]:
+                    raise ValueError(
+                        f"task {consumer} at {order[consumer]} depends "
+                        f"on task {producer} scheduled later/equal at "
+                        f"{producer_key}"
+                    )
 
     def check_comm_conflicts(self, dag: DependencyDAG) -> None:
         """No two tasks of one sub-pipeline share a communication link."""
+        tasks = dag.tasks
         for sp in self.sub_pipelines:
             links: Set[str] = set()
             for task_id in sp.task_ids:
-                link = dag.task(task_id).link
+                link = tasks[task_id].link
                 if link in links:
                     raise ValueError(
                         f"sub-pipeline {sp.index} schedules two tasks on "

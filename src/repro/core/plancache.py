@@ -128,7 +128,13 @@ class PlanCache:
     def compile_key(
         self, source: str, cluster, scheduler: str, validate: bool
     ) -> str:
-        """Content-hash key for a full compile."""
+        """Content-hash key for a full compile.
+
+        ``indexed_schedule`` is deliberately absent: the indexed and
+        reference compile paths produce bit-identical results (the
+        golden-equivalence suite enforces it), so entries are shared
+        across modes rather than compiled twice.
+        """
         return self._digest(
             f"v{CACHE_FORMAT_VERSION}",
             "compile",

@@ -20,6 +20,7 @@ connection endpoints to the number of *concurrently* active ones.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
@@ -87,55 +88,150 @@ def timeline_slots(dag: DependencyDAG, pipeline: GlobalPipeline) -> Dict[int, in
     *when* each connection is active — the ``active_l(t)`` intervals of
     section 4.4.
     """
-    slots: Dict[int, int] = {}
-    link_free: Dict[str, int] = defaultdict(int)
-    for task_id in sorted(
-        (t.task_id for t in dag.tasks), key=pipeline.order_key
-    ):
-        task = dag.task(task_id)
-        after_deps = max(
-            (slots[p] + 1 for p in dag.preds[task_id] if p in slots),
-            default=0,
-        )
-        slot = max(after_deps, link_free[task.link])
-        slots[task_id] = slot
-        link_free[task.link] = slot + 1
-    return slots
+    # The pipeline's own task sequence IS the sort the old implementation
+    # recomputed: ordered_task_ids() enumerates (sub-pipeline, slot)
+    # order, which is exactly sorting every task by order_key.  Slots
+    # live in a dense array during the pass (task ids are dense); -1
+    # marks not-yet-scheduled, matching the old ``p in slots`` guard.
+    order = pipeline.ordered_task_ids()
+    dense: List[int] = [-1] * len(dag.tasks)
+    link_free: Dict[str, int] = {}
+    tasks = dag.tasks
+    preds = dag.preds
+    for task_id in order:
+        slot = 0
+        for p in preds[task_id]:
+            sp = dense[p]
+            if sp >= slot:
+                slot = sp + 1
+        link = tasks[task_id].link
+        free = link_free.get(link, 0)
+        if free > slot:
+            slot = free
+        dense[task_id] = slot
+        link_free[link] = slot + 1
+    return {task_id: dense[task_id] for task_id in order}
 
 
 def build_endpoint_groups(
     dag: DependencyDAG, pipeline: GlobalPipeline
 ) -> List[EndpointGroup]:
-    """Connection-endpoint grouping with timeline-analysis windows."""
+    """Connection-endpoint grouping with timeline-analysis windows.
+
+    Tasks are sorted once, globally, by ``(slot, order_key)`` — a total
+    order, so appending them to each endpoint's member list leaves every
+    list in exactly the per-endpoint sorted order — in timeline order:
+    the list-scheduled slot is when the task can actually run, which
+    beats raw pipeline position when a wavefront packs long chains.
+    Windows fall out of the ends of each sorted member list.
+    """
     slots = timeline_slots(dag, pipeline)
-    members: Dict[Tuple[int, Side, int], List[int]] = defaultdict(list)
-    for task in dag.tasks:
-        members[(task.src, Side.SEND, task.dst)].append(task.task_id)
-        members[(task.dst, Side.RECV, task.src)].append(task.task_id)
+    tasks = dag.tasks
+    # ordered_task_ids() is already the order_key sort, so a *stable*
+    # sort by slot alone yields exactly the old (slot, order_key) total
+    # order without building a key tuple per task.
+    timeline_order = sorted(pipeline.ordered_task_ids(), key=slots.__getitem__)
+    # Sides are encoded as 0 (SEND) / 1 (RECV) while grouping — tuple
+    # hashing over plain ints is much cheaper than over enum members.
+    members: Dict[Tuple[int, int, int], List[int]] = {}
+    for task_id in timeline_order:
+        tr = tasks[task_id].transfer  # plain fields, no property calls
+        for key in (
+            (tr.src, 0, tr.dst),
+            (tr.dst, 1, tr.src),
+        ):
+            bucket = members.get(key)
+            if bucket is None:
+                members[key] = [task_id]
+            else:
+                bucket.append(task_id)
     groups: List[EndpointGroup] = []
-    for (rank, side, peer), task_ids in members.items():
-        # Execute in timeline order: the list-scheduled slot is when the
-        # task can actually run, which beats raw pipeline position when a
-        # wavefront packs long chains.
-        task_ids.sort(key=lambda t: (slots[t],) + pipeline.order_key(t))
-        positions = [slots[t] for t in task_ids]
+    for (rank, side_recv, peer), task_ids in members.items():
         groups.append(
             EndpointGroup(
                 rank=rank,
-                side=side,
+                side=Side.RECV if side_recv else Side.SEND,
                 peer=peer,
                 task_ids=task_ids,
-                window=(min(positions), max(positions)),
+                window=(slots[task_ids[0]], slots[task_ids[-1]]),
             )
         )
     groups.sort(key=lambda g: (g.rank, g.window, g.side is Side.RECV, g.peer))
     return groups
 
 
+def _merge_rank_reference(
+    groups: List[EndpointGroup],
+    rank: int,
+    pipelining_allowance: int,
+) -> Tuple[List[TBAssignment], int, int]:
+    """Best-fit merge by linear scan over open TBs — the golden reference."""
+    merges_accepted = 0
+    merges_rejected = 0
+    open_tbs: List[TBAssignment] = []
+    for group in groups:  # already sorted by window start
+        best = None
+        for tb in open_tbs:
+            if tb.window[1] + pipelining_allowance < group.window[0]:
+                if best is None or tb.window[1] > best.window[1]:
+                    best = tb
+        if best is None:
+            if open_tbs:
+                merges_rejected += 1
+            best = TBAssignment(rank=rank)
+            open_tbs.append(best)
+        else:
+            merges_accepted += 1
+        best.groups.append(group)
+    return open_tbs, merges_accepted, merges_rejected
+
+
+def _merge_rank_indexed(
+    groups: List[EndpointGroup],
+    rank: int,
+    pipelining_allowance: int,
+) -> Tuple[List[TBAssignment], int, int]:
+    """Best-fit merge through a sorted-by-window-end index.
+
+    Open TBs live in a list kept sorted by ``(window_end, -creation)``.
+    The reference picks the TB with the *largest* end strictly below the
+    window start (minus the allowance), breaking ties toward the
+    earliest-created TB — which is exactly the rightmost index entry
+    below the threshold, because equal ends sort by descending creation
+    order.  Each endpoint costs one bisect plus one ordered reinsertion
+    instead of a scan over every open TB, and the assignment is
+    identical to the reference by construction.
+    """
+    merges_accepted = 0
+    merges_rejected = 0
+    open_tbs: List[TBAssignment] = []
+    # Entries are (window_end, -creation_index, tb); creation indexes are
+    # unique per rank so the TBAssignment itself is never compared.
+    index: List[Tuple[int, int, TBAssignment]] = []
+    for group in groups:  # already sorted by window start
+        threshold = group.window[0] - pipelining_allowance
+        pos = bisect_left(index, (threshold,))
+        if pos == 0:
+            if open_tbs:
+                merges_rejected += 1
+            tb = TBAssignment(rank=rank)
+            seq = len(open_tbs)
+            open_tbs.append(tb)
+        else:
+            _, neg_seq, tb = index.pop(pos - 1)
+            seq = -neg_seq
+            merges_accepted += 1
+        tb.groups.append(group)
+        insort(index, (group.window[1], -seq, tb))
+    return open_tbs, merges_accepted, merges_rejected
+
+
 def allocate_tbs(
     dag: DependencyDAG,
     pipeline: GlobalPipeline,
     pipelining_allowance: int = 0,
+    *,
+    indexed: bool = True,
 ) -> List[TBAssignment]:
     """State-based allocation: merge serially-active endpoints per rank.
 
@@ -150,7 +246,12 @@ def allocate_tbs(
     slot, so merging across a smaller gap would serialize work that
     actually overlaps.  Backends pass a value derived from the
     micro-batch count.
+
+    ``indexed`` selects the sorted-by-window-end merge index (default)
+    or the reference linear scan over open TBs; both yield the same
+    assignments (``tests/test_tballoc.py``).
     """
+    merge = _merge_rank_indexed if indexed else _merge_rank_reference
     with obs_span("tballoc") as sp:
         by_rank: Dict[int, List[EndpointGroup]] = defaultdict(list)
         endpoint_count = 0
@@ -162,21 +263,11 @@ def allocate_tbs(
         merges_rejected = 0
         assignments: List[TBAssignment] = []
         for rank in sorted(by_rank):
-            open_tbs: List[TBAssignment] = []
-            for group in by_rank[rank]:  # already sorted by window start
-                best = None
-                for tb in open_tbs:
-                    if tb.window[1] + pipelining_allowance < group.window[0]:
-                        if best is None or tb.window[1] > best.window[1]:
-                            best = tb
-                if best is None:
-                    if open_tbs:
-                        merges_rejected += 1
-                    best = TBAssignment(rank=rank)
-                    open_tbs.append(best)
-                else:
-                    merges_accepted += 1
-                best.groups.append(group)
+            open_tbs, accepted, rejected = merge(
+                by_rank[rank], rank, pipelining_allowance
+            )
+            merges_accepted += accepted
+            merges_rejected += rejected
             assignments.extend(open_tbs)
         sp.set(
             endpoints=endpoint_count,

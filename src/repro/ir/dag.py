@@ -8,15 +8,23 @@ hazard rules (read-after-write, write-after-read, write-after-write).
 Tasks sharing a bottleneck link carry a *communication dependency*, which
 is not an edge (it does not force an order, it forbids concurrency) and is
 therefore kept as per-link groupings for the scheduler.
+
+The analysis is on the cold-compile critical path (see
+``docs/performance.md``), so :func:`build_dag` defaults to a fused
+single-pass construction over pre-sorted step buckets; the original
+two-level grouping is preserved behind ``fused=False`` as the golden
+reference.  Both emit the exact same ``add_edge`` sequence, so the DAGs
+are indistinguishable — including set iteration order downstream.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Set, Tuple
 
-import networkx as nx
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx as nx
 
 from ..topology import Cluster
 from .task import Transfer, TransmissionTask
@@ -55,8 +63,12 @@ class DependencyDAG:
         self.succs: Dict[int, Set[int]] = {t.task_id: set() for t in self.tasks}
         self.chunk_tasks: Dict[int, List[int]] = defaultdict(list)
         self.link_tasks: Dict[str, List[int]] = defaultdict(list)
+        self._topo_cache: List[int] = []
+        self._topo_valid = False
         for task in self.tasks:
-            self.chunk_tasks[task.chunk].append(task.task_id)
+            # .transfer holds the plain fields; going through it once
+            # skips the delegating-property calls on this hot path.
+            self.chunk_tasks[task.transfer.chunk].append(task.task_id)
             self.link_tasks[task.link].append(task.task_id)
 
     # ------------------------------------------------------------------
@@ -74,6 +86,7 @@ class DependencyDAG:
             return
         self.preds[consumer].add(producer)
         self.succs[producer].add(consumer)
+        self._topo_valid = False
 
     @property
     def edge_count(self) -> int:
@@ -97,9 +110,23 @@ class DependencyDAG:
     # ------------------------------------------------------------------
 
     def topological_order(self) -> List[int]:
-        """Kahn topological order; raises on cyclic dependencies."""
-        indegree = {tid: len(p) for tid, p in self.preds.items()}
-        frontier = [tid for tid, deg in indegree.items() if deg == 0]
+        """Kahn topological order; raises on cyclic dependencies.
+
+        Degrees live in a dense array indexed by task id (ids are dense
+        by construction — ``task()`` is a list lookup), and the order is
+        cached until the next ``add_edge``, so the compiler's repeated
+        consumers (cycle check, height pass, critical path) pay for one
+        traversal.  The visit sequence is identical to the historical
+        dict-based Kahn: same ascending-id initial frontier, same LIFO
+        pops, same successor-set iteration order.
+        """
+        if self._topo_valid:
+            return list(self._topo_cache)
+        n = len(self.tasks)
+        indegree = [0] * n
+        for tid, preds in self.preds.items():
+            indegree[tid] = len(preds)
+        frontier = [tid for tid in range(n) if indegree[tid] == 0]
         order: List[int] = []
         while frontier:
             tid = frontier.pop()
@@ -108,13 +135,17 @@ class DependencyDAG:
                 indegree[succ] -= 1
                 if indegree[succ] == 0:
                     frontier.append(succ)
-        if len(order) != len(self.tasks):
-            stuck = sorted(tid for tid, deg in indegree.items() if deg > 0)
+        if len(order) != n:
+            stuck = sorted(
+                tid for tid in range(n) if indegree[tid] > 0
+            )
             raise CyclicDependencyError(
                 f"data-dependency cycle involving tasks {stuck[:8]}"
                 + ("..." if len(stuck) > 8 else "")
             )
-        return order
+        self._topo_cache = order
+        self._topo_valid = True
+        return list(order)
 
     def is_acyclic(self) -> bool:
         """True when the data dependencies form a DAG."""
@@ -134,6 +165,8 @@ class DependencyDAG:
 
     def to_networkx(self) -> "nx.DiGraph":
         """Export as a networkx DiGraph (nodes carry their task objects)."""
+        import networkx as nx  # deferred: only this export needs it
+
         graph = nx.DiGraph()
         for task in self.tasks:
             graph.add_node(task.task_id, task=task)
@@ -155,26 +188,10 @@ def _slot_accesses(
     return [reads_src, writes_dst]
 
 
-def build_dag(transfers: Sequence[Transfer], cluster: Cluster) -> DependencyDAG:
-    """Construct the dependency DAG for an algorithm on a cluster.
-
-    Tasks get dense ids in input order.  Data-dependency edges follow the
-    hazard rules per buffer slot, ordered by the DSL ``step`` value;
-    accesses sharing a step are considered concurrent and get no edge.
-    """
-    tasks = [
-        TransmissionTask(
-            task_id=index,
-            transfer=transfer,
-            link=cluster.link_name(transfer.src, transfer.dst),
-            intra_node=cluster.same_node(transfer.src, transfer.dst),
-        )
-        for index, transfer in enumerate(transfers)
-    ]
-    dag = DependencyDAG(tasks)
-
-    # Group accesses by slot, then by step, and apply hazard rules between
-    # consecutive step groups.
+def _hazard_edges_reference(
+    dag: DependencyDAG, tasks: Sequence[TransmissionTask]
+) -> None:
+    """Two-level grouping (slot, then step dict) — the golden reference."""
     per_slot: Dict[Tuple[int, int], Dict[int, List[Tuple[int, bool]]]] = (
         defaultdict(lambda: defaultdict(list))
     )
@@ -202,6 +219,138 @@ def build_dag(transfers: Sequence[Transfer], cluster: Cluster) -> DependencyDAG:
             else:
                 state.readers_since_write.extend(reads)
 
+
+def _hazard_edges_fused(
+    dag: DependencyDAG, tasks: Sequence[TransmissionTask]
+) -> None:
+    """Single-pass hazard analysis over flat, pre-sorted step buckets.
+
+    One dict keyed by slot holds a flat ``(step, task_id, is_write)``
+    list per slot, appended in task order.  Steps are usually emitted
+    monotonically per slot, so the per-slot stable sort is a no-op check
+    most of the time; the hazard sweep then walks equal-step runs in
+    place.  The ``add_edge`` sequence — slots in first-touch order, steps
+    ascending, writes before reads, accesses in task order within a step
+    — matches :func:`_hazard_edges_reference` exactly.
+    """
+    per_slot: Dict[Tuple[int, int], List[Tuple[int, int, bool]]] = {}
+    unsorted_slots = set()
+    for task in tasks:
+        tr = task.transfer  # plain fields; skips delegating properties
+        step = tr.step
+        tid = task.task_id
+        chunk = tr.chunk
+        read_slot = (tr.src, chunk)
+        write_slot = (tr.dst, chunk)
+        bucket = per_slot.get(read_slot)
+        if bucket is None:
+            per_slot[read_slot] = [(step, tid, False)]
+        else:
+            if step < bucket[-1][0]:
+                unsorted_slots.add(read_slot)
+            bucket.append((step, tid, False))
+        bucket = per_slot.get(write_slot)
+        if bucket is None:
+            per_slot[write_slot] = [(step, tid, True)]
+        else:
+            if step < bucket[-1][0]:
+                unsorted_slots.add(write_slot)
+            bucket.append((step, tid, True))
+
+    add_edge = dag.add_edge
+    for slot, accesses in per_slot.items():
+        # Stable sort by step keeps task order inside each step run —
+        # the same order the reference's per-step append lists hold.
+        # Most slots are appended in step order (flagged at insertion),
+        # so the sort rarely runs.
+        if slot in unsorted_slots:
+            accesses.sort(key=lambda a: a[0])
+        last_writers: List[int] = []
+        readers_since_write: List[int] = []
+        i = 0
+        total = len(accesses)
+        while i < total:
+            step, tid, is_write = accesses[i]
+            j = i + 1
+            if j == total or accesses[j][0] != step:
+                # Single-access run — the overwhelmingly common case;
+                # skip the slice + listcomp machinery.
+                if is_write:
+                    for producer in last_writers:
+                        add_edge(producer, tid)  # write-after-write
+                    for reader in readers_since_write:
+                        add_edge(reader, tid)  # write-after-read
+                    last_writers = [tid]
+                    readers_since_write = []
+                else:
+                    for producer in last_writers:
+                        add_edge(producer, tid)  # read-after-write
+                    readers_since_write.append(tid)
+                i = j
+                continue
+            while j < total and accesses[j][0] == step:
+                j += 1
+            writes = [t for _, t, w in accesses[i:j] if w]
+            reads = [t for _, t, w in accesses[i:j] if not w]
+            for tid in writes:
+                for producer in last_writers:
+                    add_edge(producer, tid)  # write-after-write
+                for reader in readers_since_write:
+                    add_edge(reader, tid)  # write-after-read
+            for tid in reads:
+                for producer in last_writers:
+                    add_edge(producer, tid)  # read-after-write
+            if writes:
+                last_writers = writes
+                readers_since_write = list(reads)
+            else:
+                readers_since_write.extend(reads)
+            i = j
+
+
+def build_dag(
+    transfers: Sequence[Transfer],
+    cluster: Cluster,
+    *,
+    fused: bool = True,
+) -> DependencyDAG:
+    """Construct the dependency DAG for an algorithm on a cluster.
+
+    Tasks get dense ids in input order.  Data-dependency edges follow the
+    hazard rules per buffer slot, ordered by the DSL ``step`` value;
+    accesses sharing a step are considered concurrent and get no edge.
+
+    ``fused=True`` (default) runs the single-pass hazard analysis;
+    ``fused=False`` runs the original two-level grouping kept as the
+    golden reference.  The two produce identical DAGs — same edges,
+    added in the same order (``tests/test_ir_dag.py``).
+    """
+    # Collectives reuse a small set of (src, dst) pairs across thousands
+    # of transfers; resolving each pair's link name and locality once
+    # keeps task construction linear in the transfer count.
+    pair_cache: Dict[Tuple[int, int], Tuple[str, bool]] = {}
+    tasks: List[TransmissionTask] = []
+    for index, transfer in enumerate(transfers):
+        pair = (transfer.src, transfer.dst)
+        resolved = pair_cache.get(pair)
+        if resolved is None:
+            resolved = pair_cache[pair] = (
+                cluster.link_name(*pair),
+                cluster.same_node(*pair),
+            )
+        tasks.append(
+            TransmissionTask(
+                task_id=index,
+                transfer=transfer,
+                link=resolved[0],
+                intra_node=resolved[1],
+            )
+        )
+    dag = DependencyDAG(tasks)
+    if fused:
+        _hazard_edges_fused(dag, tasks)
+    else:
+        _hazard_edges_reference(dag, tasks)
     return dag
 
 

@@ -15,9 +15,10 @@ sequential routing still leaves the residual imbalance the paper observes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
-import networkx as nx
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx as nx
 
 from ..ir.task import Collective
 from ..lang.builder import AlgoProgram
@@ -56,6 +57,8 @@ class TECCLSynthesizer:
 
     def synthesize_allgather(self, cluster: Cluster) -> AlgoProgram:
         """Route every chunk to every node, then fan out locally."""
+        import networkx as nx  # deferred: keeps repro.synth import light
+
         graph = self._base_graph(cluster)
         scheduler = GreedyStepScheduler(cluster)
         nranks = cluster.world_size

@@ -25,9 +25,10 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Tuple
 
-import networkx as nx
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import networkx as nx
 
 from .hardware import GpuProfile, a100_profile
 
@@ -96,6 +97,7 @@ class Cluster:
         self.nodes_per_rack = nodes_per_rack
         self._edge_capacity: Dict[str, float] = {}
         self._path_cache: Dict[Tuple[int, int], Path] = {}
+        self._link_name_cache: Dict[Tuple[int, int], str] = {}
         self._build_edges()
 
     # ------------------------------------------------------------------
@@ -258,9 +260,18 @@ class Cluster:
         is the source NIC direction, because every flow out of that NIC
         shares its line rate.
         """
+        cached = self._link_name_cache.get((src, dst))
+        if cached is not None:
+            return cached
         if self.same_node(src, dst):
-            return f"nvlink:{src}->{dst}"
-        return f"nic:{self.node_of(src)}:{self.nic_of(src)}->" f"{self.node_of(dst)}:{self.nic_of(dst)}"
+            name = f"nvlink:{src}->{dst}"
+        else:
+            name = (
+                f"nic:{self.node_of(src)}:{self.nic_of(src)}->"
+                f"{self.node_of(dst)}:{self.nic_of(dst)}"
+            )
+        self._link_name_cache[(src, dst)] = name
+        return name
 
     # ------------------------------------------------------------------
     # Export for synthesizers
@@ -273,6 +284,8 @@ class Cluster:
         ``bandwidth`` attributes reflect the route the cluster would use.
         TACCL/TECCL-style synthesizers consume this view.
         """
+        import networkx as nx  # deferred: only solver exports need it
+
         graph = nx.DiGraph()
         graph.add_nodes_from(range(self.world_size))
         for src in range(self.world_size):

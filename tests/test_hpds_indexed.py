@@ -1,0 +1,162 @@
+"""Golden equivalence: the indexed cold-compile path is bit-identical.
+
+The indexed implementations of dependency analysis (fused
+``build_dag``), HPDS scheduling, and state-based TB allocation are
+*optimizations*, not approximations: for every input, a compile with
+``indexed_schedule=True`` must produce the exact same global pipeline,
+the exact same TB assignments, and the exact same rendered kernels as
+the reference implementations kept behind ``indexed_schedule=False``.
+:func:`repro.core.compiler.compile_fingerprint` captures all of that.
+
+Coverage: every built-in algorithm over single- and multi-node
+clusters, the DSL example corpus, both synthesizer stand-ins, the
+round-robin ablation scheduler, and a degraded-cluster replan through
+``build_resume_plan``.
+"""
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms import available_algorithms, build_algorithm
+from repro.core import ResCCLBackend
+from repro.core.compiler import ResCCLCompiler, compile_fingerprint
+from repro.core.plancache import PlanCache
+from repro.faults import CollectiveCheckpoint, build_resume_plan
+from repro.ir.task import Collective
+from repro.lang import parse_program
+from repro.runtime import MB, Simulator, simulate
+from repro.synth import TACCLSynthesizer, TECCLSynthesizer
+from repro.topology import Cluster
+
+CORPUS = sorted(
+    (Path(__file__).resolve().parent.parent / "examples" / "algorithms").glob(
+        "*.rescclang"
+    )
+)
+
+
+def cluster_for(program):
+    gpus = program.header.gpus_per_node
+    if program.nranks % gpus:
+        return Cluster(nodes=1, gpus_per_node=program.nranks)
+    return Cluster(nodes=program.nranks // gpus, gpus_per_node=gpus)
+
+
+def assert_identical_compile(program, cluster, scheduler="hpds"):
+    """Compile both ways (no cache) and compare full fingerprints."""
+    indexed = ResCCLCompiler(scheduler=scheduler).compile(program, cluster)
+    reference = ResCCLCompiler(
+        scheduler=scheduler, indexed_schedule=False
+    ).compile(program, cluster)
+    ranks = list(range(cluster.world_size))
+    assert compile_fingerprint(indexed, kernel_ranks=ranks) == (
+        compile_fingerprint(reference, kernel_ranks=ranks)
+    )
+    return indexed
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("algo", available_algorithms())
+    def test_multi_node(self, algo):
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        assert_identical_compile(build_algorithm(algo, cluster), cluster)
+
+    @pytest.mark.parametrize(
+        "algo", ["ring-allreduce", "mesh-allreduce", "tree-allreduce"]
+    )
+    def test_single_node(self, algo):
+        cluster = Cluster(nodes=1, gpus_per_node=8)
+        assert_identical_compile(build_algorithm(algo, cluster), cluster)
+
+    def test_wider_fabric(self):
+        cluster = Cluster(nodes=4, gpus_per_node=4)
+        assert_identical_compile(
+            build_algorithm("hm-allreduce", cluster), cluster
+        )
+
+    def test_rr_ablation_scheduler(self):
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        assert_identical_compile(
+            build_algorithm("ring-allreduce", cluster),
+            cluster,
+            scheduler="rr",
+        )
+
+
+class TestDslCorpus:
+    @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+    def test_corpus_program(self, path):
+        program = parse_program(path.read_text())
+        assert_identical_compile(program, cluster_for(program))
+
+
+class TestSynthesized:
+    def test_taccl_allgather(self):
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        program = TACCLSynthesizer().synthesize(cluster, Collective.ALLGATHER)
+        assert_identical_compile(program, cluster)
+
+    def test_teccl_allreduce(self):
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        program = TECCLSynthesizer().synthesize(cluster, Collective.ALLREDUCE)
+        assert_identical_compile(program, cluster)
+
+
+class TestPlanCacheSharing:
+    def test_modes_share_cache_entries(self):
+        """indexed_schedule is not part of the compile key: a reference
+        compile hits the entry an indexed compile populated."""
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        program = build_algorithm("ring-allreduce", cluster)
+        cache = PlanCache()
+        first = cache.compile(ResCCLCompiler(), program, cluster)
+        second = cache.compile(
+            ResCCLCompiler(indexed_schedule=False), program, cluster
+        )
+        assert second is first
+        assert cache.stats.hits == 1
+
+
+class TestDegradedReplan:
+    def test_resume_plan_identical(self):
+        """A degraded-cluster residual compile is bit-identical too.
+
+        The replan path enters the compiler at ``compile_residual`` with
+        a DAG built straight from residual transfers on the degraded
+        cluster — no DSL source, relay detours included — so it
+        exercises fused analysis + indexed scheduling + indexed TB
+        allocation on inputs no full compile produces.
+        """
+        from repro.faults import FaultInjector, FaultPlan, make_policy
+        from repro.faults.recovery import ReplanRequested
+
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        backend = ResCCLBackend(max_microbatches=4)
+        plan = backend.plan(
+            cluster, build_algorithm("ring-allreduce", cluster), 16 * MB
+        )
+        clean = simulate(plan)
+        fault_plan = FaultPlan().kill(
+            "nv:out:0", at_us=0.5 * clean.completion_time_us
+        )
+        sim = Simulator(
+            plan,
+            injector=FaultInjector(fault_plan),
+            recovery=make_policy("replan"),
+        )
+        with pytest.raises(ReplanRequested) as info:
+            sim.run()
+        request = info.value
+        ckpt = CollectiveCheckpoint.capture(request.sim, request.dead_edges)
+
+        fast = build_resume_plan(plan, ckpt, request.dead_edges)
+        slow = build_resume_plan(
+            plan, ckpt, request.dead_edges, indexed_schedule=False
+        )
+        assert [dataclasses.asdict(tb) for tb in fast.plan.tb_programs] == [
+            dataclasses.asdict(tb) for tb in slow.plan.tb_programs
+        ]
+        assert fast.metas == slow.metas
+        assert fast.residual_instances == slow.residual_instances

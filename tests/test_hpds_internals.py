@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.hpds import _ChunkQueue, hpds_schedule
+from repro.core.hpds import _ChunkQueue, _priority_key, hpds_schedule
 from repro.ir.dag import build_dag
 from repro.ir.task import Collective, CommType
 from repro.lang.builder import AlgoProgram
@@ -45,15 +45,20 @@ class TestChunkQueue:
         assert queue.highest_with_flag({0: False, 1: False, 2: True}) == 2
         assert queue.highest_with_flag({0: False, 1: False, 2: False}) == -1
 
-    def test_priority_readout(self):
-        queue = _ChunkQueue([7])
-        assert queue.priority(7) == 0
-        queue.decrease(7)
-        assert queue.priority(7) == -1
+    def test_priority_key_ordering(self):
+        """The single priority definition both modes share: min-key over
+        (served, -urgency, chunk)."""
+        # Fewer services wins regardless of urgency...
+        assert _priority_key(0, 0, 9) < _priority_key(1, 100, 0)
+        # ...then higher urgency...
+        assert _priority_key(1, 5, 9) < _priority_key(1, 2, 0)
+        # ...then lower chunk id.
+        assert _priority_key(1, 5, 3) < _priority_key(1, 5, 4)
 
 
+@pytest.mark.parametrize("indexed", [True, False], ids=["indexed", "reference"])
 class TestLinkArbitration:
-    def test_earlier_step_task_claims_contested_link_first(self):
+    def test_earlier_step_task_claims_contested_link_first(self, indexed):
         """Two ready tasks of different chunks share one link; the
         earlier-step one must come first in the schedule."""
         cluster = single_node(4)
@@ -69,7 +74,7 @@ class TestLinkArbitration:
             gpus_per_node=4,
         )
         dag = build_dag(program.transfers, cluster)
-        pipeline = hpds_schedule(dag)
+        pipeline = hpds_schedule(dag, indexed=indexed)
         early = next(
             t.task_id for t in dag.tasks if t.step == 1 and t.src == 0
         )
@@ -78,7 +83,7 @@ class TestLinkArbitration:
         )
         assert pipeline.order_key(early) < pipeline.order_key(late)
 
-    def test_urgent_chains_prioritized(self):
+    def test_urgent_chains_prioritized(self, indexed):
         """Among equally-served chunks, the one heading a longer chain
         is scheduled first."""
         cluster = single_node(8)
@@ -90,7 +95,7 @@ class TestLinkArbitration:
             )
         program = program_with(8, transfers)
         dag = build_dag(program.transfers, cluster)
-        pipeline = hpds_schedule(dag)
+        pipeline = hpds_schedule(dag, indexed=indexed)
         chain_root = next(
             t.task_id for t in dag.tasks if t.chunk == 7 and t.step == 0
         )
@@ -100,23 +105,23 @@ class TestLinkArbitration:
         # The chain head outranks the isolated hop in the first wavefront.
         assert pipeline.order_key(chain_root) < pipeline.order_key(single_hop)
 
-    def test_deferred_task_scheduled_in_later_subpipeline(self):
+    def test_deferred_task_scheduled_in_later_subpipeline(self, indexed):
         """The link guard defers, never drops: everything still lands."""
         cluster = multi_node(2, 4)
         from repro.algorithms import hm_allreduce
 
         dag = build_dag(hm_allreduce(2, 4).transfers, cluster)
-        pipeline = hpds_schedule(dag)
+        pipeline = hpds_schedule(dag, indexed=indexed)
         pipeline.check_complete(dag)
 
-    def test_inter_link_step_order_preserved(self):
+    def test_inter_link_step_order_preserved(self, indexed):
         """On a shared NIC link, scheduled order follows step order for
         ready tasks (the Figure-5 inversion bug regression test)."""
         cluster = multi_node(2, 4)
         from repro.algorithms import hm_allreduce
 
         dag = build_dag(hm_allreduce(2, 4).transfers, cluster)
-        pipeline = hpds_schedule(dag)
+        pipeline = hpds_schedule(dag, indexed=indexed)
         for link, task_ids in dag.link_tasks.items():
             if not link.startswith("nic"):
                 continue

@@ -154,3 +154,90 @@ class TestTransferValidation:
             Transfer(src=0, dst=1, step=-1, chunk=0, op=CommType.RECV)
         with pytest.raises(ValueError):
             Transfer(src=0, dst=1, step=0, chunk=-2, op=CommType.RECV)
+
+
+class TestFusedEquivalence:
+    """The fused single-pass build replays the reference edge sequence."""
+
+    def _edge_log(self, transfers, cluster, fused):
+        log = []
+        dag = build_dag(transfers, cluster, fused=fused)
+        # Reconstruct the DAG with a recording add_edge to capture order.
+        from repro.ir.dag import (
+            DependencyDAG,
+            _hazard_edges_fused,
+            _hazard_edges_reference,
+        )
+
+        recorder = DependencyDAG(dag.tasks)
+        original = recorder.add_edge
+
+        def record(producer, consumer):
+            log.append((producer, consumer))
+            original(producer, consumer)
+
+        recorder.add_edge = record
+        hazard = _hazard_edges_fused if fused else _hazard_edges_reference
+        hazard(recorder, dag.tasks)
+        return dag, log
+
+    @pytest.mark.parametrize(
+        "builder",
+        ["ring-allreduce", "mesh-allreduce", "hm-allreduce", "tree-allreduce"],
+    )
+    def test_identical_edge_sequence(self, builder):
+        from repro.algorithms import build_algorithm
+
+        cluster = multi_node(2, 4)
+        program = build_algorithm(builder, cluster)
+        fused_dag, fused_log = self._edge_log(
+            program.transfers, cluster, fused=True
+        )
+        ref_dag, ref_log = self._edge_log(
+            program.transfers, cluster, fused=False
+        )
+        assert fused_log == ref_log
+        assert fused_dag.preds == ref_dag.preds
+        assert fused_dag.succs == ref_dag.succs
+
+    def test_out_of_order_steps_still_identical(self):
+        # Feed steps out of emission order so the fused path's per-slot
+        # stable sort actually fires.
+        cluster = single_node(4)
+        transfers = [
+            _t(0, 1, 5, 0),
+            _t(1, 2, 1, 0),
+            _t(0, 1, 1, 1, CommType.RRC),
+            _t(2, 1, 3, 0, CommType.RRC),
+            _t(1, 3, 5, 1),
+        ]
+        fused = build_dag(transfers, cluster, fused=True)
+        reference = build_dag(transfers, cluster, fused=False)
+        assert fused.preds == reference.preds
+        assert fused.succs == reference.succs
+
+    def test_topological_order_cached_and_invalidated(self):
+        cluster = single_node(4)
+        dag = build_dag([_t(0, 1, 0, 0), _t(1, 2, 1, 0)], cluster)
+        first = dag.topological_order()
+        assert dag.topological_order() == first
+        dag.add_edge(0, 1)  # already present logically, but invalidates
+        assert dag.topological_order() == first
+
+    def test_import_does_not_pull_networkx(self):
+        """repro.ir.dag must not import networkx at module load; only
+        to_networkx() (and solver exports elsewhere) may."""
+        import subprocess
+        import sys
+
+        code = (
+            "import sys; import repro.ir.dag; import repro.core.hpds; "
+            "import repro.core.tballoc; import repro.core.compiler; "
+            "sys.exit(1 if 'networkx' in sys.modules else 0)"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env={"PYTHONPATH": "src"},
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parent.parent),
+        )
+        assert proc.returncode == 0

@@ -117,3 +117,48 @@ class TestAllocation:
         labels = {tb.label for tb in allocate_tbs(dag, pipeline)}
         assert any("send->r" in label for label in labels)
         assert any("recv<-r" in label for label in labels)
+
+
+class TestIndexedEquivalence:
+    """The sorted-index merge reproduces the reference best-fit exactly."""
+
+    def _fingerprint(self, assignments):
+        return [
+            (
+                tb.rank,
+                [
+                    (g.side, g.peer, tuple(g.task_ids), g.window)
+                    for g in tb.groups
+                ],
+            )
+            for tb in assignments
+        ]
+
+    @pytest.mark.parametrize("allowance", [0, 1, 3, 16])
+    def test_identical_assignments_across_allowances(self, allowance):
+        for program, cluster in [
+            (hm_allreduce(2, 8), multi_node(2, 8)),
+            (hm_allgather(2, 4), multi_node(2, 4)),
+            (ring_allgather(8), single_node(8)),
+        ]:
+            dag, pipeline = compiled(program, cluster)
+            indexed = allocate_tbs(
+                dag, pipeline, pipelining_allowance=allowance, indexed=True
+            )
+            reference = allocate_tbs(
+                dag, pipeline, pipelining_allowance=allowance, indexed=False
+            )
+            assert self._fingerprint(indexed) == self._fingerprint(reference)
+
+    def test_timeline_slots_pipeline_order(self):
+        """ordered_task_ids() is the (sub-pipeline, slot) sort the old
+        implementation recomputed, so slots are unchanged."""
+        from repro.core.tballoc import timeline_slots
+
+        dag, pipeline = compiled(hm_allreduce(2, 4), multi_node(2, 4))
+        slots = timeline_slots(dag, pipeline)
+        resorted = sorted(
+            (t.task_id for t in dag.tasks), key=pipeline.order_key
+        )
+        assert resorted == pipeline.ordered_task_ids()
+        assert set(slots) == {t.task_id for t in dag.tasks}
