@@ -1,0 +1,240 @@
+"""Load benchmark for the compile/simulate service daemon.
+
+Boots a real :class:`~repro.service.ServiceDaemon` (worker processes,
+HTTP, the lot) and drives it through three phases:
+
+1. **cold** — distinct plan-cache keys, every request pays a compile;
+2. **warm** — a multi-threaded closed loop over the now-cached keys,
+   measuring sustained req/s and the p50/p99 latency the issue asks for;
+3. **chaos** — one cold request whose worker is SIGKILLed mid-compute,
+   measuring time from kill to the (verified, exactly-once) response.
+
+Every response digest is checked against a fresh in-process execution
+of the same request — the *verified responses, no duplicates* bar.
+Writes ``BENCH_service.json`` at the repo root for CI diffing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from pathlib import Path
+
+from conftest import once  # noqa: F401 - pytest fixture re-export
+
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    ServiceDaemon,
+    parse_request,
+    result_digest,
+)
+from repro.service.protocol import execute
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+WORKERS = 2
+CLIENT_THREADS = 4
+WARM_SECONDS = 3.0
+
+#: Cold-phase request bodies — distinct plan-cache keys of mixed cost.
+COLD_BODIES = [
+    {"algorithm": "ring-allreduce", "nodes": 1, "gpus": 8, "buffer_mb": 16.0},
+    {"algorithm": "ring-allgather", "nodes": 1, "gpus": 8, "buffer_mb": 16.0},
+    {"algorithm": "ring-reducescatter", "nodes": 1, "gpus": 8,
+     "buffer_mb": 16.0},
+    {"algorithm": "mesh-allreduce", "nodes": 2, "gpus": 8, "buffer_mb": 16.0},
+    {"algorithm": "hm-allreduce", "nodes": 2, "gpus": 8, "buffer_mb": 16.0},
+    {"algorithm": "tree-allreduce", "nodes": 1, "gpus": 8, "buffer_mb": 16.0},
+]
+
+#: The chaos victim: slow enough (>1s cold) to SIGKILL mid-compute.
+CHAOS_BODY = {"algorithm": "mesh-allreduce", "nodes": 6, "gpus": 8,
+              "buffer_mb": 16.0, "mbs": 8}
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _phase_summary(latencies_ms, wall_s):
+    ordered = sorted(latencies_ms)
+    return {
+        "requests": len(ordered),
+        "wall_s": round(wall_s, 3),
+        "req_per_s": round(len(ordered) / wall_s, 2) if wall_s else 0.0,
+        "p50_ms": round(_percentile(ordered, 0.50), 3),
+        "p99_ms": round(_percentile(ordered, 0.99), 3),
+        "max_ms": round(max(ordered), 3) if ordered else 0.0,
+    }
+
+
+def _expected_digests():
+    """Ground truth: run every request body in-process once."""
+    return {
+        json.dumps(body, sort_keys=True): result_digest(
+            execute(parse_request("simulate", body).to_payload())
+        )
+        for body in COLD_BODIES + [CHAOS_BODY]
+    }
+
+
+def _run_service_load(cache_dir):
+    daemon = ServiceDaemon(ServiceConfig(
+        port=0, workers=WORKERS, queue_depth=64, cache_dir=str(cache_dir),
+        default_deadline_ms=120_000.0,
+    ))
+    daemon.start()
+    failures = []
+    duplicate_check = {}
+
+    def verify(body, reply):
+        key = json.dumps(body, sort_keys=True)
+        digest = reply["result_digest"]
+        previous = duplicate_check.setdefault(key, digest)
+        if previous != digest:
+            failures.append(f"digest mismatch for {key}")
+
+    try:
+        # -- phase 1: cold ------------------------------------------------
+        cold_latencies = []
+        cold_start = time.perf_counter()
+        with ServiceClient("127.0.0.1", daemon.port, timeout_s=300.0) as client:
+            for body in COLD_BODIES:
+                t0 = time.perf_counter()
+                reply = client.simulate(**body)
+                cold_latencies.append((time.perf_counter() - t0) * 1e3)
+                if reply["degraded"]:
+                    failures.append(f"cold request degraded: {body}")
+                verify(body, reply)
+        cold_wall = time.perf_counter() - cold_start
+
+        # -- phase 2: warm sustained load ---------------------------------
+        warm_latencies = []
+        warm_lock = threading.Lock()
+        stop_at = time.perf_counter() + WARM_SECONDS
+
+        def closed_loop(offset):
+            with ServiceClient("127.0.0.1", daemon.port,
+                               timeout_s=300.0) as client:
+                index = offset
+                while time.perf_counter() < stop_at:
+                    body = COLD_BODIES[index % len(COLD_BODIES)]
+                    index += 1
+                    t0 = time.perf_counter()
+                    try:
+                        reply = client.simulate(**body)
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        failures.append(f"warm request failed: {exc!r}")
+                        return
+                    elapsed_ms = (time.perf_counter() - t0) * 1e3
+                    with warm_lock:
+                        warm_latencies.append(elapsed_ms)
+                        verify(body, reply)
+
+        warm_start = time.perf_counter()
+        threads = [
+            threading.Thread(target=closed_loop, args=(i,))
+            for i in range(CLIENT_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        warm_wall = time.perf_counter() - warm_start
+
+        # -- phase 3: chaos recovery --------------------------------------
+        chaos_reply = {}
+
+        def chaos_call():
+            with ServiceClient("127.0.0.1", daemon.port,
+                               timeout_s=300.0) as client:
+                try:
+                    chaos_reply["reply"] = client.simulate(**CHAOS_BODY)
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    failures.append(f"chaos request failed: {exc!r}")
+
+        chaos_thread = threading.Thread(target=chaos_call)
+        chaos_thread.start()
+        deadline = time.time() + 15
+        while not daemon.pool.busy_pids() and time.time() < deadline:
+            time.sleep(0.01)
+        victims = daemon.pool.busy_pids()
+        kill_at = time.perf_counter()
+        if victims:
+            os.kill(victims[0], signal.SIGKILL)
+        else:
+            failures.append("chaos: no busy worker to kill")
+        chaos_thread.join(timeout=300)
+        recovery_s = time.perf_counter() - kill_at
+        if "reply" in chaos_reply:
+            verify(CHAOS_BODY, chaos_reply["reply"])
+
+        restarts = daemon.pool.stats.restarts
+        pool_stats = daemon.pool.stats.snapshot()
+        with ServiceClient("127.0.0.1", daemon.port) as client:
+            health = client.healthz()
+    finally:
+        daemon.stop()
+
+    return {
+        "workers": WORKERS,
+        "client_threads": CLIENT_THREADS,
+        "cold": _phase_summary(cold_latencies, cold_wall),
+        "warm": _phase_summary(warm_latencies, warm_wall),
+        "chaos": {
+            "worker_killed": bool(victims),
+            "recovery_s": round(recovery_s, 3),
+            "worker_restarts": restarts,
+            "healthz_after": health.get("status"),
+        },
+        "pool_stats": pool_stats,
+        "failures": failures,
+        "digests": duplicate_check,
+    }
+
+
+def test_service_load(tmp_path, once):
+    data = once(_run_service_load, tmp_path / "plan-cache")
+
+    expected = _expected_digests()
+    digest_mismatches = {
+        key: (digest, expected[key])
+        for key, digest in data.pop("digests").items()
+        if expected.get(key) != digest
+    }
+
+    print("\nservice load:")
+    for phase in ("cold", "warm"):
+        summary = data[phase]
+        print(
+            f"  {phase:>5}: {summary['requests']} requests, "
+            f"{summary['req_per_s']} req/s, p50 {summary['p50_ms']} ms, "
+            f"p99 {summary['p99_ms']} ms"
+        )
+    print(
+        f"  chaos: worker killed, recovered in {data['chaos']['recovery_s']}s "
+        f"({data['chaos']['worker_restarts']} restart(s)), healthz "
+        f"{data['chaos']['healthz_after']}"
+    )
+
+    OUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUT}")
+
+    # Robustness bars: zero failed requests, verified exactly-once
+    # responses, warm traffic faster than cold, daemon healthy after
+    # losing a worker mid-request.
+    assert not data["failures"], data["failures"]
+    assert not digest_mismatches, digest_mismatches
+    assert data["warm"]["requests"] > data["cold"]["requests"]
+    assert data["warm"]["p99_ms"] < 10_000  # sanity, not a perf target
+    assert data["warm"]["req_per_s"] > data["cold"]["req_per_s"]
+    assert data["chaos"]["worker_killed"]
+    assert data["chaos"]["worker_restarts"] >= 1
+    assert data["chaos"]["healthz_after"] == "ok"

@@ -513,6 +513,23 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, ServiceDaemon
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        default_deadline_ms=args.default_deadline_ms,
+        hang_timeout_s=args.hang_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        cache_dir=args.cache_dir,
+    )
+    return ServiceDaemon(config).run_forever()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="resccl",
@@ -623,6 +640,33 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(p_prof)
     _add_cluster_args(p_prof)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the compile/simulate service daemon (see docs/service.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="listen port (0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="compile/simulate worker processes")
+    p_serve.add_argument("--queue-depth", type=int, default=32,
+                         help="admission queue bound; beyond it requests "
+                         "are shed with HTTP 429")
+    p_serve.add_argument("--default-deadline-ms", type=float, default=30000,
+                         help="deadline budget for requests that send none")
+    p_serve.add_argument("--hang-timeout", type=float, default=10.0,
+                         help="seconds without a worker heartbeat before "
+                         "it is killed and respawned")
+    p_serve.add_argument("--breaker-threshold", type=int, default=3,
+                         help="consecutive primary timeouts that trip the "
+                         "degraded-mode circuit breaker")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=5.0,
+                         help="seconds the breaker stays open before "
+                         "probing the primary path again")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="shared on-disk plan-cache tier for the "
+                         "worker processes")
+
     p_exp = sub.add_parser(
         "experiment", help="reproduce one of the paper's tables/figures"
     )
@@ -662,6 +706,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "profile": cmd_profile,
     "experiment": cmd_experiment,
+    "serve": cmd_serve,
 }
 
 

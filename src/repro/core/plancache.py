@@ -17,9 +17,13 @@ executions:
   plan time re-derives assignments from the cached DAG + pipeline).
 * **On-disk tier** — opt-in (``--cache-dir``, the ``RESCCL_CACHE_DIR``
   environment variable, or :func:`configure`): one pickle per key under
-  the cache directory, written atomically.  A version bump, an unknown
-  key, or any unpickling failure invalidates an entry silently — the
-  compiler simply runs.
+  the cache directory, written atomically.  A version bump or an unknown
+  key changes the digest (and so the filename), so stale entries are
+  simply never read again.  A *corrupt* entry — truncated, unpicklable,
+  or failing the embedded version/key self-check — is quarantined to
+  ``<key>.corrupt`` on first read so it is not re-parsed on every miss
+  (multi-process daemons share this tier as their L2), counted in
+  ``compile_cache_corrupt_total``, and the compile proceeds as a miss.
 * **Front-end tier** — ``(source, topology, validate)`` →
   ``(program, DAG)``, so recompiling the same algorithm under a
   different scheduler (the Figure 10(b) HPDS-vs-RR sweeps) reuses
@@ -70,6 +74,7 @@ class CacheStats:
     frontend_hits: int = 0
     disk_hits: int = 0
     disk_writes: int = 0
+    disk_corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -83,12 +88,15 @@ class CacheStats:
         return self.hits / self.lookups
 
     def summary(self) -> str:
-        return (
+        text = (
             f"plan cache: {self.hits}/{self.lookups} hit(s) "
             f"({self.hit_rate:.1%}; {self.disk_hits} from disk, "
             f"{self.frontend_hits} front-end reuse(s), "
             f"{self.disk_writes} disk write(s))"
         )
+        if self.disk_corrupt:
+            text += f" [{self.disk_corrupt} corrupt entr(ies) quarantined]"
+        return text
 
 
 class PlanCache:
@@ -233,18 +241,37 @@ class PlanCache:
         try:
             with path.open("rb") as fh:
                 entry = pickle.load(fh)
+        except FileNotFoundError:
+            return None
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError, ValueError):
-            # Missing, truncated, or written by an incompatible build:
-            # treat as a miss and let a fresh compile overwrite it.
+            # Truncated or written by an incompatible build: quarantine
+            # so the broken bytes are not re-parsed on every future miss
+            # (concurrent writers may have already replaced the file —
+            # the rename is best-effort), then compile as a plain miss.
+            self._quarantine(path)
             return None
         if (
             not isinstance(entry, dict)
             or entry.get("version") != CACHE_FORMAT_VERSION
             or entry.get("key") != key
         ):
+            # The payload unpickled but fails the self-check (e.g. a
+            # hash-colliding or hand-edited file): equally corrupt.
+            self._quarantine(path)
             return None
         return entry.get("result")
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside as ``<key>.corrupt`` and count it."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+        self.stats.disk_corrupt += 1
+        registry = current_registry()
+        if registry is not None:
+            registry.inc("compile_cache_corrupt_total")
 
     def _disk_put(self, key: str, result) -> None:
         path = self._entry_path(key)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -155,15 +156,32 @@ def _sweep_worker(payload: Tuple[int, Callable[[Any], Any], Any]):
     Module-level (picklable) pool target.  Returns ``(index, status,
     value_or_traceback, metrics_json_or_None)``; exceptions never
     propagate raw across the process boundary — they are formatted here
-    so the parent can re-raise with the worker's stack attached.
+    (an exception object whose state cannot be pickled would otherwise
+    wedge or kill the pool on the return path), so the parent can
+    re-raise with the worker's stack attached as plain text.  Returned
+    *values* are pickle-checked for the same reason: an unpicklable
+    value degrades to an error result instead of poisoning ``pool.map``.
     """
     index, fn, point = payload
     try:
         with collecting() as registry:
             value = fn(point)
-        return (index, "ok", value, registry.to_json())
-    except Exception:  # noqa: BLE001 - must cross the process boundary
+        result = (index, "ok", value, registry.to_json())
+    except KeyboardInterrupt:
+        raise  # let Ctrl-C tear the pool down normally
+    except BaseException:  # noqa: BLE001 - must cross the process boundary
         return (index, "error", traceback.format_exc(), None)
+    try:
+        pickle.dumps(result)
+    except Exception as exc:  # noqa: BLE001 - unpicklable user value
+        return (
+            index,
+            "error",
+            f"sweep point returned an unpicklable value "
+            f"({type(value).__name__}): {exc!r}",
+            None,
+        )
+    return result
 
 
 def parallel_sweep(
@@ -201,7 +219,9 @@ def parallel_sweep(
                     outcomes.append(
                         SweepOutcome(index, point, value=fn(point))
                     )
-                except Exception:  # noqa: BLE001 - mirrored worker policy
+                except KeyboardInterrupt:
+                    raise
+                except BaseException:  # noqa: BLE001 - mirrored worker policy
                     outcomes.append(
                         SweepOutcome(
                             index, point, error=traceback.format_exc()

@@ -40,6 +40,7 @@ from .plan import (
 )
 from .recovery import (
     POLICY_NAMES,
+    backoff_delay,
     FallbackRequested,
     RecoveryImpossible,
     RecoveryPolicy,
@@ -68,6 +69,7 @@ __all__ = [
     "build_resume_plan",
     "find_relay",
     "POLICY_NAMES",
+    "backoff_delay",
     "RecoveryPolicy",
     "RetryBackoffPolicy",
     "FallbackRequested",

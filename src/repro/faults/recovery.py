@@ -54,6 +54,18 @@ from .watchdog import ProgressStall
 POLICY_NAMES = ("none", "retry", "fallback", "replan")
 
 
+def backoff_delay(base: float, multiplier: float, attempt: int) -> float:
+    """Geometric backoff delay for the given (0-based) retry attempt.
+
+    The one backoff curve shared by every retry rung in the tree:
+    :class:`RetryBackoffPolicy` spaces flow re-admissions with it (in
+    simulated microseconds) and the service worker supervisor
+    (:mod:`repro.service.workers`) spaces crashed-worker job retries
+    with it (in wall-clock seconds).
+    """
+    return base * (multiplier ** attempt)
+
+
 class FallbackRequested(RuntimeError):
     """Raised through ``Simulator.run`` to demand algorithm fallback."""
 
@@ -253,7 +265,7 @@ class RetryBackoffPolicy(RecoveryPolicy):
             if sim.fault_stats is not None:
                 sim.fault_stats.unrecovered += 1
             return
-        delay = self.base_us * (self.multiplier ** entry.attempts)
+        delay = backoff_delay(self.base_us, self.multiplier, entry.attempts)
         sim._post(sim.now + delay, "retry", retry_id)
 
     def on_edge_restored(self, sim, edge: str) -> None:
@@ -609,6 +621,7 @@ class ResilientRunner:
 
 __all__ = [
     "POLICY_NAMES",
+    "backoff_delay",
     "RecoveryPolicy",
     "RetryBackoffPolicy",
     "FallbackRequested",

@@ -1,0 +1,64 @@
+"""Resilient compile/simulate service daemon.
+
+A long-lived HTTP/JSON front-end over the same
+:class:`~repro.core.backend.ResCCLBackend` / plan-cache APIs the CLI
+uses, with admission control, per-request deadline budgets, request
+coalescing, supervised worker processes, and circuit-breaker
+degradation to the built-in reference ring.  Start it with
+``resccl serve`` or embed :class:`ServiceDaemon` directly; talk to it
+with :class:`ServiceClient`.  See ``docs/service.md`` for endpoint and
+runbook documentation.
+"""
+
+from .breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from .client import (
+    ServiceClient,
+    ServiceDeadline,
+    ServiceError,
+    ServiceOverloaded,
+)
+from .daemon import ServiceConfig, ServiceDaemon
+from .protocol import (
+    OPS,
+    RequestError,
+    ServiceRequest,
+    parse_request,
+    request_fingerprint,
+    result_digest,
+)
+from .workers import (
+    DeadlineExceeded,
+    JobFailed,
+    PoolSaturated,
+    WorkerCrashed,
+    WorkerPool,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceDeadline",
+    "ServiceRequest",
+    "RequestError",
+    "parse_request",
+    "request_fingerprint",
+    "result_digest",
+    "OPS",
+    "WorkerPool",
+    "PoolSaturated",
+    "DeadlineExceeded",
+    "WorkerCrashed",
+    "JobFailed",
+    "CircuitBreaker",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+]

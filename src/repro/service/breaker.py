@@ -1,0 +1,126 @@
+"""Circuit breaker guarding the daemon's cold-compile path.
+
+Sustained deadline expiries on primary work mean the pipeline cannot
+currently compile within the budgets clients give it (a cold cache, an
+oversized topology, a sick worker host).  Erroring on every request
+until the situation clears just burns worker time re-discovering the
+same timeout, so the breaker trades fidelity for liveness:
+
+* **closed** — healthy; primary requests flow.
+* **open** — tripped by ``failure_threshold`` *consecutive* primary
+  failures; primary compiles are suspended and requests are served the
+  cheap built-in reference ring instead (``degraded: true`` responses,
+  see :func:`repro.service.protocol.degraded_program`).
+* **half-open** — after ``cooldown_s`` one probe request is let through
+  on the primary path; success closes the breaker, failure re-opens it
+  and restarts the cooldown.
+
+Only *timeout-shaped* failures count (deadline expiries and worker
+deaths): a request that fails because it is malformed says nothing
+about the health of the compile path.
+
+The breaker is owned and driven solely by the daemon's event-loop
+thread, so it needs no locking; ``clock`` is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: Gauge encoding for the ``service_breaker_state`` metric.
+STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN = 0, 1, 2
+
+_STATE_NAMES = {
+    STATE_CLOSED: "closed",
+    STATE_HALF_OPEN: "half-open",
+    STATE_OPEN: "open",
+}
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe.
+
+    Args:
+        failure_threshold: consecutive primary failures that trip it.
+        cooldown_s: open-state dwell before a half-open probe is allowed.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_inflight = False
+        self.trips = 0  # lifetime count, exported as a counter
+
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> int:
+        """Current state code, applying the open -> half-open timer."""
+        if (
+            self._state == STATE_OPEN
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._state = STATE_HALF_OPEN
+            self._probe_inflight = False
+        return self._state
+
+    @property
+    def state_name(self) -> str:
+        return _STATE_NAMES[self.state]
+
+    def allow_primary(self) -> bool:
+        """May the next request run on the primary (non-degraded) path?
+
+        In half-open state exactly one caller gets ``True`` (the probe);
+        everyone else is degraded until the probe reports back.
+        """
+        state = self.state
+        if state == STATE_CLOSED:
+            return True
+        if state == STATE_HALF_OPEN and not self._probe_inflight:
+            self._probe_inflight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A primary request completed within its deadline."""
+        self._consecutive_failures = 0
+        self._probe_inflight = False
+        self._state = STATE_CLOSED
+
+    def record_failure(self) -> None:
+        """A primary request timed out or lost its worker."""
+        self._probe_inflight = False
+        if self._state == STATE_HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = STATE_OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self.trips += 1
+
+
+__all__ = [
+    "CircuitBreaker",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+]

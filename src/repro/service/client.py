@@ -1,0 +1,167 @@
+"""Minimal stdlib client for the resccl service daemon.
+
+Built on :mod:`http.client` so scripts, tests, and the load benchmark
+can drive the daemon without extra dependencies.  One
+:class:`ServiceClient` wraps one keep-alive connection and is *not*
+thread-safe — give each load-generator thread its own client.
+
+Typical use::
+
+    from repro.service import ServiceClient
+
+    with ServiceClient("127.0.0.1", 8642) as client:
+        reply = client.simulate("allreduce:8", nodes=1, gpus=8,
+                                deadline_ms=10_000)
+        print(reply["result"]["completion_time_us"])
+
+Errors map onto exception types by HTTP status so callers can react to
+the daemon's robustness signals individually: ``429`` (shed load)
+raises :class:`ServiceOverloaded` carrying ``retry_after_s``, ``504``
+(deadline spent) raises :class:`ServiceDeadline`, any other non-2xx
+raises :class:`ServiceError` with the decoded error payload.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Optional
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx reply from the daemon."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]) -> None:
+        detail = payload.get("error", "request failed")
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceOverloaded(ServiceError):
+    """HTTP 429 — the daemon shed this request; retry after a delay."""
+
+    def __init__(self, status: int, payload: Dict[str, Any],
+                 retry_after_s: float) -> None:
+        super().__init__(status, payload)
+        self.retry_after_s = retry_after_s
+
+
+class ServiceDeadline(ServiceError):
+    """HTTP 504 — the request's deadline budget expired."""
+
+
+class ServiceClient:
+    """One keep-alive HTTP connection to a resccl service daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout_s: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- connection management ----------------------------------------
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None,
+                 headers: Optional[Dict[str, str]] = None):
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        send_headers = {"Content-Type": "application/json"}
+        if headers:
+            send_headers.update(headers)
+        # One transparent reconnect: the daemon may have dropped an idle
+        # keep-alive connection between calls.
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=send_headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        return response, raw
+
+    # -- operations ----------------------------------------------------
+
+    def request(self, op: str, **fields: Any) -> Dict[str, Any]:
+        """POST one operation; returns the decoded JSON reply."""
+        deadline_ms = fields.pop("deadline_ms", None)
+        headers = {}
+        if deadline_ms is not None:
+            headers["X-Deadline-Ms"] = str(deadline_ms)
+        response, raw = self._request(
+            "POST", f"/v1/{op}", body=fields, headers=headers
+        )
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = {"error": raw[:200].decode("utf-8", "replace")}
+        if response.status == 429:
+            retry_after = payload.get("retry_after_s")
+            if retry_after is None:
+                retry_after = float(response.getheader("Retry-After") or 1.0)
+            raise ServiceOverloaded(response.status, payload, retry_after)
+        if response.status == 504:
+            raise ServiceDeadline(response.status, payload)
+        if response.status >= 300:
+            raise ServiceError(response.status, payload)
+        return payload
+
+    def compile(self, algorithm: Optional[str] = None, **fields: Any):
+        return self.request("compile", algorithm=algorithm, **fields)
+
+    def simulate(self, algorithm: Optional[str] = None, **fields: Any):
+        return self.request("simulate", algorithm=algorithm, **fields)
+
+    def profile(self, algorithm: Optional[str] = None, **fields: Any):
+        return self.request("profile", algorithm=algorithm, **fields)
+
+    # -- health/metrics -----------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        response, raw = self._request("GET", "/healthz")
+        payload = json.loads(raw.decode("utf-8"))
+        payload["http_status"] = response.status
+        return payload
+
+    def readyz(self) -> Dict[str, Any]:
+        response, raw = self._request("GET", "/readyz")
+        payload = json.loads(raw.decode("utf-8"))
+        payload["http_status"] = response.status
+        return payload
+
+    def metrics(self) -> str:
+        response, raw = self._request("GET", "/metrics")
+        if response.status != 200:
+            raise ServiceError(response.status, {"error": "metrics failed"})
+        return raw.decode("utf-8")
+
+
+__all__ = [
+    "ServiceClient",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceDeadline",
+]

@@ -1,0 +1,589 @@
+"""The resilient compile/simulate service daemon.
+
+A long-lived asyncio HTTP/JSON front-end (stdlib only — the HTTP/1.1
+layer is hand-rolled over ``asyncio.start_server``) over the supervised
+:class:`~repro.service.workers.WorkerPool`.  Endpoints::
+
+    POST /v1/compile    compile an algorithm           (JSON body)
+    POST /v1/simulate   plan + simulate one call       (JSON body)
+    POST /v1/profile    simulate + runtime counters    (JSON body)
+    GET  /healthz       liveness  (200 while the daemon can make progress)
+    GET  /readyz        readiness (200 while new work can be admitted)
+    GET  /metrics       live Prometheus text exposition (repro.obs)
+
+Robustness model, in request order:
+
+1. **Admission control** — the worker queue is bounded; beyond it the
+   request is shed with ``429`` and a ``Retry-After`` estimated from
+   the recent per-job latency, so overload degrades to fast rejections
+   instead of collapse.
+2. **Deadline budgets** — every request carries a budget
+   (``deadline_ms`` field, ``X-Deadline-Ms`` header, or the
+   configured default).  The absolute deadline propagates into the
+   worker: an expired job is *cancelled* (in the queue, at the worker
+   boundary, or mid-compute by SIGKILL) rather than computed, and the
+   client gets ``504``.
+3. **Coalescing** — concurrent requests with the same
+   :func:`~repro.service.protocol.request_fingerprint` (built on the
+   plan-cache key) attach as waiters to one in-flight job; the disk
+   plan-cache tier is the shared L2 across worker processes.
+4. **Supervision** — worker crashes/hangs are repaired by the pool; an
+   in-flight request is retried once under backoff before failing.
+5. **Graceful degradation** — sustained primary timeouts trip the
+   :class:`~repro.service.breaker.CircuitBreaker`; while it is open,
+   requests are served the built-in reference ring with
+   ``degraded: true`` instead of erroring.
+
+The daemon embeds cleanly (``ServiceDaemon.start()/stop()`` run the
+event loop on a background thread — what the tests and the load
+benchmark use) and runs standalone via ``resccl serve``
+(:meth:`ServiceDaemon.run_forever`), which exits 0 on a clean signal
+and uses the repo-wide exit code 2 for fatal startup errors such as a
+failed bind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from ..topology import Cluster, profile_by_name
+from .breaker import CircuitBreaker
+from .protocol import (
+    OPS,
+    RequestError,
+    ServiceRequest,
+    parse_request,
+    request_fingerprint,
+    result_digest,
+)
+from .workers import (
+    DeadlineExceeded,
+    JobFailed,
+    PoolSaturated,
+    WorkerCrashed,
+    WorkerPool,
+)
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+#: Counters mirrored from :class:`PoolStats` into the live registry
+#: (pool field -> metric name); deltas are applied on each refresh so
+#: the exported series stay monotonic.
+_POOL_COUNTERS = {
+    "restarts": "service_worker_restarts_total",
+    "retries": "service_job_retries_total",
+    "deadline_expired": "service_deadline_expired_total",
+    "admission_rejects": "service_admission_rejects_total",
+    "hang_kills": "service_worker_hang_kills_total",
+    "deadline_kills": "service_worker_deadline_kills_total",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one daemon instance (CLI flags mirror these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642  # 0 = ephemeral (tests)
+    workers: int = 2
+    queue_depth: int = 32
+    default_deadline_ms: float = 30_000.0
+    max_deadline_ms: float = 120_000.0
+    hang_timeout_s: float = 10.0
+    retry_backoff_s: float = 0.05
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    cache_dir: Optional[str] = None
+    request_max_bytes: int = 1 << 20
+    keepalive_timeout_s: float = 75.0
+
+
+class _Inflight:
+    """One in-flight job plus bookkeeping for its coalesced waiters."""
+
+    __slots__ = ("key", "future", "primary", "op", "started", "waiters")
+
+    def __init__(self, key, future, primary, op, started):
+        self.key = key
+        self.future = future
+        self.primary = primary
+        self.op = op
+        self.started = started
+        self.waiters = 1
+
+
+class ServiceDaemon:
+    """The compile/simulate service (embed with start/stop, or serve)."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.registry = MetricsRegistry()
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
+        self.pool = WorkerPool(
+            workers=self.config.workers,
+            max_queue=self.config.queue_depth,
+            cache_dir=self.config.cache_dir,
+            hang_timeout_s=self.config.hang_timeout_s,
+            retry_backoff_s=self.config.retry_backoff_s,
+        )
+        self.port: Optional[int] = None
+        self._inflight: Dict[str, _Inflight] = {}
+        self._clusters: Dict[Tuple[int, int, str], Cluster] = {}
+        self._pool_counter_base = {name: 0 for name in _POOL_COUNTERS}
+        self._breaker_trips_seen = 0
+        self._ewma_latency_s = 0.5
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_async: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._start_error: Optional[BaseException] = None
+        self._accepting = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ServiceDaemon":
+        """Boot the pool + server on a background thread; returns ready."""
+        if self._thread is not None:
+            raise RuntimeError("daemon already started")
+        self._thread = threading.Thread(
+            target=self._thread_main, daemon=True, name="resccl-serve"
+        )
+        self._thread.start()
+        self._ready.wait(timeout=30.0)
+        if self._start_error is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            raise self._start_error
+        if not self._ready.is_set():
+            raise RuntimeError("daemon failed to become ready in 30s")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_async is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_async.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def run_forever(self) -> int:
+        """Blocking serve for the CLI; returns a process exit code."""
+        import signal
+
+        try:
+            self.start()
+        except OSError as exc:
+            print(f"fatal: cannot start service: {exc}")
+            return 2
+        stop = threading.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            signal.signal(signum, lambda *_: stop.set())
+        print(
+            f"resccl service listening on "
+            f"http://{self.config.host}:{self.port} "
+            f"({self.config.workers} worker(s), queue depth "
+            f"{self.config.queue_depth})"
+        )
+        stop.wait()
+        print("shutting down...")
+        self.stop()
+        return 0
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced via start()
+            self._start_error = exc
+            self._ready.set()
+        finally:
+            self.pool.stop()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_async = asyncio.Event()
+        self.pool.start()
+        try:
+            server = await asyncio.start_server(
+                self._serve_client, self.config.host, self.config.port
+            )
+        except OSError as exc:
+            self._start_error = exc
+            self._ready.set()
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._accepting = True
+        self._ready.set()
+        try:
+            async with server:
+                await self._stop_async.wait()
+        finally:
+            self._accepting = False
+
+    # ------------------------------------------------------------------
+    # HTTP layer
+    # ------------------------------------------------------------------
+
+    async def _serve_client(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    head = await asyncio.wait_for(
+                        self._read_head(reader),
+                        timeout=self.config.keepalive_timeout_s,
+                    )
+                except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                        ValueError, ConnectionError):
+                    break
+                if head is None:
+                    break
+                method, path, headers = head
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    length = -1
+                if length < 0 or length > self.config.request_max_bytes:
+                    await self._respond(
+                        writer, 413,
+                        {"error": "request body too large"}, close=True,
+                    )
+                    break
+                body = b""
+                if length:
+                    try:
+                        body = await asyncio.wait_for(
+                            reader.readexactly(length), timeout=30.0
+                        )
+                    except (asyncio.TimeoutError,
+                            asyncio.IncompleteReadError):
+                        break
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower()
+                    != "close"
+                )
+                status, payload, extra = await self._dispatch(
+                    method, path, headers, body
+                )
+                try:
+                    await self._respond(
+                        writer, status, payload,
+                        close=not keep_alive, extra_headers=extra,
+                    )
+                except ConnectionError:
+                    break
+                if not keep_alive:
+                    break
+        except asyncio.CancelledError:
+            pass  # daemon shutdown cancelled this connection mid-read
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_head(reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise ValueError("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        for _ in range(100):
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        else:
+            raise ValueError("too many headers")
+        return method, target.split("?", 1)[0], headers
+
+    async def _respond(
+        self, writer, status, payload, close=False, extra_headers=None
+    ) -> None:
+        if isinstance(payload, (dict, list)):
+            body = json.dumps(payload).encode("utf-8")
+            ctype = "application/json"
+        else:
+            body = str(payload).encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        lines = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {ctype}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'close' if close else 'keep-alive'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append(f"{name}: {value}")
+        writer.write("\r\n".join(lines).encode("latin-1") + b"\r\n\r\n" + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, method, path, headers, body):
+        if path == "/healthz" and method == "GET":
+            return (*self._healthz(), None)
+        if path == "/readyz" and method == "GET":
+            return (*self._readyz(), None)
+        if path == "/metrics" and method == "GET":
+            self._refresh_metrics()
+            return 200, self.registry.to_prometheus(), None
+        if path.startswith("/v1/"):
+            op = path[len("/v1/"):]
+            if op not in OPS:
+                return 404, {"error": f"unknown endpoint {path!r}"}, None
+            if method != "POST":
+                return 405, {"error": f"{path} wants POST"}, None
+            return await self._handle_op(op, headers, body)
+        return 404, {"error": f"unknown endpoint {path!r}"}, None
+
+    def _healthz(self):
+        alive = self.pool.alive_workers()
+        supervisor_ok = (
+            self.pool._supervisor is not None
+            and self.pool._supervisor.is_alive()
+        )
+        healthy = self._accepting and supervisor_ok
+        return (200 if healthy else 503), {
+            "status": "ok" if healthy else "unhealthy",
+            "workers_alive": alive,
+            "queue_depth": self.pool.queue_depth(),
+            "inflight": self.pool.inflight(),
+            "breaker": self.breaker.state_name,
+        }
+
+    def _readyz(self):
+        ready = (
+            self._accepting
+            and self.pool.alive_workers() >= 1
+            and self.pool.queue_depth() < self.config.queue_depth
+        )
+        return (200 if ready else 503), {
+            "ready": ready,
+            "workers_alive": self.pool.alive_workers(),
+            "queue_depth": self.pool.queue_depth(),
+        }
+
+    # ------------------------------------------------------------------
+    # The request path
+    # ------------------------------------------------------------------
+
+    async def _handle_op(self, op, headers, body):
+        t0 = time.monotonic()
+
+        def finish(status, payload, extra=None):
+            self.registry.inc(
+                "service_requests_total", endpoint=op, status=str(status)
+            )
+            self.registry.observe(
+                "service_request_latency_ms",
+                (time.monotonic() - t0) * 1e3,
+                endpoint=op,
+            )
+            self.registry.set("service_queue_depth", self.pool.queue_depth())
+            return status, payload, extra
+
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return finish(400, {"error": f"bad JSON body: {exc}"})
+        try:
+            request = parse_request(op, payload)
+        except RequestError as exc:
+            return finish(400, {"error": str(exc)})
+
+        deadline_ms = request.deadline_ms
+        if deadline_ms is None and headers.get("x-deadline-ms"):
+            try:
+                deadline_ms = float(headers["x-deadline-ms"])
+            except ValueError:
+                return finish(400, {"error": "bad X-Deadline-Ms header"})
+        if deadline_ms is None or deadline_ms <= 0:
+            deadline_ms = self.config.default_deadline_ms
+        deadline_ms = min(deadline_ms, self.config.max_deadline_ms)
+        deadline_wall = time.time() + deadline_ms / 1e3
+        deadline_mono = t0 + deadline_ms / 1e3
+
+        degraded_by_breaker = False
+        if not request.degraded and not self.breaker.allow_primary():
+            request.degraded = True
+            degraded_by_breaker = True
+            self.registry.inc("service_degraded_total", endpoint=op)
+
+        key = request_fingerprint(request, self._cluster_for(request))
+        entry = self._inflight.get(key)
+        coalesced = entry is not None
+        if coalesced:
+            entry.waiters += 1
+            self.registry.inc("service_coalesce_hits_total", endpoint=op)
+        else:
+            try:
+                fut = self.pool.submit(
+                    request.to_payload(),
+                    deadline=deadline_wall,
+                    retry_after_s=self._retry_after_s(),
+                )
+            except PoolSaturated as exc:
+                return finish(
+                    429,
+                    {
+                        "error": "overloaded: request queue is full",
+                        "queue_depth": exc.depth,
+                        "retry_after_s": exc.retry_after_s,
+                    },
+                    {"Retry-After": str(max(1, round(exc.retry_after_s)))},
+                )
+            afut = asyncio.ensure_future(asyncio.wrap_future(fut))
+            entry = _Inflight(
+                key, afut, primary=not request.degraded, op=op,
+                started=t0,
+            )
+            self._inflight[key] = entry
+            afut.add_done_callback(
+                lambda f, e=entry: self._on_job_done(e, f)
+            )
+
+        remaining = deadline_mono - time.monotonic()
+        try:
+            msg = await asyncio.wait_for(
+                asyncio.shield(entry.future), timeout=max(0.001, remaining)
+            )
+        except asyncio.TimeoutError:
+            # This waiter's budget ran out; the shared job (and any
+            # longer-budget waiters) may still complete — the pool's own
+            # deadline enforcement reaps it if nobody is left.
+            return finish(
+                504,
+                {
+                    "error": f"deadline ({deadline_ms:.0f} ms) expired",
+                    "request_id": request.request_id,
+                },
+            )
+        except DeadlineExceeded as exc:
+            return finish(
+                504, {"error": str(exc), "request_id": request.request_id}
+            )
+        except RequestError as exc:
+            return finish(400, {"error": str(exc)})
+        except WorkerCrashed as exc:
+            return finish(
+                500, {"error": str(exc), "request_id": request.request_id}
+            )
+        except JobFailed as exc:
+            return finish(
+                500,
+                {
+                    "error": "request failed in worker",
+                    "detail": exc.worker_traceback[-2000:],
+                    "request_id": request.request_id,
+                },
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - never drop a response
+            return finish(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+
+        result = msg["result"]
+        return finish(200, {
+            "ok": True,
+            "op": op,
+            "request_id": request.request_id,
+            "degraded": request.degraded,
+            "degraded_by_breaker": degraded_by_breaker,
+            "coalesced": coalesced,
+            "result": result,
+            "result_digest": result_digest(result),
+        })
+
+    def _on_job_done(self, entry: _Inflight, future) -> None:
+        """Leader-job completion: runs once per job in the loop thread."""
+        self._inflight.pop(entry.key, None)
+        elapsed = time.monotonic() - entry.started
+        self._ewma_latency_s = 0.8 * self._ewma_latency_s + 0.2 * elapsed
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is None:
+            if entry.primary:
+                self.breaker.record_success()
+            metrics = future.result().get("metrics")
+            if metrics:
+                try:
+                    self.registry.merge_json(metrics)
+                except ValueError:
+                    pass  # never let a metrics glitch fail the daemon
+        elif isinstance(exc, (DeadlineExceeded, WorkerCrashed)):
+            # Timeout-shaped failures are what the breaker watches.
+            if entry.primary:
+                self.breaker.record_failure()
+
+    # ------------------------------------------------------------------
+    # Support
+    # ------------------------------------------------------------------
+
+    def _cluster_for(self, request: ServiceRequest) -> Cluster:
+        key = (request.nodes, request.gpus, request.profile.upper())
+        cluster = self._clusters.get(key)
+        if cluster is None:
+            cluster = Cluster(
+                nodes=request.nodes,
+                gpus_per_node=request.gpus,
+                profile=profile_by_name(request.profile),
+            )
+            if len(self._clusters) >= 64:
+                self._clusters.pop(next(iter(self._clusters)))
+            self._clusters[key] = cluster
+        return cluster
+
+    def _retry_after_s(self) -> float:
+        backlog = self.pool.queue_depth() + self.pool.inflight() + 1
+        estimate = backlog * self._ewma_latency_s / max(1, self.pool.size)
+        return min(30.0, max(1.0, estimate))
+
+    def _refresh_metrics(self) -> None:
+        """Fold pool/breaker state into the registry (loop thread only)."""
+        stats = self.pool.stats.snapshot()
+        for field_name, metric in _POOL_COUNTERS.items():
+            delta = stats[field_name] - self._pool_counter_base[field_name]
+            if delta > 0:
+                self.registry.inc(metric, delta)
+            self._pool_counter_base[field_name] = stats[field_name]
+        if self.breaker.trips > self._breaker_trips_seen:
+            self.registry.inc(
+                "service_breaker_trips_total",
+                self.breaker.trips - self._breaker_trips_seen,
+            )
+            self._breaker_trips_seen = self.breaker.trips
+        self.registry.set("service_breaker_state", self.breaker.state)
+        self.registry.set("service_queue_depth", self.pool.queue_depth())
+        self.registry.set("service_inflight", self.pool.inflight())
+        self.registry.set("service_workers_alive", self.pool.alive_workers())
+
+
+__all__ = ["ServiceConfig", "ServiceDaemon"]

@@ -1,0 +1,570 @@
+"""Supervised multiprocessing worker pool for the service daemon.
+
+Compiles and simulations run in worker *processes* so a crash, a hang,
+or a SIGKILL never takes the daemon down — the supervisor notices and
+repairs.  The design mirrors the runtime's fault stack: heartbeat-based
+stall detection (the watchdog idiom of :mod:`repro.faults.watchdog`,
+transplanted from simulated time to wall clock) and retry with the
+shared geometric backoff curve
+(:func:`repro.faults.recovery.backoff_delay`).
+
+Responsibilities, by thread:
+
+* **Callers** (the daemon's event loop) call :meth:`WorkerPool.submit`,
+  which applies the admission bound (a full queue raises
+  :class:`PoolSaturated` -> HTTP 429) and returns a
+  :class:`concurrent.futures.Future`.
+* **The supervisor thread** owns everything else: dispatching queued
+  jobs to idle workers, collecting replies, enforcing per-job
+  **deadlines** (a worker still computing past its job's deadline is
+  SIGKILLed — the request is cancelled, not computed), detecting
+  **crashes** (process death) and **hangs** (stale heartbeat), and
+  respawning workers.  A job that loses its worker is retried once
+  after a backoff delay; a second loss fails it with
+  :class:`WorkerCrashed`.
+* **Worker processes** loop over a duplex pipe: receive a job payload,
+  run :func:`repro.service.protocol.execute` under a private metrics
+  registry, and reply with the result plus the registry export (the
+  daemon folds those into its live ``/metrics`` registry).  Each worker
+  arms its own in-process plan-cache LRU; the optional ``cache_dir``
+  disk tier is the shared L2 that lets one worker's cold compile warm
+  every other worker.
+
+A deliberate limitation, shared with every heartbeat scheme: the
+heartbeat runs on a side thread, so a pure-Python busy loop in a job
+keeps beating and is only caught by its *deadline*, while a frozen or
+killed process is caught by the heartbeat/liveness check.  Between the
+two checks every wedged state is covered as long as jobs carry
+deadlines — which admission control guarantees.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import threading
+import time
+import traceback
+from collections import deque
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from typing import Deque, List, Optional
+
+from ..faults.recovery import backoff_delay
+from ..obs.metrics import collecting
+from .protocol import RequestError, execute
+
+#: Worker-side heartbeat publish period (seconds).
+HEARTBEAT_INTERVAL_S = 0.05
+
+#: Supervisor poll tick (seconds); replies wake it immediately.
+SUPERVISOR_TICK_S = 0.02
+
+
+class PoolSaturated(RuntimeError):
+    """Admission control rejected the job (queue full -> HTTP 429)."""
+
+    def __init__(self, depth: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"request queue full ({depth} waiting); retry in "
+            f"~{retry_after_s:.1f}s"
+        )
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceeded(RuntimeError):
+    """The job's deadline budget expired (queued or mid-compute)."""
+
+
+class WorkerCrashed(RuntimeError):
+    """The job's worker died and the retry budget is exhausted."""
+
+
+class JobFailed(RuntimeError):
+    """The job raised inside the worker; carries the worker traceback."""
+
+    def __init__(self, worker_traceback: str) -> None:
+        super().__init__(f"job failed in worker:\n{worker_traceback}")
+        self.worker_traceback = worker_traceback
+
+
+@dataclass
+class PoolStats:
+    """Supervision counters (mutated by the supervisor thread only)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    restarts: int = 0
+    crash_kills: int = 0
+    hang_kills: int = 0
+    deadline_kills: int = 0
+    deadline_expired: int = 0
+    admission_rejects: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class _Job:
+    job_id: int
+    payload: dict
+    deadline: Optional[float]  # absolute time.time() seconds
+    future: Future
+    attempts: int = 0
+    not_before: float = 0.0
+    submitted_at: float = field(default_factory=time.time)
+
+
+class _Worker:
+    __slots__ = ("index", "proc", "conn", "heartbeat", "job", "job_started")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.proc = None
+        self.conn = None
+        self.heartbeat = None
+        self.job: Optional[_Job] = None
+        self.job_started = 0.0
+
+
+def _worker_main(conn, heartbeat, cache_dir, lru_capacity) -> None:
+    """Worker process entry: jobs in, results + metrics out."""
+    from ..core import plancache
+
+    if cache_dir:
+        plancache.configure(cache_dir=cache_dir, capacity=lru_capacity)
+
+    def _beat() -> None:
+        while True:
+            heartbeat.value = time.time()
+            time.sleep(HEARTBEAT_INTERVAL_S)
+
+    threading.Thread(target=_beat, daemon=True, name="heartbeat").start()
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        job_id = msg["job_id"]
+        deadline = msg.get("deadline")
+        if deadline is not None and time.time() >= deadline:
+            # Cancelled, not computed: the budget is already spent.
+            reply = {"job_id": job_id, "status": "expired", "metrics": None}
+        else:
+            reply = {"job_id": job_id, "status": "ok", "metrics": None}
+            try:
+                with collecting() as registry:
+                    reply["result"] = execute(msg["payload"])
+                reply["metrics"] = registry.to_json()
+            except RequestError as exc:
+                reply = {
+                    "job_id": job_id, "status": "bad_request",
+                    "error": str(exc), "metrics": None,
+                }
+            except BaseException:  # noqa: BLE001 - reply must cross the pipe
+                reply = {
+                    "job_id": job_id, "status": "error",
+                    "error": traceback.format_exc(), "metrics": None,
+                }
+        try:
+            conn.send(reply)
+        except (ValueError, TypeError):
+            # Reply failed to pickle (cannot happen for JSON-safe results,
+            # but never leave the supervisor waiting): degrade to text.
+            conn.send({
+                "job_id": job_id, "status": "error",
+                "error": "worker reply was unserializable", "metrics": None,
+            })
+        except OSError:
+            break  # supervisor is gone
+
+
+class WorkerPool:
+    """Supervised pool of compile/simulate workers.
+
+    Args:
+        workers: worker-process count.
+        max_queue: admission bound on *waiting* jobs (not in-flight).
+        cache_dir: shared L2 plan-cache directory handed to every worker.
+        hang_timeout_s: heartbeat staleness that declares a worker hung.
+        retry_backoff_s: base of the shared geometric backoff curve used
+            to space the single crash retry.
+        max_retries: worker-death retries per job (1 = retry once).
+        deadline_grace_s: slack past a job's deadline before its worker
+            is killed (gives the in-worker expiry check first shot).
+        lru_capacity: per-worker in-process plan-cache LRU bound.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_queue: int = 32,
+        cache_dir: Optional[str] = None,
+        hang_timeout_s: float = 10.0,
+        retry_backoff_s: float = 0.05,
+        max_retries: int = 1,
+        deadline_grace_s: float = 0.2,
+        lru_capacity: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.size = workers
+        self.max_queue = max_queue
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.hang_timeout_s = hang_timeout_s
+        self.retry_backoff_s = retry_backoff_s
+        self.max_retries = max_retries
+        self.deadline_grace_s = deadline_grace_s
+        self.lru_capacity = lru_capacity
+        self.stats = PoolStats()
+        self._ctx = multiprocessing.get_context()
+        self._queue: Deque[_Job] = deque()
+        self._lock = threading.Lock()
+        self._job_ids = itertools.count(1)
+        self._workers: List[_Worker] = []
+        self._stop = threading.Event()
+        self._supervisor: Optional[threading.Thread] = None
+        self._wake_r, self._wake_w = self._ctx.Pipe(duplex=False)
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._workers = [_Worker(i) for i in range(self.size)]
+        for worker in self._workers:
+            self._spawn(worker)
+        self._running = True
+        self._supervisor = threading.Thread(
+            target=self._supervise, daemon=True, name="pool-supervisor"
+        )
+        self._supervisor.start()
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._stop.set()
+        self._wake()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=5.0)
+        for worker in self._workers:
+            if worker.proc is None:
+                continue
+            try:
+                worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+            worker.proc.join(timeout=0.5)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            self._fail_job(
+                worker.job, RuntimeError("worker pool stopped"), count=False
+            )
+            worker.job = None
+        with self._lock:
+            pending, self._queue = list(self._queue), deque()
+        for job in pending:
+            self._fail_job(job, RuntimeError("worker pool stopped"), count=False)
+
+    # ------------------------------------------------------------------
+    # Submission (called from the daemon thread)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        payload: dict,
+        deadline: Optional[float] = None,
+        retry_after_s: float = 1.0,
+    ) -> Future:
+        """Admit one job; returns its future or raises :class:`PoolSaturated`.
+
+        ``deadline`` is an absolute ``time.time()`` instant shared with
+        the workers (one wall clock across processes).
+        """
+        if not self._running:
+            raise RuntimeError("worker pool is not running")
+        future: Future = Future()
+        job = _Job(
+            job_id=next(self._job_ids),
+            payload=payload,
+            deadline=deadline,
+            future=future,
+        )
+        with self._lock:
+            if len(self._queue) >= self.max_queue:
+                self.stats.admission_rejects += 1
+                raise PoolSaturated(len(self._queue), retry_after_s)
+            self.stats.submitted += 1
+            self._queue.append(job)
+        self._wake()
+        return future
+
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def inflight(self) -> int:
+        return sum(1 for w in self._workers if w.job is not None)
+
+    def alive_workers(self) -> int:
+        return sum(
+            1 for w in self._workers
+            if w.proc is not None and w.proc.is_alive()
+        )
+
+    def worker_pids(self) -> List[int]:
+        return [w.proc.pid for w in self._workers if w.proc is not None]
+
+    def busy_pids(self) -> List[int]:
+        """PIDs currently executing a job (chaos tests SIGKILL these)."""
+        return [
+            w.proc.pid for w in self._workers
+            if w.proc is not None and w.job is not None and w.proc.is_alive()
+        ]
+
+    # ------------------------------------------------------------------
+    # Supervision (supervisor thread only)
+    # ------------------------------------------------------------------
+
+    def _spawn(self, worker: _Worker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        heartbeat = self._ctx.Value("d", time.time())
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, heartbeat, self.cache_dir, self.lru_capacity),
+            daemon=True,
+            name=f"resccl-worker-{worker.index}",
+        )
+        proc.start()
+        child_conn.close()
+        worker.proc = proc
+        worker.conn = parent_conn
+        worker.heartbeat = heartbeat
+        worker.job = None
+        worker.job_started = 0.0
+
+    def _wake(self) -> None:
+        try:
+            self._wake_w.send_bytes(b"w")
+        except (OSError, ValueError):
+            pass
+
+    def _supervise(self) -> None:
+        while not self._stop.is_set():
+            busy = [
+                w for w in self._workers
+                if w.job is not None and w.proc is not None
+            ]
+            conns = [w.conn for w in busy] + [self._wake_r]
+            try:
+                ready = _conn_wait(conns, timeout=SUPERVISOR_TICK_S)
+            except OSError:
+                ready = []
+            while self._wake_r.poll(0):
+                try:
+                    self._wake_r.recv_bytes()
+                except (EOFError, OSError):
+                    break
+            for worker in busy:
+                if worker.conn in ready:
+                    self._collect(worker)
+            now = time.time()
+            for worker in self._workers:
+                self._check_worker(worker, now)
+            self._dispatch(now)
+
+    def _collect(self, worker: _Worker) -> None:
+        try:
+            msg = worker.conn.recv()
+        except (EOFError, OSError):
+            self._on_worker_death(worker, reason="pipe closed")
+            return
+        job = worker.job
+        worker.job = None
+        if job is None or msg.get("job_id") != job.job_id:
+            return  # reply from a job superseded by a kill; drop it
+        status = msg.get("status")
+        if status == "ok":
+            self.stats.completed += 1
+            self._resolve(
+                job, {"result": msg["result"], "metrics": msg.get("metrics")}
+            )
+        elif status == "bad_request":
+            self._fail_job(job, RequestError(msg.get("error", "bad request")))
+        elif status == "expired":
+            self.stats.deadline_expired += 1
+            self._fail_job(
+                job,
+                DeadlineExceeded(
+                    "deadline expired before the worker started the job"
+                ),
+            )
+        else:
+            self._fail_job(job, JobFailed(msg.get("error", "unknown error")))
+
+    def _check_worker(self, worker: _Worker, now: float) -> None:
+        if worker.proc is None:
+            return
+        if not worker.proc.is_alive():
+            self.stats.crash_kills += 1
+            self._on_worker_death(worker, reason="process died")
+            return
+        job = worker.job
+        if job is None:
+            return
+        if (
+            job.deadline is not None
+            and now > job.deadline + self.deadline_grace_s
+        ):
+            # Cancel-by-kill: the worker is mid-compute past the budget.
+            self.stats.deadline_kills += 1
+            self.stats.deadline_expired += 1
+            worker.job = None
+            self._kill_and_respawn(worker)
+            self._fail_job(
+                job, DeadlineExceeded("deadline expired mid-computation")
+            )
+            return
+        if (
+            now - worker.heartbeat.value > self.hang_timeout_s
+            and now - worker.job_started > self.hang_timeout_s
+        ):
+            self.stats.hang_kills += 1
+            self._on_worker_death(worker, reason="heartbeat stale")
+
+    def _on_worker_death(self, worker: _Worker, reason: str) -> None:
+        job = worker.job
+        worker.job = None
+        self._kill_and_respawn(worker)
+        if job is not None:
+            self._retry_or_fail(job, reason)
+
+    def _kill_and_respawn(self, worker: _Worker) -> None:
+        self.stats.restarts += 1
+        if worker.proc is not None and worker.proc.is_alive():
+            worker.proc.kill()
+            worker.proc.join(timeout=1.0)
+        if worker.conn is not None:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self._spawn(worker)
+
+    def _retry_or_fail(self, job: _Job, reason: str) -> None:
+        job.attempts += 1
+        now = time.time()
+        if job.attempts > self.max_retries or (
+            job.deadline is not None and now >= job.deadline
+        ):
+            self._fail_job(
+                job,
+                WorkerCrashed(
+                    f"worker died ({reason}); retry budget "
+                    f"({self.max_retries}) exhausted after "
+                    f"{job.attempts} attempt(s)"
+                ),
+            )
+            return
+        # Reuse the fault stack's backoff curve for the respawn retry.
+        job.not_before = now + backoff_delay(
+            self.retry_backoff_s, 2.0, job.attempts - 1
+        )
+        self.stats.retries += 1
+        with self._lock:
+            self._queue.appendleft(job)
+
+    def _dispatch(self, now: float) -> None:
+        for worker in self._workers:
+            if (
+                worker.job is not None
+                or worker.proc is None
+                or not worker.proc.is_alive()
+            ):
+                continue
+            while True:
+                job = self._pop_dispatchable(now)
+                if job is None:
+                    return
+                if job.future.cancelled():
+                    continue
+                if job.deadline is not None and now >= job.deadline:
+                    self.stats.deadline_expired += 1
+                    self._fail_job(
+                        job, DeadlineExceeded("deadline expired in queue")
+                    )
+                    continue
+                try:
+                    worker.conn.send({
+                        "job_id": job.job_id,
+                        "payload": job.payload,
+                        "deadline": job.deadline,
+                    })
+                except (OSError, ValueError):
+                    # Worker vanished between checks: requeue the job
+                    # without charging its retry budget and repair.
+                    with self._lock:
+                        self._queue.appendleft(job)
+                    self._on_worker_death(worker, reason="dispatch failed")
+                    break
+                worker.job = job
+                worker.job_started = now
+                break
+
+    def _pop_dispatchable(self, now: float) -> Optional[_Job]:
+        with self._lock:
+            for index, job in enumerate(self._queue):
+                if job.not_before <= now:
+                    del self._queue[index]
+                    return job
+        return None
+
+    # ------------------------------------------------------------------
+
+    def _resolve(self, job: _Job, value: dict) -> None:
+        try:
+            if not job.future.done():
+                job.future.set_result(value)
+        except InvalidStateError:
+            pass
+
+    def _fail_job(
+        self, job: Optional[_Job], exc: BaseException, count: bool = True
+    ) -> None:
+        if job is None:
+            return
+        if count:
+            self.stats.failed += 1
+        try:
+            if not job.future.done():
+                job.future.set_exception(exc)
+        except InvalidStateError:
+            pass
+
+
+__all__ = [
+    "DeadlineExceeded",
+    "HEARTBEAT_INTERVAL_S",
+    "JobFailed",
+    "PoolSaturated",
+    "PoolStats",
+    "WorkerCrashed",
+    "WorkerPool",
+]

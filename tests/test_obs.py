@@ -205,6 +205,97 @@ class TestMetricsRegistry:
         assert reg.counter("x").value() == pytest.approx(1)
 
 
+class TestPrometheusRendering:
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.inc("events_total", path='C:\\tmp\\"x"\nnext')
+        text = reg.to_prometheus()
+        assert (
+            'events_total{path="C:\\\\tmp\\\\\\"x\\"\\nnext"} 1' in text
+        )
+        # The rendered line stays on one physical line: the newline in
+        # the label value travels as the two characters backslash-n.
+        line = [ln for ln in text.splitlines()
+                if ln.startswith("events_total")][0]
+        assert "\n" not in line and "\\n" in line
+
+    def test_escaping_round_trips_each_metacharacter(self):
+        cases = {
+            "back\\slash": "back\\\\slash",
+            'quo"te': 'quo\\"te',
+            "new\nline": "new\\nline",
+            "plain": "plain",
+        }
+        for raw, escaped in cases.items():
+            reg = MetricsRegistry()
+            reg.set("g", 1.0, label=raw)
+            assert f'g{{label="{escaped}"}} 1' in reg.to_prometheus()
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        # Default buckets are the decade ladder 1, 10, 100, ...
+        for value in (0.5, 5.0, 50.0, 50.0, 5e8):
+            reg.observe("lat_us", value)
+        text = reg.to_prometheus()
+        assert 'lat_us_bucket{le="1"} 1' in text
+        assert 'lat_us_bucket{le="10"} 2' in text
+        assert 'lat_us_bucket{le="100"} 4' in text
+        # Every later bound keeps the running total; the overflow value
+        # appears only in +Inf, which always equals the series count.
+        assert 'lat_us_bucket{le="1000000"} 4' in text
+        assert 'lat_us_bucket{le="+Inf"} 5' in text
+        assert "lat_us_count 5" in text
+        bucket_lines = [ln for ln in text.splitlines()
+                        if ln.startswith("lat_us_bucket")]
+        counts = [float(ln.rsplit(" ", 1)[1]) for ln in bucket_lines]
+        assert counts == sorted(counts)  # cumulativity, line by line
+
+    def test_series_order_stable_across_merge_order(self):
+        def populate(registry, order):
+            for kind in order:
+                registry.inc("reqs_total", 1, kind=kind)
+                registry.set("depth", 1.0, kind=kind)
+                registry.observe("lat_us", 5.0, kind=kind)
+
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        populate(forward, ["a", "b", "c"])
+        populate(backward, ["c", "b", "a"])
+        assert forward.to_prometheus() == backward.to_prometheus()
+
+    def test_series_order_stable_across_merge_json(self):
+        shard_one, shard_two = MetricsRegistry(), MetricsRegistry()
+        shard_one.inc("reqs_total", 2, worker="1")
+        shard_one.observe("lat_us", 3.0, worker="1")
+        shard_two.inc("reqs_total", 5, worker="0")
+        shard_two.observe("lat_us", 7.0, worker="0")
+        shard_two.inc("extra_total")
+
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge_json(shard_one.to_json())
+        ab.merge_json(shard_two.to_json())
+        ba.merge_json(shard_two.to_json())
+        ba.merge_json(shard_one.to_json())
+        assert ab.to_prometheus() == ba.to_prometheus()
+        text = ab.to_prometheus()
+        assert 'reqs_total{worker="0"} 5' in text
+        assert 'reqs_total{worker="1"} 2' in text
+        # Families render in name order, series in label order.
+        families = [ln.split(" ")[2] for ln in text.splitlines()
+                    if ln.startswith("# TYPE ")]
+        assert families == sorted(families)
+
+    def test_merge_json_accumulates_histograms(self):
+        shard = MetricsRegistry()
+        shard.observe("lat_us", 50.0)
+        total = MetricsRegistry()
+        total.observe("lat_us", 5.0)
+        total.merge_json(shard.to_json())
+        series = total.histogram("lat_us").series[()]
+        assert series.count == 2
+        assert series.sum == pytest.approx(55.0)
+        assert 'lat_us_bucket{le="+Inf"} 2' in total.to_prometheus()
+
+
 @pytest.fixture(scope="module")
 def plan():
     return ResCCLBackend(max_microbatches=2).plan(

@@ -1,5 +1,7 @@
 """The parallel sweep runner and its chaos-corpus integration."""
 
+import threading
+
 import pytest
 
 from repro.experiments.base import (
@@ -27,6 +29,24 @@ def _square_with_metrics(point):
 def _fail_on_three(point):
     if point == 3:
         raise ValueError(f"bad point {point}")
+    return point
+
+
+class UnpicklableError(RuntimeError):
+    """An exception whose state cannot cross a process boundary."""
+
+    def __init__(self, message):
+        super().__init__(message)
+        self.lock = threading.Lock()  # locks cannot be pickled
+
+
+def _raise_unpicklable(point):
+    raise UnpicklableError(f"unpicklable failure at {point}")
+
+
+def _return_unpicklable(point):
+    if point == 2:
+        return threading.Lock()
     return point
 
 
@@ -89,6 +109,33 @@ class TestPoolPath:
         assert series.min == min(points)
         assert series.max == max(points)
 
+    def test_unpicklable_exception_surfaces_not_deadlocks(self):
+        """An exception whose state cannot be pickled must not wedge the
+        pool: it surfaces as SweepError carrying the original traceback."""
+        with pytest.raises(SweepError) as excinfo:
+            parallel_sweep(_raise_unpicklable, [1, 2, 3], jobs=2)
+        err = excinfo.value
+        assert "UnpicklableError" in err.worker_traceback
+        assert f"unpicklable failure at {err.point}" in err.worker_traceback
+
+    def test_unpicklable_exception_non_strict_outcome(self):
+        # Two points so the sweep actually takes the pool path.
+        outcomes = parallel_sweep(
+            _raise_unpicklable, [7, 8], jobs=2, strict=False
+        )
+        assert all(not o.ok for o in outcomes)
+        assert "unpicklable failure at 7" in outcomes[0].error
+
+    def test_unpicklable_return_value_degrades_to_error(self):
+        outcomes = parallel_sweep(
+            _return_unpicklable, [1, 2, 3], jobs=2, strict=False
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert "unpicklable value" in outcomes[1].error
+        assert "lock" in outcomes[1].error
+        with pytest.raises(SweepError, match="unpicklable value"):
+            parallel_sweep(_return_unpicklable, [1, 2, 3], jobs=2)
+
     def test_parallel_metrics_match_sequential(self):
         points = [1, 2, 3, 4]
         with collecting() as sequential:
@@ -131,6 +178,18 @@ class TestChaosCorpusPropagation:
         rows = run_chaos_corpus(jobs=1, strict=False, **self.CELL)
         assert rows[0]["outcome"] == "failed"
         assert "injected harness bug" in rows[0]["error"]
+
+    def test_unpicklable_cell_error_surfaces(self, monkeypatch):
+        import repro.faults.harness as harness
+
+        def boom(*args, **kwargs):
+            raise UnpicklableError("chaos cell exploded")
+
+        monkeypatch.setattr(harness, "run_with_faults", boom)
+        with pytest.raises(ChaosCorpusError) as excinfo:
+            run_chaos_corpus(jobs=1, **self.CELL)
+        assert "UnpicklableError" in str(excinfo.value)
+        assert "chaos cell exploded" in str(excinfo.value)
 
     def test_parallel_corpus_matches_serial(self):
         serial = run_chaos_corpus(

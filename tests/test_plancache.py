@@ -149,6 +149,73 @@ class TestDiskTier:
         assert reader.stats.misses == 1
 
 
+class TestDiskQuarantine:
+    def _poison(self, tmp_path, cluster, program):
+        compiler = ResCCLCompiler()
+        writer = PlanCache(cache_dir=tmp_path)
+        writer.compile(compiler, program, cluster)
+        entries = list(tmp_path.glob("*.pkl"))
+        assert entries
+        for entry in entries:
+            entry.write_bytes(b"not a pickle")
+        return compiler, entries
+
+    def test_corrupt_entry_is_quarantined(self, tmp_path, cluster, program):
+        compiler, entries = self._poison(tmp_path, cluster, program)
+        reader = PlanCache(cache_dir=tmp_path)
+        result = reader.compile(compiler, program, cluster)
+        assert result is not None  # recompiled, not crashed
+        assert reader.stats.disk_corrupt == 1
+        for entry in entries:
+            # The poisoned bytes moved aside for post-mortem inspection
+            # (the recompile then repopulates the .pkl slot).
+            quarantined = entry.with_suffix(".corrupt")
+            assert quarantined.exists()
+            assert quarantined.read_bytes() == b"not a pickle"
+
+    def test_quarantined_slot_is_rewritten(self, tmp_path, cluster, program):
+        compiler, entries = self._poison(tmp_path, cluster, program)
+        reader = PlanCache(cache_dir=tmp_path)
+        reader.compile(compiler, program, cluster)
+        # The recompile repopulated the .pkl slot next to the .corrupt.
+        for entry in entries:
+            assert entry.exists()
+            assert entry.with_suffix(".corrupt").exists()
+        fresh = PlanCache(cache_dir=tmp_path)
+        fresh.compile(compiler, program, cluster)
+        assert fresh.stats.disk_hits == 1
+        assert fresh.stats.disk_corrupt == 0
+
+    def test_corrupt_counter_published(self, tmp_path, cluster, program):
+        compiler, _ = self._poison(tmp_path, cluster, program)
+        reader = PlanCache(cache_dir=tmp_path)
+        with collecting() as registry:
+            reader.compile(compiler, program, cluster)
+        assert registry.counter("compile_cache_corrupt_total").value() == 1
+
+    def test_key_mismatch_is_quarantined(self, tmp_path, cluster, program):
+        compiler = ResCCLCompiler()
+        writer = PlanCache(cache_dir=tmp_path)
+        compiled = writer.compile(compiler, program, cluster)
+        for entry in tmp_path.glob("*.pkl"):
+            entry.write_bytes(pickle.dumps({
+                "version": CACHE_FORMAT_VERSION,
+                "key": "someone-else",
+                "result": compiled,
+            }))
+        reader = PlanCache(cache_dir=tmp_path)
+        reader.compile(compiler, program, cluster)
+        assert reader.stats.disk_corrupt == 1
+        assert list(tmp_path.glob("*.corrupt"))
+
+    def test_summary_reports_quarantines(self, tmp_path, cluster, program):
+        compiler, _ = self._poison(tmp_path, cluster, program)
+        reader = PlanCache(cache_dir=tmp_path)
+        assert "quarantined" not in reader.stats.summary()
+        reader.compile(compiler, program, cluster)
+        assert "1 corrupt entr" in reader.stats.summary()
+
+
 class TestFingerprint:
     def test_stable_for_equivalent_clusters(self):
         assert Cluster(2, 4).fingerprint() == Cluster(2, 4).fingerprint()

@@ -1,0 +1,565 @@
+"""Tests for the resilient compile/simulate service daemon.
+
+Layered like the subsystem itself: protocol (parse/execute/fingerprint)
+and circuit breaker are unit-tested in-process; the worker pool is
+tested against real worker processes including SIGKILL chaos; the
+daemon is tested end-to-end over real HTTP with the stdlib client.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+    DeadlineExceeded,
+    JobFailed,
+    PoolSaturated,
+    RequestError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceDaemon,
+    ServiceDeadline,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceRequest,
+    WorkerCrashed,
+    WorkerPool,
+    parse_request,
+    request_fingerprint,
+    result_digest,
+)
+from repro.service.protocol import degraded_program, execute
+from repro.topology import Cluster
+
+# A cold compile of this shape takes >1s — long enough to observe
+# in-flight state (coalescing, saturation, SIGKILL) deterministically.
+SLOW = {"algorithm": "mesh-allreduce", "nodes": 6, "gpus": 8,
+        "buffer_mb": 16.0, "mbs": 8}
+FAST = {"algorithm": "ring-allreduce", "nodes": 1, "gpus": 8,
+        "buffer_mb": 16.0, "mbs": 4}
+
+
+def _cluster(nodes=1, gpus=8):
+    return Cluster(nodes=nodes, gpus_per_node=gpus)
+
+
+# ----------------------------------------------------------------------
+# Protocol
+# ----------------------------------------------------------------------
+
+
+class TestParseRequest:
+    def test_minimal_algorithm_request(self):
+        req = parse_request("simulate", {"algorithm": "ring-allreduce"})
+        assert req.op == "simulate"
+        assert req.algorithm == "ring-allreduce"
+        assert req.nodes == 2 and req.gpus == 8
+
+    def test_rejects_both_algorithm_and_source(self):
+        with pytest.raises(RequestError, match="exactly one"):
+            parse_request(
+                "compile", {"algorithm": "ring-allreduce", "source": "x"}
+            )
+
+    def test_rejects_neither(self):
+        with pytest.raises(RequestError, match="exactly one"):
+            parse_request("compile", {})
+
+    def test_rejects_file_paths(self):
+        for spec in ("plans/foo.xml", "..\\evil", "a/b"):
+            with pytest.raises(RequestError, match="file paths"):
+                parse_request("compile", {"algorithm": spec})
+
+    def test_rejects_unknown_name_and_synth(self):
+        with pytest.raises(RequestError, match="unknown algorithm"):
+            parse_request("compile", {"algorithm": "nope"})
+        with pytest.raises(RequestError, match="unknown synthesizer"):
+            parse_request("compile", {"algorithm": "magic:allreduce"})
+
+    def test_rejects_bad_scheduler_and_numbers(self):
+        with pytest.raises(RequestError, match="scheduler"):
+            parse_request(
+                "compile",
+                {"algorithm": "ring-allreduce", "scheduler": "fifo"},
+            )
+        with pytest.raises(RequestError, match="positive"):
+            parse_request(
+                "compile", {"algorithm": "ring-allreduce", "nodes": 0}
+            )
+        with pytest.raises(RequestError, match="must be"):
+            parse_request(
+                "compile", {"algorithm": "ring-allreduce", "mbs": "many"}
+            )
+
+    def test_rejects_non_dict_body_and_bad_op(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            parse_request("compile", [1, 2])
+        with pytest.raises(RequestError, match="unknown op"):
+            parse_request("launch", {"algorithm": "ring-allreduce"})
+
+    def test_accepts_synth_spec_and_inline_source(self):
+        assert parse_request(
+            "simulate", {"algorithm": "taccl:allgather"}
+        ).algorithm == "taccl:allgather"
+        assert parse_request(
+            "simulate", {"source": "program p { }"}
+        ).source == "program p { }"
+
+
+class TestFingerprint:
+    def test_identical_requests_share_a_fingerprint(self):
+        a = parse_request("simulate", dict(FAST))
+        b = parse_request("simulate", dict(FAST))
+        cluster = _cluster()
+        assert request_fingerprint(a, cluster) == request_fingerprint(b, cluster)
+
+    def test_op_and_knobs_split_the_fingerprint(self):
+        cluster = _cluster()
+        base = parse_request("simulate", dict(FAST))
+        for variant in (
+            parse_request("compile", dict(FAST)),
+            parse_request("simulate", {**FAST, "buffer_mb": 32.0}),
+            parse_request("simulate", {**FAST, "mbs": 2}),
+            parse_request("simulate", {**FAST, "degraded": True}),
+        ):
+            assert request_fingerprint(base, cluster) != request_fingerprint(
+                variant, cluster
+            )
+
+
+class TestExecute:
+    def test_simulate_and_digest_are_deterministic(self):
+        req = parse_request("simulate", dict(FAST))
+        first = execute(req.to_payload())
+        second = execute(req.to_payload())
+        assert first["completion_time_us"] > 0
+        assert second["cache_hit"] is True
+        assert result_digest(first) == result_digest(second)
+
+    def test_digest_ignores_volatile_fields(self):
+        req = parse_request("compile", dict(FAST))
+        result = execute(req.to_payload())
+        mutated = dict(result, wall_ms=1e9, cache_hit=not result["cache_hit"])
+        assert result_digest(mutated) == result_digest(result)
+
+    def test_compile_reports_schedule_shape(self):
+        result = execute(parse_request("compile", dict(FAST)).to_payload())
+        assert result["tasks"] > 0 and result["tb_count"] > 0
+        assert result["fingerprint"]
+
+    def test_profile_adds_counters(self):
+        result = execute(parse_request("profile", dict(FAST)).to_payload())
+        assert "avg_idle_fraction" in result and "counters" in result
+
+    def test_world_size_mismatch_is_a_request_error(self):
+        req = parse_request(
+            "simulate", {"source": "program p { }", "nodes": 1, "gpus": 8}
+        )
+        with pytest.raises(RequestError):
+            execute(req.to_payload())
+
+    def test_degraded_serves_the_reference_ring(self):
+        req = parse_request(
+            "simulate", {**SLOW, "nodes": 1, "gpus": 8, "degraded": True}
+        )
+        result = execute(req.to_payload())
+        assert "degraded-ring" in result["algorithm"]
+        assert result["completion_time_us"] > 0
+
+    def test_degraded_program_matches_collective(self):
+        req = parse_request("simulate", {"algorithm": "hm-allgather",
+                                         "nodes": 2, "gpus": 8})
+        program = degraded_program(req, _cluster(nodes=2))
+        assert program.collective.value.lower() == "allgather"
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def _make(self, **kw):
+        clock = {"t": 0.0}
+        breaker = CircuitBreaker(
+            failure_threshold=kw.pop("failure_threshold", 3),
+            cooldown_s=kw.pop("cooldown_s", 5.0),
+            clock=lambda: clock["t"],
+        )
+        return breaker, clock
+
+    def test_trips_after_consecutive_failures_only(self):
+        breaker, _ = self._make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_CLOSED
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow_primary()
+
+    def test_half_open_allows_one_probe(self):
+        breaker, clock = self._make(failure_threshold=1, cooldown_s=5.0)
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        clock["t"] = 5.0
+        assert breaker.state == STATE_HALF_OPEN
+        assert breaker.allow_primary() is True  # the probe
+        assert breaker.allow_primary() is False  # everyone else degraded
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow_primary() is True
+
+    def test_failed_probe_reopens_and_restarts_cooldown(self):
+        breaker, clock = self._make(failure_threshold=1, cooldown_s=5.0)
+        breaker.record_failure()
+        clock["t"] = 5.0
+        assert breaker.allow_primary()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert breaker.trips == 2
+        clock["t"] = 9.0  # cooldown restarted at t=5
+        assert breaker.state == STATE_OPEN
+        clock["t"] = 10.0
+        assert breaker.state == STATE_HALF_OPEN
+
+
+# ----------------------------------------------------------------------
+# Worker pool (real processes)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def pool():
+    pool = WorkerPool(workers=1, max_queue=4, hang_timeout_s=5.0,
+                      retry_backoff_s=0.01)
+    pool.start()
+    yield pool
+    pool.stop()
+
+
+class TestWorkerPool:
+    def test_runs_a_job_and_returns_metrics(self, pool):
+        payload = parse_request("simulate", dict(FAST)).to_payload()
+        reply = pool.submit(payload).result(timeout=60)
+        assert reply["result"]["completion_time_us"] > 0
+        assert reply["metrics"] is not None
+        assert pool.stats.completed == 1
+
+    def test_bad_request_surfaces_as_request_error(self, pool):
+        payload = ServiceRequest(op="simulate", source="not a program {",
+                                 nodes=1, gpus=8).to_payload()
+        with pytest.raises(RequestError):
+            pool.submit(payload).result(timeout=60)
+
+    def test_worker_exception_carries_traceback(self, pool):
+        payload = parse_request(
+            "simulate", {"source": "program p { }", "nodes": 1, "gpus": 8}
+        ).to_payload()
+        payload["op"] = "simulate"
+        payload["source"] = None
+        payload["algorithm"] = None  # unreachable via parse; forces a crash
+        with pytest.raises((JobFailed, RequestError)):
+            pool.submit(payload).result(timeout=60)
+
+    def test_admission_control_sheds_load(self, pool):
+        slow = parse_request("simulate", dict(SLOW)).to_payload()
+        futures = [pool.submit(slow)]
+        # Worker takes the first job; then fill the 4-slot queue.
+        deadline = time.time() + 10
+        while pool.queue_depth() > 0 and time.time() < deadline:
+            time.sleep(0.01)
+        for _ in range(4):
+            futures.append(pool.submit(dict(slow)))
+        with pytest.raises(PoolSaturated):
+            pool.submit(dict(slow))
+        assert pool.stats.admission_rejects == 1
+        for future in futures:
+            future.cancel()
+
+    def test_expired_deadline_is_cancelled_not_computed(self, pool):
+        payload = parse_request("simulate", dict(FAST)).to_payload()
+        future = pool.submit(payload, deadline=time.time() - 1.0)
+        with pytest.raises(DeadlineExceeded):
+            future.result(timeout=30)
+        assert pool.stats.deadline_expired >= 1
+
+    def test_deadline_mid_compute_kills_the_worker(self):
+        pool = WorkerPool(workers=1, max_queue=4, deadline_grace_s=0.05)
+        pool.start()
+        try:
+            payload = parse_request("simulate", dict(SLOW)).to_payload()
+            future = pool.submit(payload, deadline=time.time() + 0.3)
+            with pytest.raises(DeadlineExceeded):
+                future.result(timeout=30)
+            assert pool.stats.deadline_kills == 1
+            # The pool healed: the respawned worker still serves.
+            fast = parse_request("simulate", dict(FAST)).to_payload()
+            assert pool.submit(fast).result(timeout=60)["result"]
+        finally:
+            pool.stop()
+
+    def test_sigkilled_worker_job_is_retried_and_completes(self):
+        """The chaos criterion at pool level: kill mid-request, job lands."""
+        pool = WorkerPool(workers=1, max_queue=4, retry_backoff_s=0.01)
+        pool.start()
+        try:
+            payload = parse_request("simulate", dict(SLOW)).to_payload()
+            future = pool.submit(payload)
+            deadline = time.time() + 10
+            while not pool.busy_pids() and time.time() < deadline:
+                time.sleep(0.01)
+            (pid,) = pool.busy_pids()
+            os.kill(pid, signal.SIGKILL)
+            reply = future.result(timeout=120)
+            assert reply["result"]["completion_time_us"] > 0
+            assert pool.stats.retries == 1
+            assert pool.stats.restarts >= 1
+            assert pid not in pool.worker_pids()
+        finally:
+            pool.stop()
+
+    def test_second_worker_death_fails_cleanly(self):
+        pool = WorkerPool(workers=1, max_queue=4, retry_backoff_s=0.01,
+                          max_retries=1)
+        pool.start()
+        try:
+            payload = parse_request("simulate", dict(SLOW)).to_payload()
+            future = pool.submit(payload)
+            for _ in range(2):  # kill the original and the retry
+                deadline = time.time() + 15
+                while not pool.busy_pids() and time.time() < deadline:
+                    time.sleep(0.01)
+                (pid,) = pool.busy_pids()
+                os.kill(pid, signal.SIGKILL)
+                time.sleep(0.1)
+            with pytest.raises(WorkerCrashed):
+                future.result(timeout=30)
+            assert pool.stats.failed == 1
+        finally:
+            pool.stop()
+
+
+# ----------------------------------------------------------------------
+# Daemon end-to-end (real HTTP)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("service-cache")
+    daemon = ServiceDaemon(ServiceConfig(
+        port=0, workers=2, queue_depth=8, cache_dir=str(cache_dir),
+        default_deadline_ms=60_000.0,
+    ))
+    daemon.start()
+    yield daemon
+    daemon.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    with ServiceClient("127.0.0.1", daemon.port) as client:
+        yield client
+
+
+class TestDaemonHTTP:
+    def test_health_and_readiness(self, client):
+        health = client.healthz()
+        assert health["http_status"] == 200 and health["status"] == "ok"
+        assert health["workers_alive"] == 2
+        assert client.readyz()["ready"] is True
+
+    def test_simulate_round_trip_and_warm_digest_match(self, client):
+        first = client.simulate(**FAST)
+        assert first["ok"] and not first["degraded"]
+        second = client.simulate(**FAST)
+        assert second["result_digest"] == first["result_digest"]
+        assert second["result"]["completion_time_us"] == pytest.approx(
+            first["result"]["completion_time_us"]
+        )
+
+    def test_compile_and_profile_endpoints(self, client):
+        compiled = client.compile(**FAST)
+        assert compiled["result"]["tb_count"] > 0
+        profiled = client.profile(**FAST)
+        assert "counters" in profiled["result"]
+
+    def test_bad_request_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.simulate("no-such-algorithm")
+        assert excinfo.value.status == 400
+
+    def test_unknown_endpoint_and_method(self, daemon, client):
+        response, _ = client._request("POST", "/v1/destroy", body={})
+        assert response.status == 404
+        response, _ = client._request("GET", "/v1/simulate")
+        assert response.status == 405
+
+    def test_request_id_echoes_back(self, client):
+        reply = client.simulate(request_id="req-42", **FAST)
+        assert reply["request_id"] == "req-42"
+
+    def test_deadline_budget_expires_as_504(self, client):
+        with pytest.raises(ServiceDeadline):
+            client.simulate(deadline_ms=1, **SLOW)
+
+    def test_metrics_exposition(self, client):
+        client.simulate(**FAST)
+        text = client.metrics()
+        assert 'service_requests_total{endpoint="simulate",status="200"}' in text
+        assert "service_request_latency_ms_bucket" in text
+        assert "service_workers_alive 2" in text
+        # Worker-side compile metrics were merged into the daemon registry.
+        assert "compile_wall_us" in text or "cache" in text
+
+
+class TestDaemonRobustness:
+    def test_concurrent_identical_requests_coalesce(self, daemon):
+        body = {**SLOW, "nodes": 5}  # unique key, cold for this test
+        replies = []
+
+        def call():
+            with ServiceClient("127.0.0.1", daemon.port) as client:
+                replies.append(client.simulate(**body))
+
+        threads = [threading.Thread(target=call) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+            time.sleep(0.05)  # leader first, waiters while it compiles
+        for thread in threads:
+            thread.join(timeout=120)
+        assert len(replies) == 3
+        digests = {r["result_digest"] for r in replies}
+        assert len(digests) == 1
+        coalesced = [r["coalesced"] for r in replies]
+        assert coalesced.count(False) == 1 and coalesced.count(True) == 2
+
+    def test_saturation_sheds_with_429_and_retry_after(self):
+        daemon = ServiceDaemon(ServiceConfig(port=0, workers=1, queue_depth=1))
+        daemon.start()
+        try:
+            blockers = []
+            # Distinct keys so nothing coalesces: occupy the worker and
+            # the single queue slot, then the next request must shed.
+            def call(nodes):
+                with ServiceClient("127.0.0.1", daemon.port) as client:
+                    try:
+                        client.simulate(**{**SLOW, "nodes": nodes})
+                    except ServiceError:
+                        pass
+
+            for nodes in (6, 7):
+                thread = threading.Thread(target=call, args=(nodes,))
+                thread.start()
+                blockers.append(thread)
+                time.sleep(0.3)
+            with ServiceClient("127.0.0.1", daemon.port) as client:
+                with pytest.raises(ServiceOverloaded) as excinfo:
+                    client.simulate(**{**SLOW, "nodes": 8})
+            assert excinfo.value.retry_after_s >= 1.0
+            text_after = None
+            for thread in blockers:
+                thread.join(timeout=180)
+            with ServiceClient("127.0.0.1", daemon.port) as client:
+                text_after = client.metrics()
+            assert "service_admission_rejects_total 1" in text_after
+        finally:
+            daemon.stop()
+
+    def test_breaker_degrades_instead_of_failing(self):
+        daemon = ServiceDaemon(ServiceConfig(
+            port=0, workers=1, breaker_threshold=1, breaker_cooldown_s=60.0,
+        ))
+        daemon.start()
+        try:
+            with ServiceClient("127.0.0.1", daemon.port) as client:
+                with pytest.raises(ServiceDeadline):
+                    client.simulate(deadline_ms=200, **SLOW)
+                # The breaker observes the job's death when the pool
+                # reaps it (deadline + grace), shortly after our 504.
+                deadline = time.time() + 10
+                while (daemon.breaker.state == STATE_CLOSED
+                       and time.time() < deadline):
+                    time.sleep(0.05)
+                assert daemon.breaker.state == STATE_OPEN
+                reply = client.simulate(**SLOW)
+                assert reply["degraded"] is True
+                assert reply["degraded_by_breaker"] is True
+                assert "degraded-ring" in reply["result"]["algorithm"]
+                assert client.healthz()["breaker"] == "open"
+                text = client.metrics()
+                assert "service_breaker_state 2" in text
+                assert "service_breaker_trips_total 1" in text
+        finally:
+            daemon.stop()
+
+    def test_sigkill_mid_request_still_serves_every_request(self, tmp_path):
+        """The issue's chaos criterion, end to end: SIGKILL a worker
+        mid-request on a cold cache; every admitted request completes
+        exactly once with a verified (digest-consistent) response."""
+        daemon = ServiceDaemon(ServiceConfig(
+            port=0, workers=2, queue_depth=16,
+            cache_dir=str(tmp_path / "chaos-cache"),
+            default_deadline_ms=120_000.0,
+        ))
+        daemon.start()
+        try:
+            bodies = [
+                {**SLOW, "nodes": 6},
+                {**SLOW, "nodes": 7},
+                dict(FAST),
+                {**FAST, "buffer_mb": 32.0},
+            ]
+            replies = {}
+            errors = []
+
+            def call(index, body):
+                with ServiceClient("127.0.0.1", daemon.port,
+                                   timeout_s=180.0) as client:
+                    try:
+                        replies[index] = client.simulate(**body)
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        errors.append((index, exc))
+
+            threads = [
+                threading.Thread(target=call, args=(i, body))
+                for i, body in enumerate(bodies)
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.time() + 15
+            while not daemon.pool.busy_pids() and time.time() < deadline:
+                time.sleep(0.01)
+            victims = daemon.pool.busy_pids()
+            assert victims, "no worker went busy; cannot run the chaos test"
+            os.kill(victims[0], signal.SIGKILL)
+            for thread in threads:
+                thread.join(timeout=240)
+            assert not errors, f"requests failed under chaos: {errors}"
+            assert len(replies) == len(bodies)  # exactly once, no drops
+            for index, body in enumerate(bodies):
+                reply = replies[index]
+                assert reply["ok"] is True
+                assert reply["degraded"] is False
+                # Verified response: digest matches a fresh local run.
+                local = execute(parse_request("simulate", body).to_payload())
+                assert reply["result_digest"] == result_digest(local)
+            assert daemon.pool.stats.restarts >= 1
+            with ServiceClient("127.0.0.1", daemon.port) as client:
+                health = client.healthz()
+                assert health["status"] == "ok"
+                assert health["workers_alive"] == 2
+        finally:
+            daemon.stop()
