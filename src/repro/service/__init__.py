@@ -24,6 +24,7 @@ from .client import (
 )
 from .daemon import ServiceConfig, ServiceDaemon
 from .protocol import (
+    MAX_WORLD_SIZE,
     OPS,
     RequestError,
     ServiceRequest,
@@ -51,6 +52,7 @@ __all__ = [
     "parse_request",
     "request_fingerprint",
     "result_digest",
+    "MAX_WORLD_SIZE",
     "OPS",
     "WorkerPool",
     "PoolSaturated",

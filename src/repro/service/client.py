@@ -89,17 +89,25 @@ class ServiceClient:
         if headers:
             send_headers.update(headers)
         # One transparent reconnect: the daemon may have dropped an idle
-        # keep-alive connection between calls.
+        # keep-alive connection between calls.  POSTs are only retried
+        # when the failure happened while *sending* — the daemon reads
+        # the full body before dispatching, so a request that died
+        # mid-send was never executed.  A POST that was delivered but
+        # lost its response is NOT resent (it may already have run,
+        # and a blind resend would execute it twice); GETs are
+        # idempotent and retry unconditionally.
         for attempt in (0, 1):
             conn = self._connection()
+            sent = False
             try:
                 conn.request(method, path, body=payload, headers=send_headers)
+                sent = True
                 response = conn.getresponse()
                 raw = response.read()
                 break
             except (ConnectionError, http.client.HTTPException, OSError):
                 self.close()
-                if attempt:
+                if attempt or (sent and method != "GET"):
                     raise
         return response, raw
 

@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 import time
 from dataclasses import dataclass
@@ -112,14 +113,20 @@ class ServiceConfig:
 class _Inflight:
     """One in-flight job plus bookkeeping for its coalesced waiters."""
 
-    __slots__ = ("key", "future", "primary", "op", "started", "waiters")
+    __slots__ = (
+        "key", "future", "pool_future", "primary", "op", "started",
+        "deadline", "waiters",
+    )
 
-    def __init__(self, key, future, primary, op, started):
+    def __init__(self, key, future, pool_future, primary, op, started,
+                 deadline):
         self.key = key
         self.future = future
+        self.pool_future = pool_future
         self.primary = primary
         self.op = op
         self.started = started
+        self.deadline = deadline  # the job's effective wall deadline
         self.waiters = 1
 
 
@@ -422,6 +429,10 @@ class ServiceDaemon:
                 deadline_ms = float(headers["x-deadline-ms"])
             except ValueError:
                 return finish(400, {"error": "bad X-Deadline-Ms header"})
+            # float() accepts "nan"/"inf"; NaN passes every deadline
+            # comparison and would run the job with no deadline at all.
+            if not math.isfinite(deadline_ms):
+                return finish(400, {"error": "bad X-Deadline-Ms header"})
         if deadline_ms is None or deadline_ms <= 0:
             deadline_ms = self.config.default_deadline_ms
         deadline_ms = min(deadline_ms, self.config.max_deadline_ms)
@@ -439,6 +450,12 @@ class ServiceDaemon:
         coalesced = entry is not None
         if coalesced:
             entry.waiters += 1
+            if deadline_wall > entry.deadline:
+                # Don't let this waiter inherit the leader's shorter
+                # budget: stretch the shared job's deadline so the pool
+                # does not kill it while this waiter still has time.
+                entry.deadline = deadline_wall
+                self.pool.extend_deadline(entry.pool_future, deadline_wall)
             self.registry.inc("service_coalesce_hits_total", endpoint=op)
         else:
             try:
@@ -459,8 +476,8 @@ class ServiceDaemon:
                 )
             afut = asyncio.ensure_future(asyncio.wrap_future(fut))
             entry = _Inflight(
-                key, afut, primary=not request.degraded, op=op,
-                started=t0,
+                key, afut, fut, primary=not request.degraded, op=op,
+                started=t0, deadline=deadline_wall,
             )
             self._inflight[key] = entry
             afut.add_done_callback(

@@ -33,6 +33,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import time
 from dataclasses import dataclass
 from typing import Optional
@@ -49,6 +50,13 @@ from ..topology import Cluster, profile_by_name
 
 #: Operations the service accepts (the ``/v1/<op>`` endpoints).
 OPS = ("compile", "simulate", "profile")
+
+#: Admission cap on ``nodes * gpus``.  Building a :class:`Cluster` (and
+#: its per-edge capacity table) is O(world size) and happens on the
+#: daemon's event loop for fingerprinting, so an unbounded world size
+#: would let a single request stall every connection — including
+#: ``/healthz`` — or OOM the daemon outright.
+MAX_WORLD_SIZE = 4096
 
 #: Collective -> cheap reference-ring builder for degraded mode.
 RING_FALLBACKS = {
@@ -94,10 +102,16 @@ def _want(payload: dict, key: str, kind, default, *, positive: bool = False):
         return None
     try:
         value = kind(value)
-    except (TypeError, ValueError):
+    except (TypeError, ValueError, OverflowError):
         raise RequestError(f"field {key!r} must be {kind.__name__}") from None
-    if positive and value <= 0:
-        raise RequestError(f"field {key!r} must be positive")
+    if positive:
+        # NaN passes every <=/< comparison and Infinity survives the
+        # min() deadline clamp, so both would defeat the limits built
+        # on these fields; reject them outright.
+        if isinstance(value, float) and not math.isfinite(value):
+            raise RequestError(f"field {key!r} must be finite")
+        if value <= 0:
+            raise RequestError(f"field {key!r} must be positive")
     return value
 
 
@@ -147,12 +161,19 @@ def parse_request(op: str, payload: object) -> ServiceRequest:
     request_id = payload.get("request_id")
     if request_id is not None:
         request_id = str(request_id)
+    nodes = _want(payload, "nodes", int, 2, positive=True)
+    gpus = _want(payload, "gpus", int, 8, positive=True)
+    if nodes * gpus > MAX_WORLD_SIZE:
+        raise RequestError(
+            f"cluster too large: nodes*gpus = {nodes * gpus} exceeds the "
+            f"service cap of {MAX_WORLD_SIZE} ranks"
+        )
     return ServiceRequest(
         op=op,
         algorithm=algorithm,
         source=source,
-        nodes=_want(payload, "nodes", int, 2, positive=True),
-        gpus=_want(payload, "gpus", int, 8, positive=True),
+        nodes=nodes,
+        gpus=gpus,
         profile=str(profile),
         scheduler=scheduler,
         buffer_mb=_want(payload, "buffer_mb", float, 64.0, positive=True),
@@ -324,6 +345,7 @@ def execute(payload: dict) -> dict:
 
 
 __all__ = [
+    "MAX_WORLD_SIZE",
     "OPS",
     "RING_FALLBACKS",
     "RequestError",

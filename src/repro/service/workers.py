@@ -49,7 +49,7 @@ from collections import deque
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _conn_wait
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from ..faults.recovery import backoff_delay
 from ..obs.metrics import collecting
@@ -176,15 +176,21 @@ def _worker_main(conn, heartbeat, cache_dir, lru_capacity) -> None:
                 }
         try:
             conn.send(reply)
-        except (ValueError, TypeError):
-            # Reply failed to pickle (cannot happen for JSON-safe results,
-            # but never leave the supervisor waiting): degrade to text.
-            conn.send({
-                "job_id": job_id, "status": "error",
-                "error": "worker reply was unserializable", "metrics": None,
-            })
         except OSError:
             break  # supervisor is gone
+        except Exception:
+            # Reply failed to pickle (PicklingError, AttributeError,
+            # ValueError, ... — cannot happen for JSON-safe results, but
+            # never leave the supervisor waiting): degrade to text
+            # instead of letting the worker die and churn a respawn.
+            try:
+                conn.send({
+                    "job_id": job_id, "status": "error",
+                    "error": "worker reply was unserializable",
+                    "metrics": None,
+                })
+            except OSError:
+                break
 
 
 class WorkerPool:
@@ -227,6 +233,7 @@ class WorkerPool:
         self.stats = PoolStats()
         self._ctx = multiprocessing.get_context()
         self._queue: Deque[_Job] = deque()
+        self._active: Dict[Future, _Job] = {}  # future -> live job
         self._lock = threading.Lock()
         self._job_ids = itertools.count(1)
         self._workers: List[_Worker] = []
@@ -313,8 +320,26 @@ class WorkerPool:
                 raise PoolSaturated(len(self._queue), retry_after_s)
             self.stats.submitted += 1
             self._queue.append(job)
+            self._active[future] = job
         self._wake()
         return future
+
+    def extend_deadline(self, future: Future, deadline: float) -> None:
+        """Stretch a live job's deadline (extensions only, never cuts).
+
+        Used by request coalescing: a waiter that attaches to an
+        in-flight job with a *later* deadline than the leader's must
+        not see the shared job killed at the leader's earlier budget.
+        Queued jobs pick the new deadline up at dispatch; a job already
+        on a worker keeps computing because the supervisor's
+        deadline-kill check re-reads ``job.deadline`` every tick.
+        """
+        with self._lock:
+            job = self._active.get(future)
+            if job is not None and (
+                job.deadline is not None and deadline > job.deadline
+            ):
+                job.deadline = deadline
 
     def queue_depth(self) -> int:
         with self._lock:
@@ -504,6 +529,8 @@ class WorkerPool:
                 if job is None:
                     return
                 if job.future.cancelled():
+                    with self._lock:
+                        self._active.pop(job.future, None)
                     continue
                 if job.deadline is not None and now >= job.deadline:
                     self.stats.deadline_expired += 1
@@ -539,6 +566,8 @@ class WorkerPool:
     # ------------------------------------------------------------------
 
     def _resolve(self, job: _Job, value: dict) -> None:
+        with self._lock:
+            self._active.pop(job.future, None)
         try:
             if not job.future.done():
                 job.future.set_result(value)
@@ -550,6 +579,8 @@ class WorkerPool:
     ) -> None:
         if job is None:
             return
+        with self._lock:
+            self._active.pop(job.future, None)
         if count:
             self.stats.failed += 1
         try:

@@ -6,9 +6,12 @@ tested against real worker processes including SIGKILL chaos; the
 daemon is tested end-to-end over real HTTP with the stdlib client.
 """
 
+import http.client
 import json
 import os
+import pickle
 import signal
+import socket
 import threading
 import time
 
@@ -36,7 +39,8 @@ from repro.service import (
     request_fingerprint,
     result_digest,
 )
-from repro.service.protocol import degraded_program, execute
+from repro.service.protocol import MAX_WORLD_SIZE, degraded_program, execute
+from repro.service.workers import _worker_main
 from repro.topology import Cluster
 
 # A cold compile of this shape takes >1s — long enough to observe
@@ -104,6 +108,40 @@ class TestParseRequest:
             parse_request("compile", [1, 2])
         with pytest.raises(RequestError, match="unknown op"):
             parse_request("launch", {"algorithm": "ring-allreduce"})
+
+    def test_rejects_oversized_cluster(self):
+        # Cluster construction is O(nodes*gpus) and runs on the event
+        # loop; a giant world size must be a 400, not a daemon stall.
+        with pytest.raises(RequestError, match="cap"):
+            parse_request(
+                "compile",
+                {"algorithm": "ring-allreduce",
+                 "nodes": 1_000_000_000, "gpus": 8},
+            )
+        # The cap itself is admitted (world size == MAX_WORLD_SIZE).
+        req = parse_request(
+            "compile",
+            {"algorithm": "ring-allreduce",
+             "nodes": MAX_WORLD_SIZE // 8, "gpus": 8},
+        )
+        assert req.nodes * req.gpus == MAX_WORLD_SIZE
+
+    def test_rejects_non_finite_numbers(self):
+        # NaN passes every <= comparison and Infinity survives min()
+        # clamps, so either would disable the deadline safety layer.
+        for field in ("deadline_ms", "buffer_mb"):
+            for value in (float("nan"), float("inf")):
+                with pytest.raises(RequestError, match="finite"):
+                    parse_request(
+                        "compile",
+                        {"algorithm": "ring-allreduce", field: value},
+                    )
+        # Infinity into an int field is a clean 400, not OverflowError.
+        with pytest.raises(RequestError, match="must be"):
+            parse_request(
+                "compile",
+                {"algorithm": "ring-allreduce", "nodes": float("inf")},
+            )
 
     def test_accepts_synth_spec_and_inline_source(self):
         assert parse_request(
@@ -330,6 +368,21 @@ class TestWorkerPool:
         finally:
             pool.stop()
 
+    def test_extend_deadline_prevents_premature_kill(self):
+        """A coalesced waiter with a longer budget must be able to
+        stretch the shared job's deadline past the leader's."""
+        pool = WorkerPool(workers=1, max_queue=4, deadline_grace_s=0.05)
+        pool.start()
+        try:
+            payload = parse_request("simulate", dict(SLOW)).to_payload()
+            future = pool.submit(payload, deadline=time.time() + 0.3)
+            pool.extend_deadline(future, time.time() + 120.0)
+            reply = future.result(timeout=120)
+            assert reply["result"]["completion_time_us"] > 0
+            assert pool.stats.deadline_kills == 0
+        finally:
+            pool.stop()
+
     def test_second_worker_death_fails_cleanly(self):
         pool = WorkerPool(workers=1, max_queue=4, retry_backoff_s=0.01,
                           max_retries=1)
@@ -349,6 +402,41 @@ class TestWorkerPool:
             assert pool.stats.failed == 1
         finally:
             pool.stop()
+
+
+class TestWorkerReplySerialization:
+    def test_unpicklable_reply_degrades_to_text_error(self):
+        """A reply that fails to pickle must degrade to a text error,
+        not kill the worker (PicklingError is not a ValueError)."""
+
+        class _Beat:
+            value = 0.0
+
+        class _Conn:
+            def __init__(self, messages):
+                self._messages = list(messages)
+                self.sent = []
+                self._failed_once = False
+
+            def recv(self):
+                if not self._messages:
+                    raise EOFError
+                return self._messages.pop(0)
+
+            def send(self, msg):
+                if not self._failed_once:
+                    self._failed_once = True
+                    raise pickle.PicklingError("cannot pickle reply")
+                self.sent.append(msg)
+
+        payload = parse_request("simulate", dict(FAST)).to_payload()
+        conn = _Conn([{"job_id": 7, "payload": payload, "deadline": None},
+                      None])
+        _worker_main(conn, _Beat(), None, None)
+        assert len(conn.sent) == 1
+        assert conn.sent[0]["job_id"] == 7
+        assert conn.sent[0]["status"] == "error"
+        assert "unserializable" in conn.sent[0]["error"]
 
 
 # ----------------------------------------------------------------------
@@ -415,6 +503,23 @@ class TestDaemonHTTP:
         with pytest.raises(ServiceDeadline):
             client.simulate(deadline_ms=1, **SLOW)
 
+    def test_nan_deadline_is_rejected_not_unbounded(self, client):
+        # NaN compares False against everything, so an admitted NaN
+        # deadline would run the job with no deadline at all.
+        with pytest.raises(ServiceError) as excinfo:
+            client.simulate(deadline_ms="nan", **FAST)  # header path
+        assert excinfo.value.status == 400
+        response, _ = client._request(  # body path (JSON accepts NaN)
+            "POST", "/v1/simulate", body={**FAST, "deadline_ms": float("nan")}
+        )
+        assert response.status == 400
+
+    def test_oversized_cluster_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.simulate(**{**FAST, "nodes": 1_000_000_000})
+        assert excinfo.value.status == 400
+        assert "cap" in str(excinfo.value)
+
     def test_metrics_exposition(self, client):
         client.simulate(**FAST)
         text = client.metrics()
@@ -445,6 +550,54 @@ class TestDaemonRobustness:
         assert len(digests) == 1
         coalesced = [r["coalesced"] for r in replies]
         assert coalesced.count(False) == 1 and coalesced.count(True) == 2
+
+    def test_coalesced_waiter_with_longer_deadline_survives(self, tmp_path):
+        """A waiter must not inherit the leader's shorter budget: the
+        shared job's deadline is extended, the leader alone gets 504."""
+        daemon = ServiceDaemon(ServiceConfig(
+            port=0, workers=1, queue_depth=8,
+            cache_dir=str(tmp_path / "coalesce-cache"),
+            default_deadline_ms=120_000.0,
+        ))
+        daemon.start()
+        try:
+            body = dict(SLOW)  # cold for this daemon: >1s compile
+            outcome = {}
+
+            def leader():
+                with ServiceClient("127.0.0.1", daemon.port) as c:
+                    try:
+                        outcome["leader"] = c.simulate(deadline_ms=600, **body)
+                    except ServiceDeadline as exc:
+                        outcome["leader"] = exc
+
+            def waiter():
+                with ServiceClient("127.0.0.1", daemon.port,
+                                   timeout_s=180.0) as c:
+                    try:
+                        outcome["waiter"] = c.simulate(
+                            deadline_ms=115_000, **body
+                        )
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        outcome["waiter"] = exc
+
+            lt = threading.Thread(target=leader)
+            lt.start()
+            deadline = time.time() + 10
+            while not daemon.pool.busy_pids() and time.time() < deadline:
+                time.sleep(0.01)
+            assert daemon.pool.busy_pids(), "leader job never went busy"
+            wt = threading.Thread(target=waiter)
+            wt.start()
+            lt.join(timeout=60)
+            wt.join(timeout=180)
+            reply = outcome["waiter"]
+            assert isinstance(reply, dict), f"waiter failed: {reply!r}"
+            assert reply["ok"] is True and reply["degraded"] is False
+            # The shared job was never killed at the leader's deadline.
+            assert daemon.pool.stats.deadline_kills == 0
+        finally:
+            daemon.stop()
 
     def test_saturation_sheds_with_429_and_retry_after(self):
         daemon = ServiceDaemon(ServiceConfig(port=0, workers=1, queue_depth=1))
@@ -504,6 +657,111 @@ class TestDaemonRobustness:
                 assert "service_breaker_trips_total 1" in text
         finally:
             daemon.stop()
+
+    def test_post_is_not_resent_when_response_is_lost(self):
+        """A delivered POST whose response is lost may already have
+        executed; the client must surface the error, not resend it."""
+        attempts = []
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(4)
+        server.settimeout(5.0)
+        port = server.getsockname()[1]
+
+        def serve():
+            while True:
+                try:
+                    conn, _ = server.accept()
+                except OSError:
+                    return
+                conn.settimeout(2.0)
+                data = b""
+                try:
+                    while b"\r\n\r\n" not in data:
+                        chunk = conn.recv(4096)
+                        if not chunk:
+                            break
+                        data += chunk
+                    head, _, body = data.partition(b"\r\n\r\n")
+                    length = 0
+                    for line in head.split(b"\r\n"):
+                        if line.lower().startswith(b"content-length:"):
+                            length = int(line.partition(b":")[2])
+                    while len(body) < length:
+                        chunk = conn.recv(4096)
+                        if not chunk:
+                            break
+                        body += chunk
+                except OSError:
+                    pass
+                attempts.append(data)
+                conn.close()  # full request read, no response: drop it
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            with ServiceClient("127.0.0.1", port, timeout_s=5.0) as client:
+                with pytest.raises(
+                    (ConnectionError, http.client.HTTPException, OSError)
+                ):
+                    client.simulate(**FAST)
+            time.sleep(0.2)  # let a (buggy) second attempt arrive
+            assert len(attempts) == 1, "POST was resent after delivery"
+        finally:
+            server.close()
+            thread.join(timeout=5.0)
+
+    def test_get_reconnects_transparently(self):
+        """GETs are idempotent: a dropped keep-alive connection is
+        retried once without surfacing an error."""
+        hits = []
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind(("127.0.0.1", 0))
+        server.listen(4)
+        server.settimeout(5.0)
+        port = server.getsockname()[1]
+
+        def serve():
+            while True:
+                try:
+                    conn, _ = server.accept()
+                except OSError:
+                    return
+                hits.append(1)
+                if len(hits) == 1:
+                    conn.close()  # simulate a dropped idle keep-alive
+                    continue
+                conn.settimeout(2.0)
+                try:
+                    data = b""
+                    while b"\r\n\r\n" not in data:
+                        chunk = conn.recv(4096)
+                        if not chunk:
+                            break
+                        data += chunk
+                    body = b'{"status": "ok"}'
+                    conn.sendall(
+                        b"HTTP/1.1 200 OK\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: %d\r\n"
+                        b"Connection: close\r\n\r\n%s" % (len(body), body)
+                    )
+                except OSError:
+                    pass
+                conn.close()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            with ServiceClient("127.0.0.1", port, timeout_s=5.0) as client:
+                health = client.healthz()
+            assert health["status"] == "ok"
+            assert len(hits) == 2
+        finally:
+            server.close()
+            thread.join(timeout=5.0)
 
     def test_sigkill_mid_request_still_serves_every_request(self, tmp_path):
         """The issue's chaos criterion, end to end: SIGKILL a worker
