@@ -11,6 +11,7 @@ from .attribution import (
 from .timeline import (
     ascii_gantt,
     partition_trace,
+    request_trace_to_chrome,
     to_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
@@ -40,6 +41,7 @@ __all__ = [
     "critical_path",
     "ascii_gantt",
     "partition_trace",
+    "request_trace_to_chrome",
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",

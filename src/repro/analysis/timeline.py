@@ -40,6 +40,7 @@ _GLYPHS = {
 FAULT_PID = 9990
 LINK_PID = 9991
 SPAN_PID = 9992
+REQUEST_PID = 9993
 
 
 def _require_trace(report: SimReport) -> None:
@@ -245,6 +246,66 @@ def to_chrome_trace(
     }
 
 
+def request_trace_to_chrome(trace: dict) -> dict:
+    """One stitched service request trace as a Chrome trace-event object.
+
+    Input is the ``/debug/traces/<id>`` payload (see
+    :mod:`repro.service.tracing`): top-level segments — admission /
+    queue / worker-compute / coalesce-wait / serialize / killed — with
+    the worker's pipeline spans nested under ``worker-compute``, all in
+    request-relative microseconds.  Events land on pid ``9993``
+    (:data:`REQUEST_PID`), the request lane beside the fault (9990),
+    link (9991), and pipeline-span (9992) lanes, so a service trace
+    opens in Perfetto exactly like a ``resccl profile`` export.
+    """
+    trace_id = str(trace.get("trace_id", "?"))
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": REQUEST_PID,
+            "args": {
+                "name": f"service request {trace_id[:12]} "
+                f"({trace.get('op', '?')}, {trace.get('status', '?')})"
+            },
+        }
+    ]
+
+    def visit(span: dict) -> None:
+        args: Dict[str, object] = dict(span.get("attrs", {}))
+        args.update(span.get("counters", {}))
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "request",
+                "ph": "X",
+                "ts": max(0.0, span["start_us"]),
+                # Zero-width segments (e.g. queue on an idle pool) keep
+                # a sliver so they stay visible and valid (dur >= 0).
+                "dur": max(span["duration_us"], 0.001),
+                "pid": REQUEST_PID,
+                "tid": 0,
+                "args": args,
+            }
+        )
+        for child in span.get("children", ()):
+            visit(child)
+
+    for segment in trace.get("spans", ()):
+        visit(segment)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": trace_id,
+            "request_id": trace.get("request_id"),
+            "op": trace.get("op"),
+            "status": trace.get("status"),
+            "total_us": trace.get("total_us"),
+        },
+    }
+
+
 def validate_chrome_trace(trace: dict) -> None:
     """Check a trace object against the Chrome trace-event schema.
 
@@ -302,10 +363,12 @@ def write_chrome_trace(
 __all__ = [
     "ascii_gantt",
     "partition_trace",
+    "request_trace_to_chrome",
     "to_chrome_trace",
     "validate_chrome_trace",
     "write_chrome_trace",
     "FAULT_PID",
     "LINK_PID",
     "SPAN_PID",
+    "REQUEST_PID",
 ]

@@ -526,8 +526,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_s=args.breaker_cooldown,
         cache_dir=args.cache_dir,
+        trace_sample=args.trace_sample,
     )
     return ServiceDaemon(config).run_forever()
+
+
+def cmd_trace_request(args: argparse.Namespace) -> int:
+    from .analysis import request_trace_to_chrome, validate_chrome_trace
+    from .service import ServiceClient, ServiceError
+    from .service.tracing import render_trace
+
+    with ServiceClient(args.host, args.port) as client:
+        try:
+            trace = client.request_trace(args.trace_id)
+        except ServiceError as exc:
+            if exc.status == 404:
+                print(
+                    f"trace {args.trace_id!r} not retained: it was never "
+                    "sampled, or the flight recorder evicted it "
+                    "(see /debug/requests for what is retained)",
+                    file=sys.stderr,
+                )
+            else:
+                print(f"trace fetch failed: {exc}", file=sys.stderr)
+            return 1
+        except OSError as exc:
+            print(f"cannot reach daemon at {args.host}:{args.port}: {exc}",
+                  file=sys.stderr)
+            return 1
+    print(render_trace(trace))
+    if args.output:
+        chrome = request_trace_to_chrome(trace)
+        validate_chrome_trace(chrome)
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(chrome, fh, indent=1)
+        print(f"\nPerfetto trace written to {args.output} "
+              f"({len(chrome['traceEvents'])} events)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -666,6 +701,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="shared on-disk plan-cache tier for the "
                          "worker processes")
+    p_serve.add_argument("--trace-sample", type=float, default=1.0,
+                         metavar="RATE",
+                         help="fraction of requests given full span traces "
+                         "(1.0 = every request, 0.0625 = every 16th, "
+                         "0 = correlation ids only)")
+
+    p_treq = sub.add_parser(
+        "trace-request",
+        help="fetch one stitched request trace from a running daemon",
+    )
+    p_treq.add_argument("trace_id",
+                        help="trace id from a reply body, X-Trace-Id "
+                        "header, /metrics exemplar, or /debug/requests")
+    p_treq.add_argument("--host", default="127.0.0.1")
+    p_treq.add_argument("--port", type=int, default=8642)
+    p_treq.add_argument("--output", metavar="PATH",
+                        help="also write the trace as Perfetto/Chrome "
+                        "JSON here")
 
     p_exp = sub.add_parser(
         "experiment", help="reproduce one of the paper's tables/figures"
@@ -707,6 +760,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "experiment": cmd_experiment,
     "serve": cmd_serve,
+    "trace-request": cmd_trace_request,
 }
 
 

@@ -28,6 +28,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .context import (
+    TraceContext,
+    bound_context,
+    context_from_headers,
+    context_from_wire,
+    current_context,
+    new_span_id,
+    new_trace_id,
+)
+from .log import JsonLogger, LogRing, get_logger, log_ring
 from .metrics import (
     Counter,
     Gauge,
@@ -89,4 +99,15 @@ __all__ = [
     "collecting",
     "Observation",
     "observe",
+    "TraceContext",
+    "bound_context",
+    "context_from_headers",
+    "context_from_wire",
+    "current_context",
+    "new_span_id",
+    "new_trace_id",
+    "JsonLogger",
+    "LogRing",
+    "get_logger",
+    "log_ring",
 ]

@@ -1,0 +1,171 @@
+"""Distributed trace context: correlation IDs across process borders.
+
+A :class:`TraceContext` carries the identity of one end-to-end request —
+a ``trace_id`` minted by whoever saw the request first (the client, or
+the daemon for clients that send none) and the ``parent_span_id`` of the
+enclosing span, if any.  It crosses:
+
+* **HTTP**, as the ``X-Trace-Id`` / ``X-Parent-Span-Id`` headers
+  (:meth:`TraceContext.to_headers` / :func:`context_from_headers`);
+* **the multiprocessing boundary**, as a plain JSON-safe dict
+  (:meth:`TraceContext.to_wire` / :func:`context_from_wire`) inside the
+  worker job message.
+
+Within one process the context is **ambient and thread-local**: arm it
+with :class:`bound_context` and any code on the same thread — the
+structured logger in particular — picks it up via
+:func:`current_context` without explicit plumbing.
+
+IDs are random hex (`trace_id` 128-bit, span ids 64-bit), matching the
+W3C trace-context sizes without committing to its header syntax — the
+service speaks its own two plain headers.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+#: HTTP header names (case-insensitive on the wire; the daemon folds
+#: incoming header names to lowercase).
+TRACE_ID_HEADER = "X-Trace-Id"
+PARENT_SPAN_HEADER = "X-Parent-Span-Id"
+
+#: Accepted id shape: hex, bounded so a hostile header cannot smuggle
+#: an unbounded or log-breaking string into every correlated log line.
+_ID_RE = re.compile(r"^[0-9a-f]{8,64}$")
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit random trace id (32 hex chars)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit random span id (16 hex chars)."""
+    return os.urandom(8).hex()
+
+
+def valid_trace_id(value: object) -> bool:
+    """True when ``value`` is usable as a trace/span id."""
+    return isinstance(value, str) and bool(_ID_RE.match(value))
+
+
+@dataclass
+class TraceContext:
+    """Identity of one end-to-end request.
+
+    Attributes:
+        trace_id: correlation id shared by every span and log line of
+            the request, across client, daemon, and worker processes.
+        parent_span_id: span id of the caller's enclosing span (``None``
+            at the root).
+        sampled: whether this request's spans are being recorded; an
+            unsampled context still correlates log lines.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[str] = None
+    sampled: bool = True
+
+    def to_headers(self) -> Dict[str, str]:
+        headers = {TRACE_ID_HEADER: self.trace_id}
+        if self.parent_span_id:
+            headers[PARENT_SPAN_HEADER] = self.parent_span_id
+        return headers
+
+    def to_wire(self) -> dict:
+        """JSON-safe form for the worker job message."""
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
+            "sampled": self.sampled,
+        }
+
+
+def context_from_headers(headers: Mapping[str, str]) -> Optional[TraceContext]:
+    """Decode the trace headers of one request (lowercase header keys).
+
+    Returns ``None`` when no trace header is present.  A malformed
+    ``X-Trace-Id`` is *replaced* with a fresh id rather than rejected:
+    tracing is diagnostics, and a 400 for a bad diagnostic header would
+    fail requests that would otherwise succeed.
+    """
+    raw = headers.get(TRACE_ID_HEADER.lower())
+    if raw is None:
+        return None
+    trace_id = raw.strip().lower()
+    if not valid_trace_id(trace_id):
+        trace_id = new_trace_id()
+    parent = headers.get(PARENT_SPAN_HEADER.lower())
+    if parent is not None:
+        parent = parent.strip().lower()
+        if not valid_trace_id(parent):
+            parent = None
+    return TraceContext(trace_id=trace_id, parent_span_id=parent)
+
+
+def context_from_wire(data: Optional[Mapping]) -> Optional[TraceContext]:
+    """Rehydrate a :meth:`TraceContext.to_wire` dict (tolerant)."""
+    if not isinstance(data, Mapping):
+        return None
+    trace_id = data.get("trace_id")
+    if not valid_trace_id(trace_id):
+        return None
+    parent = data.get("parent_span_id")
+    if not valid_trace_id(parent):
+        parent = None
+    return TraceContext(
+        trace_id=trace_id,
+        parent_span_id=parent,
+        sampled=bool(data.get("sampled", True)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Ambient (thread-local) context
+# ----------------------------------------------------------------------
+
+_state = threading.local()
+
+
+def current_context() -> Optional[TraceContext]:
+    """The thread's bound context, or ``None`` outside any request."""
+    return getattr(_state, "context", None)
+
+
+class bound_context:
+    """Context manager binding a :class:`TraceContext` to this thread.
+
+    Nested bindings restore the previous context on exit, so a client
+    issuing sub-requests inside a traced request keeps correlation.
+    """
+
+    def __init__(self, context: Optional[TraceContext]) -> None:
+        self._context = context
+
+    def __enter__(self) -> Optional[TraceContext]:
+        self._previous = current_context()
+        _state.context = self._context
+        return self._context
+
+    def __exit__(self, *exc) -> bool:
+        _state.context = self._previous
+        return False
+
+
+__all__ = [
+    "TRACE_ID_HEADER",
+    "PARENT_SPAN_HEADER",
+    "TraceContext",
+    "bound_context",
+    "context_from_headers",
+    "context_from_wire",
+    "current_context",
+    "new_span_id",
+    "new_trace_id",
+    "valid_trace_id",
+]

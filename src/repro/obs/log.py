@@ -1,0 +1,160 @@
+"""Structured JSON logging with trace correlation.
+
+One log line is one JSON object::
+
+    {"ts": 1754640000.123, "level": "info", "component": "daemon",
+     "event": "request-finished", "trace_id": "4f2a...", "status": 200}
+
+Two sinks, independently armed:
+
+* a process-wide bounded **ring buffer** (always on) — the flight
+  recorder snapshots a request's correlated tail from it, and tests
+  read it directly via :func:`log_ring`;
+* an optional **stream** (armed with :func:`configure`) — ``resccl
+  serve`` points it at stderr so the daemon's operational output is
+  machine-parseable; embedded daemons (tests, benchmarks) leave it off
+  and stay silent.
+
+Loggers are cheap named handles (:func:`get_logger`); every record
+automatically picks up the thread's ambient
+:class:`~repro.obs.context.TraceContext` so call sites never thread a
+``trace_id`` argument through.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, TextIO
+
+from .context import current_context
+
+#: Default ring capacity: enough to hold the log tail of every request
+#: the flight recorder can retain, small enough to be memory-noise.
+DEFAULT_RING_CAPACITY = 2048
+
+
+class LogRing:
+    """Bounded in-memory buffer of recent structured log records."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        self._records: Deque[dict] = deque(maxlen=max(1, capacity))
+        self._lock = threading.Lock()
+
+    def append(self, record: dict) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def tail(
+        self, trace_id: Optional[str] = None, limit: int = 200
+    ) -> List[dict]:
+        """Most recent records, oldest first, optionally per-trace."""
+        with self._lock:
+            records = list(self._records)
+        if trace_id is not None:
+            records = [r for r in records if r.get("trace_id") == trace_id]
+        return records[-limit:] if limit else records
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+_ring = LogRing()
+_stream: Optional[TextIO] = None
+_stream_lock = threading.Lock()
+
+
+def log_ring() -> LogRing:
+    """The process-wide ring buffer."""
+    return _ring
+
+
+def configure(
+    stream: Optional[TextIO] = None,
+    ring_capacity: Optional[int] = None,
+) -> None:
+    """Arm (or with ``stream=None`` disarm) the stream sink.
+
+    ``ring_capacity`` replaces the ring buffer with a fresh one of the
+    given size — existing records are dropped.
+    """
+    global _ring, _stream
+    _stream = stream
+    if ring_capacity is not None:
+        _ring = LogRing(ring_capacity)
+
+
+class JsonLogger:
+    """Named handle emitting structured records into the sinks."""
+
+    __slots__ = ("component",)
+
+    def __init__(self, component: str) -> None:
+        self.component = component
+
+    def log(self, level: str, event: str, **fields: object) -> dict:
+        record: dict = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        context = current_context()
+        if context is not None:
+            record["trace_id"] = context.trace_id
+        record.update(fields)
+        _ring.append(record)
+        stream = _stream
+        if stream is not None:
+            try:
+                line = json.dumps(record, default=str, sort_keys=False)
+            except (TypeError, ValueError):
+                line = json.dumps(
+                    {k: str(v) for k, v in record.items()}
+                )
+            with _stream_lock:
+                try:
+                    stream.write(line + "\n")
+                    stream.flush()
+                except (OSError, ValueError):
+                    pass  # a closed stream must never fail the caller
+        return record
+
+    def info(self, event: str, **fields: object) -> dict:
+        return self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> dict:
+        return self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> dict:
+        return self.log("error", event, **fields)
+
+
+_loggers: Dict[str, JsonLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(component: str) -> JsonLogger:
+    """The (cached) logger for one component name."""
+    logger = _loggers.get(component)
+    if logger is None:
+        with _loggers_lock:
+            logger = _loggers.setdefault(component, JsonLogger(component))
+    return logger
+
+
+__all__ = [
+    "DEFAULT_RING_CAPACITY",
+    "JsonLogger",
+    "LogRing",
+    "configure",
+    "get_logger",
+    "log_ring",
+]

@@ -19,6 +19,7 @@ with ``_total`` suffixes on counters (``sim_credit_stalls_total``,
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -90,7 +91,7 @@ class Gauge:
 
 
 class _HistogramSeries:
-    __slots__ = ("bucket_counts", "count", "sum", "min", "max")
+    __slots__ = ("bucket_counts", "count", "sum", "min", "max", "exemplars")
 
     def __init__(self, nbuckets: int) -> None:
         self.bucket_counts = [0] * (nbuckets + 1)  # +inf bucket last
@@ -98,10 +99,32 @@ class _HistogramSeries:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        # bucket index -> {"labels": {...}, "value": v, "ts": t};
+        # lazily allocated — most series never carry exemplars.
+        self.exemplars: Optional[Dict[int, dict]] = None
+
+    def set_exemplar(self, index: int, labels: Dict[str, str],
+                     value: float, ts: Optional[float] = None) -> None:
+        if self.exemplars is None:
+            self.exemplars = {}
+        self.exemplars[index] = {
+            "labels": dict(labels),
+            "value": value,
+            "ts": time.time() if ts is None else ts,
+        }
 
 
 class Histogram:
-    """Cumulative-bucket distribution, one series per label set."""
+    """Cumulative-bucket distribution, one series per label set.
+
+    Buckets can carry OpenMetrics-style **exemplars**: pass
+    ``exemplar={"trace_id": ...}`` to :meth:`observe` and the bucket the
+    value lands in remembers that reference (last-writer-wins).  The
+    service daemon attaches the ``trace_id`` of retained requests, so a
+    p99 bucket in ``/metrics`` links to a trace ``/debug/traces/<id>``
+    can still return.  Rendering is strictly additive — series without
+    exemplars render byte-identically to before exemplars existed.
+    """
 
     kind = "histogram"
 
@@ -116,7 +139,19 @@ class Histogram:
         self.buckets = tuple(sorted(buckets))
         self.series: Dict[LabelKey, _HistogramSeries] = {}
 
-    def observe(self, value: float, **labels: str) -> None:
+    def _bucket_index(self, value: float) -> int:
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                return index
+        return len(self.buckets)  # +Inf
+
+    def observe(
+        self,
+        value: float,
+        *,
+        exemplar: Optional[Dict[str, str]] = None,
+        **labels: str,
+    ) -> None:
         key = _label_key(labels)
         series = self.series.get(key)
         if series is None:
@@ -125,11 +160,10 @@ class Histogram:
         series.sum += value
         series.min = min(series.min, value)
         series.max = max(series.max, value)
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                series.bucket_counts[index] += 1
-                return
-        series.bucket_counts[-1] += 1
+        index = self._bucket_index(value)
+        series.bucket_counts[index] += 1
+        if exemplar:
+            series.set_exemplar(index, exemplar, value)
 
     def samples(self) -> List[Tuple[LabelKey, _HistogramSeries]]:
         return sorted(self.series.items(), key=lambda item: item[0])
@@ -144,6 +178,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, object] = {}
+        # (source, metric name, label key) -> last cumulative snapshot
+        # seen from that source; see merge_json(source=...).
+        self._watermarks: Dict[Tuple, object] = {}
 
     # -- typed accessors ------------------------------------------------
 
@@ -185,8 +222,15 @@ class MetricsRegistry:
     def set(self, name: str, value: float, **labels: str) -> None:
         self.gauge(name).set(value, **labels)
 
-    def observe(self, name: str, value: float, **labels: str) -> None:
-        self.histogram(name).observe(value, **labels)
+    def observe(
+        self,
+        name: str,
+        value: float,
+        *,
+        exemplar: Optional[Dict[str, str]] = None,
+        **labels: str,
+    ) -> None:
+        self.histogram(name).observe(value, exemplar=exemplar, **labels)
 
     def get(self, name: str):
         return self._metrics.get(name)
@@ -204,8 +248,9 @@ class MetricsRegistry:
             entry: dict = {"type": metric.kind, "help": metric.help}
             if isinstance(metric, Histogram):
                 entry["buckets"] = list(metric.buckets)
-                entry["samples"] = [
-                    {
+                entry["samples"] = []
+                for key, s in metric.samples():
+                    sample = {
                         "labels": dict(key),
                         "count": s.count,
                         "sum": s.sum,
@@ -213,8 +258,13 @@ class MetricsRegistry:
                         "max": s.max if s.count else None,
                         "bucket_counts": list(s.bucket_counts),
                     }
-                    for key, s in metric.samples()
-                ]
+                    if s.exemplars:
+                        # str keys: JSON round-trips must stay lossless.
+                        sample["exemplars"] = {
+                            str(i): dict(ex)
+                            for i, ex in sorted(s.exemplars.items())
+                        }
+                    entry["samples"].append(sample)
             else:
                 entry["samples"] = [
                     {"labels": dict(key), "value": value}
@@ -223,24 +273,51 @@ class MetricsRegistry:
             out[name] = entry
         return out
 
-    def merge_json(self, data: dict) -> None:
+    def merge_json(self, data: dict, source: Optional[str] = None) -> None:
         """Fold a :meth:`to_json` export into this registry.
 
-        Sweep workers (``repro.experiments.base.parallel_sweep``) collect
-        into a private registry, serialize it, and the parent merges the
-        exports here in point order: counters add, gauges overwrite
+        Without ``source`` (the :func:`parallel_sweep` mode), exports
+        are **disjoint deltas**: counters add, gauges overwrite
         (last-merged-wins, matching sequential execution), and histogram
-        series accumulate count/sum/min/max/bucket_counts.  Buckets of an
-        incoming histogram must match any existing metric of the same
+        series accumulate count/sum/min/max/bucket_counts.  Buckets of
+        an incoming histogram must match any existing metric of the same
         name.
+
+        With ``source`` (the service daemon folding worker registries),
+        exports are **cumulative snapshots** of that source's registry:
+        the registry keeps a per-``(source, series)`` watermark and
+        merges only the positive delta since the last snapshot, so
+        re-reported totals never double-count.  A counter or bucket
+        falling *below* its watermark means the source process was
+        replaced and its registry reset (a respawned service worker);
+        the full new value is merged — totals stay monotonic, nothing is
+        lost — and ``service_worker_restarts_total{source=...,
+        detected="counter-reset"}`` is incremented once per such merge.
+
+        Histogram exemplars travel along and overwrite (last-writer-
+        wins), matching their per-bucket semantics.
         """
+        regressed = False
         for name, entry in data.items():
             kind = entry.get("type")
             samples = entry.get("samples", ())
             if kind == "counter":
                 metric = self.counter(name, entry.get("help", ""))
                 for sample in samples:
-                    metric.inc(sample["value"], **sample.get("labels", {}))
+                    labels = sample.get("labels", {})
+                    value = sample["value"]
+                    if source is None:
+                        metric.inc(value, **labels)
+                        continue
+                    mark_key = (source, name, _label_key(labels))
+                    watermark = self._watermarks.get(mark_key, 0.0)
+                    if value >= watermark:
+                        delta = value - watermark
+                    else:
+                        regressed = True
+                        delta = value
+                    metric.inc(delta, **labels)
+                    self._watermarks[mark_key] = value
             elif kind == "gauge":
                 metric = self.gauge(name, entry.get("help", ""))
                 for sample in samples:
@@ -260,15 +337,57 @@ class MetricsRegistry:
                         series = metric.series[key] = _HistogramSeries(
                             len(metric.buckets)
                         )
-                    series.count += sample["count"]
-                    series.sum += sample["sum"]
-                    if sample["count"]:
+                    count = sample["count"]
+                    total = sample["sum"]
+                    bucket_counts = list(sample["bucket_counts"])
+                    if source is not None:
+                        mark_key = (source, name, key)
+                        mark = self._watermarks.get(mark_key)
+                        if mark is not None:
+                            # Bucket counts are ints and strictly
+                            # monotone within one source process; any
+                            # decrease is a registry reset.
+                            reset = count < mark["count"] or any(
+                                new < old for new, old in
+                                zip(bucket_counts, mark["bucket_counts"])
+                            )
+                            if reset:
+                                regressed = True
+                            else:
+                                count = count - mark["count"]
+                                total = total - mark["sum"]
+                                bucket_counts = [
+                                    new - old for new, old in
+                                    zip(bucket_counts, mark["bucket_counts"])
+                                ]
+                        self._watermarks[mark_key] = {
+                            "count": sample["count"],
+                            "sum": sample["sum"],
+                            "bucket_counts": list(sample["bucket_counts"]),
+                        }
+                    series.count += count
+                    series.sum += total
+                    if count and sample["count"]:
                         series.min = min(series.min, sample["min"])
                         series.max = max(series.max, sample["max"])
-                    for index, count in enumerate(sample["bucket_counts"]):
-                        series.bucket_counts[index] += count
+                    for index, bucket_count in enumerate(bucket_counts):
+                        series.bucket_counts[index] += bucket_count
+                    for idx_str, ex in (sample.get("exemplars") or {}).items():
+                        series.set_exemplar(
+                            int(idx_str),
+                            ex.get("labels", {}),
+                            ex.get("value", 0.0),
+                            ex.get("ts"),
+                        )
             else:
                 raise ValueError(f"metric {name!r}: unknown type {kind!r}")
+        if regressed and source is not None:
+            self.inc(
+                "service_worker_restarts_total",
+                1,
+                source=source,
+                detected="counter-reset",
+            )
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
@@ -281,18 +400,21 @@ class MetricsRegistry:
             if isinstance(metric, Histogram):
                 for key, series in metric.samples():
                     cumulative = 0
-                    for bound, count in zip(
+                    for index, (bound, count) in enumerate(zip(
                         metric.buckets, series.bucket_counts
-                    ):
+                    )):
                         cumulative += count
                         bucket_key = key + (("le", _fmt(bound)),)
                         lines.append(
                             f"{name}_bucket{_render_labels(bucket_key)} "
                             f"{cumulative}"
+                            f"{_render_exemplar(series, index)}"
                         )
                     inf_key = key + (("le", "+Inf"),)
                     lines.append(
-                        f"{name}_bucket{_render_labels(inf_key)} {series.count}"
+                        f"{name}_bucket{_render_labels(inf_key)} "
+                        f"{series.count}"
+                        f"{_render_exemplar(series, len(metric.buckets))}"
                     )
                     lines.append(
                         f"{name}_sum{_render_labels(key)} {_fmt(series.sum)}"
@@ -335,6 +457,22 @@ def _fmt(value: float) -> str:
     if float(value).is_integer() and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+def _render_exemplar(series: _HistogramSeries, index: int) -> str:
+    """OpenMetrics exemplar suffix for one bucket line ('' when none).
+
+    ``name_bucket{le="x"} N # {trace_id="..."} value timestamp`` — only
+    emitted for buckets that explicitly carry an exemplar, so registries
+    that never attach one render byte-identically to before.
+    """
+    if not series.exemplars:
+        return ""
+    ex = series.exemplars.get(index)
+    if ex is None:
+        return ""
+    labels = _render_labels(_label_key(ex["labels"]))
+    return f" # {labels or '{}'} {_fmt(ex['value'])} {ex['ts']:.3f}"
 
 
 # ----------------------------------------------------------------------

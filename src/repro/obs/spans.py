@@ -27,6 +27,7 @@ Instrumented code inside the ``with`` block nests automatically::
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -130,43 +131,71 @@ class _SpanContext:
 
 
 class SpanTracer:
-    """Collects a forest of nested spans with a monotonic clock."""
+    """Collects a forest of nested spans with a monotonic clock.
+
+    Safe under concurrent use from several threads: the open-span stack
+    is **per thread**, so spans opened by thread A never nest under an
+    unrelated span that thread B happens to have open (which a single
+    shared stack would do — and did, before the service daemon ran
+    tracers from multiple threads).  Spans of all threads land in one
+    shared ``roots`` forest in completion-independent *start* order.
+    Mutations are single ``list.append``/``dict`` operations, atomic
+    under the GIL, so no lock sits on the hot path.
+
+    ``epoch_wall`` records the wall-clock (``time.time()``) instant of
+    the monotonic epoch, so a tracer serialized out of a worker process
+    can be offset-aligned into another process's request timeline.
+    """
 
     def __init__(self) -> None:
         self._epoch = time.perf_counter()
+        #: Wall-clock instant of the monotonic epoch (cross-process
+        #: alignment anchor; wall and monotonic clocks are sampled
+        #: back-to-back so the skew is one clock-read).
+        self.epoch_wall = time.time()
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._stacks: Dict[int, List[Span]] = {}
 
     def _now_us(self) -> float:
         return (time.perf_counter() - self._epoch) * 1e6
 
+    def _thread_stack(self) -> List[Span]:
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
+        if stack is None:
+            stack = self._stacks[ident] = []
+        return stack
+
     def _push(self, name: str, attrs: Dict[str, str]) -> Span:
         span = Span(name, self._now_us(), attrs)
-        if self._stack:
-            self._stack[-1].children.append(span)
+        stack = self._thread_stack()
+        if stack:
+            stack[-1].children.append(span)
         else:
             self.roots.append(span)
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def _pop(self, span: Span) -> None:
         span.end_us = self._now_us()
         # Tolerate mismatched exits (an exception may unwind several
         # levels): pop up to and including the span being closed.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._thread_stack()
+        while stack:
+            top = stack.pop()
             if top is span:
                 break
             top.end_us = span.end_us
 
     def span(self, name: str, **attrs: str) -> _SpanContext:
-        """Open a nested span under the current one."""
+        """Open a nested span under the current one (this thread's)."""
         return _SpanContext(self, name, attrs)
 
     def current(self) -> Span:
-        """Innermost open span (a null span when none is open)."""
-        if self._stack:
-            return self._stack[-1]
+        """This thread's innermost open span (null when none is open)."""
+        stack = self._stacks.get(threading.get_ident())
+        if stack:
+            return stack[-1]
         return NULL_SPAN  # type: ignore[return-value]
 
     # ------------------------------------------------------------------

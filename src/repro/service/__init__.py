@@ -23,6 +23,8 @@ from .client import (
     ServiceOverloaded,
 )
 from .daemon import ServiceConfig, ServiceDaemon
+from .recorder import FlightRecorder
+from .tracing import RequestTrace, render_trace
 from .protocol import (
     MAX_WORLD_SIZE,
     OPS,
@@ -63,4 +65,7 @@ __all__ = [
     "STATE_CLOSED",
     "STATE_HALF_OPEN",
     "STATE_OPEN",
+    "FlightRecorder",
+    "RequestTrace",
+    "render_trace",
 ]

@@ -27,6 +27,8 @@ import http.client
 import json
 from typing import Any, Dict, Optional
 
+from ..obs.context import TRACE_ID_HEADER, current_context, new_trace_id
+
 
 class ServiceError(RuntimeError):
     """Non-2xx reply from the daemon."""
@@ -114,9 +116,21 @@ class ServiceClient:
     # -- operations ----------------------------------------------------
 
     def request(self, op: str, **fields: Any) -> Dict[str, Any]:
-        """POST one operation; returns the decoded JSON reply."""
+        """POST one operation; returns the decoded JSON reply.
+
+        Every POST carries an ``X-Trace-Id`` correlation header: an
+        explicit ``trace_id=`` kwarg wins, else the thread's ambient
+        :class:`~repro.obs.context.TraceContext` (so sub-requests made
+        inside a traced request stay correlated), else a fresh id.  The
+        reply echoes it as ``trace_id`` — hand that to
+        ``/debug/traces/<id>`` or ``resccl trace-request``.
+        """
         deadline_ms = fields.pop("deadline_ms", None)
-        headers = {}
+        trace_id = fields.pop("trace_id", None)
+        if trace_id is None:
+            context = current_context()
+            trace_id = context.trace_id if context else new_trace_id()
+        headers = {TRACE_ID_HEADER: str(trace_id)}
         if deadline_ms is not None:
             headers["X-Deadline-Ms"] = str(deadline_ms)
         response, raw = self._request(
@@ -165,6 +179,24 @@ class ServiceClient:
         if response.status != 200:
             raise ServiceError(response.status, {"error": "metrics failed"})
         return raw.decode("utf-8")
+
+    # -- flight recorder ----------------------------------------------
+
+    def debug_requests(self) -> Dict[str, Any]:
+        """Index of flight-recorder-retained traces (``/debug/requests``)."""
+        response, raw = self._request("GET", "/debug/requests")
+        payload = json.loads(raw.decode("utf-8"))
+        if response.status != 200:
+            raise ServiceError(response.status, payload)
+        return payload
+
+    def request_trace(self, trace_id: str) -> Dict[str, Any]:
+        """One retained stitched trace, or :class:`ServiceError` (404)."""
+        response, raw = self._request("GET", f"/debug/traces/{trace_id}")
+        payload = json.loads(raw.decode("utf-8"))
+        if response.status != 200:
+            raise ServiceError(response.status, payload)
+        return payload
 
 
 __all__ = [

@@ -10,6 +10,18 @@ layer is hand-rolled over ``asyncio.start_server``) over the supervised
     GET  /healthz       liveness  (200 while the daemon can make progress)
     GET  /readyz        readiness (200 while new work can be admitted)
     GET  /metrics       live Prometheus text exposition (repro.obs)
+    GET  /debug/requests     index of flight-recorder-retained traces
+    GET  /debug/traces/<id>  one stitched request trace + log tail
+
+Every request is traced end to end (``trace_id`` from the client's
+``X-Trace-Id`` header or minted here; ``ServiceConfig.trace_sample``
+controls how many requests get a full stitched span tree): admission,
+queue wait, coalescing, worker compute (the worker's own span tree,
+clock-aligned across the process boundary), and serialization exactly
+partition the observed latency.  The bounded flight recorder keeps the
+N slowest and all failed/shed traces; latency-histogram exemplars in
+``/metrics`` point at retained ``trace_id``s.  See
+``docs/observability.md`` ("Tracing a service request").
 
 Robustness model, in request order:
 
@@ -52,6 +64,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..obs.context import TraceContext, context_from_headers, new_trace_id
+from ..obs.log import get_logger, log_ring
 from ..obs.metrics import MetricsRegistry
 from ..topology import Cluster, profile_by_name
 from .breaker import CircuitBreaker
@@ -63,6 +77,8 @@ from .protocol import (
     request_fingerprint,
     result_digest,
 )
+from .recorder import LOG_TAIL_LIMIT, FlightRecorder
+from .tracing import RequestTrace
 from .workers import (
     DeadlineExceeded,
     JobFailed,
@@ -108,6 +124,14 @@ class ServiceConfig:
     cache_dir: Optional[str] = None
     request_max_bytes: int = 1 << 20
     keepalive_timeout_s: float = 75.0
+    #: Fraction of requests whose stitched trace is built and offered to
+    #: the flight recorder (1.0 = every request, 0.0 = tracing off;
+    #: between the two, a deterministic every-Nth sampler).  Correlation
+    #: ids and structured logs are on regardless.
+    trace_sample: float = 1.0
+    #: Flight-recorder retention: N slowest successes, M newest errors.
+    recorder_slow: int = 32
+    recorder_errors: int = 128
 
 
 class _Inflight:
@@ -115,11 +139,11 @@ class _Inflight:
 
     __slots__ = (
         "key", "future", "pool_future", "primary", "op", "started",
-        "deadline", "waiters",
+        "deadline", "waiters", "trace_id",
     )
 
     def __init__(self, key, future, pool_future, primary, op, started,
-                 deadline):
+                 deadline, trace_id=None):
         self.key = key
         self.future = future
         self.pool_future = pool_future
@@ -128,6 +152,7 @@ class _Inflight:
         self.started = started
         self.deadline = deadline  # the job's effective wall deadline
         self.waiters = 1
+        self.trace_id = trace_id  # leader's trace id (waiters reference it)
 
 
 class ServiceDaemon:
@@ -147,7 +172,13 @@ class ServiceDaemon:
             hang_timeout_s=self.config.hang_timeout_s,
             retry_backoff_s=self.config.retry_backoff_s,
         )
+        self.recorder = FlightRecorder(
+            slow_capacity=self.config.recorder_slow,
+            error_capacity=self.config.recorder_errors,
+        )
         self.port: Optional[int] = None
+        self._log = get_logger("daemon")
+        self._trace_seq = 0
         self._inflight: Dict[str, _Inflight] = {}
         self._clusters: Dict[Tuple[int, int, str], Cluster] = {}
         self._pool_counter_base = {name: 0 for name in _POOL_COUNTERS}
@@ -192,25 +223,37 @@ class ServiceDaemon:
             self._thread = None
 
     def run_forever(self) -> int:
-        """Blocking serve for the CLI; returns a process exit code."""
-        import signal
+        """Blocking serve for the CLI; returns a process exit code.
 
+        Standalone serving emits structured JSON log lines on stderr
+        (:mod:`repro.obs.log`) — one parseable stream for operators —
+        while embedded daemons (tests, benchmarks) stay silent apart
+        from the in-memory ring.
+        """
+        import signal
+        import sys
+
+        from ..obs import log as obs_log
+
+        obs_log.configure(stream=sys.stderr)
         try:
             self.start()
         except OSError as exc:
-            print(f"fatal: cannot start service: {exc}")
+            self._log.error("startup-failed", error=str(exc))
+            print(f"fatal: cannot start service: {exc}", file=sys.stderr)
             return 2
         stop = threading.Event()
         for signum in (signal.SIGINT, signal.SIGTERM):
             signal.signal(signum, lambda *_: stop.set())
-        print(
-            f"resccl service listening on "
-            f"http://{self.config.host}:{self.port} "
-            f"({self.config.workers} worker(s), queue depth "
-            f"{self.config.queue_depth})"
+        self._log.info(
+            "listening",
+            url=f"http://{self.config.host}:{self.port}",
+            workers=self.config.workers,
+            queue_depth=self.config.queue_depth,
+            trace_sample=self.config.trace_sample,
         )
         stop.wait()
-        print("shutting down...")
+        self._log.info("shutting-down")
         self.stop()
         return 0
 
@@ -359,6 +402,23 @@ class ServiceDaemon:
         if path == "/metrics" and method == "GET":
             self._refresh_metrics()
             return 200, self.registry.to_prometheus(), None
+        if path == "/debug/requests" and method == "GET":
+            return 200, {
+                "requests": self.recorder.summaries(),
+                "retained": len(self.recorder),
+                "recorded": self.recorder.recorded,
+                "evicted": self.recorder.evicted,
+                "trace_sample": self.config.trace_sample,
+            }, None
+        if path.startswith("/debug/traces/") and method == "GET":
+            trace_id = path[len("/debug/traces/"):]
+            trace = self.recorder.get(trace_id)
+            if trace is None:
+                return 404, {
+                    "error": f"no retained trace {trace_id!r} "
+                    "(evicted, unsampled, or never seen)"
+                }, None
+            return 200, trace, None
         if path.startswith("/v1/"):
             op = path[len("/v1/"):]
             if op not in OPS:
@@ -399,16 +459,73 @@ class ServiceDaemon:
     # The request path
     # ------------------------------------------------------------------
 
+    def _sample_trace(self) -> bool:
+        """Deterministic every-Nth trace sampling (no RNG: reproducible
+        in tests, uniform under steady load)."""
+        rate = self.config.trace_sample
+        if rate <= 0:
+            return False
+        if rate >= 1:
+            return True
+        period = max(1, round(1.0 / rate))
+        self._trace_seq += 1
+        return self._trace_seq % period == 1
+
     async def _handle_op(self, op, headers, body):
         t0 = time.monotonic()
+        context = context_from_headers(headers)
+        trace_id = context.trace_id if context else new_trace_id()
+        parent_span = context.parent_span_id if context else None
+        sampled = self._sample_trace()
+        trace = (
+            RequestTrace(trace_id, op, parent_span_id=parent_span)
+            if sampled else None
+        )
+        # What rides the job message into the worker: correlation always,
+        # span shipping only when this request is sampled.
+        wire = TraceContext(
+            trace_id, parent_span_id=parent_span, sampled=sampled
+        ).to_wire()
+        request_id = None  # the client's id once parsed; trace_id stands in
 
         def finish(status, payload, extra=None):
+            latency_ms = (time.monotonic() - t0) * 1e3
+            rid = request_id or trace_id
+            if isinstance(payload, dict):
+                # Every response body — including 400/429/503/504 error
+                # paths — carries correlation ids.
+                payload["request_id"] = payload.get("request_id") or rid
+                payload.setdefault("trace_id", trace_id)
             self.registry.inc(
                 "service_requests_total", endpoint=op, status=str(status)
             )
+            self._log.log(
+                "info" if status < 500 else "error",
+                "request-finished",
+                trace_id=trace_id,
+                request_id=rid,
+                endpoint=op,
+                status=status,
+                latency_ms=round(latency_ms, 3),
+            )
+            exemplar = None
+            if trace is not None:
+                trace.request_id = rid
+                stitched = trace.stitch(status)
+                retained = self.recorder.record(
+                    stitched,
+                    logs=log_ring().tail(
+                        trace_id=trace_id, limit=LOG_TAIL_LIMIT
+                    ),
+                )
+                if retained:
+                    # The p99 buckets in /metrics link to traces the
+                    # recorder can still serve.
+                    exemplar = {"trace_id": trace_id}
             self.registry.observe(
                 "service_request_latency_ms",
-                (time.monotonic() - t0) * 1e3,
+                latency_ms,
+                exemplar=exemplar,
                 endpoint=op,
             )
             self.registry.set("service_queue_depth", self.pool.queue_depth())
@@ -417,21 +534,30 @@ class ServiceDaemon:
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            if trace is not None:
+                trace.mark_error(f"bad JSON body: {exc}")
             return finish(400, {"error": f"bad JSON body: {exc}"})
         try:
             request = parse_request(op, payload)
         except RequestError as exc:
+            if trace is not None:
+                trace.mark_error(str(exc))
             return finish(400, {"error": str(exc)})
+        request_id = request.request_id
 
         deadline_ms = request.deadline_ms
         if deadline_ms is None and headers.get("x-deadline-ms"):
             try:
                 deadline_ms = float(headers["x-deadline-ms"])
             except ValueError:
+                if trace is not None:
+                    trace.mark_error("bad X-Deadline-Ms header")
                 return finish(400, {"error": "bad X-Deadline-Ms header"})
             # float() accepts "nan"/"inf"; NaN passes every deadline
             # comparison and would run the job with no deadline at all.
             if not math.isfinite(deadline_ms):
+                if trace is not None:
+                    trace.mark_error("bad X-Deadline-Ms header")
                 return finish(400, {"error": "bad X-Deadline-Ms header"})
         if deadline_ms is None or deadline_ms <= 0:
             deadline_ms = self.config.default_deadline_ms
@@ -446,6 +572,13 @@ class ServiceDaemon:
             self.registry.inc("service_degraded_total", endpoint=op)
 
         key = request_fingerprint(request, self._cluster_for(request))
+        if trace is not None:
+            trace.annotate(
+                endpoint=op,
+                breaker=self.breaker.state_name,
+                degraded=request.degraded,
+                deadline_ms=round(deadline_ms),
+            )
         entry = self._inflight.get(key)
         coalesced = entry is not None
         if coalesced:
@@ -457,14 +590,28 @@ class ServiceDaemon:
                 entry.deadline = deadline_wall
                 self.pool.extend_deadline(entry.pool_future, deadline_wall)
             self.registry.inc("service_coalesce_hits_total", endpoint=op)
+            if trace is not None:
+                # The worker spans live in the leader's trace — exactly
+                # one trace accounts for the shared compute; waiters
+                # reference it instead of duplicating it.
+                trace.mark_attached(entry.trace_id)
         else:
             try:
                 fut = self.pool.submit(
                     request.to_payload(),
                     deadline=deadline_wall,
                     retry_after_s=self._retry_after_s(),
+                    trace=wire,
                 )
             except PoolSaturated as exc:
+                if trace is not None:
+                    trace.mark_error("shed: request queue full")
+                self._log.warning(
+                    "request-shed",
+                    trace_id=trace_id,
+                    endpoint=op,
+                    queue_depth=exc.depth,
+                )
                 return finish(
                     429,
                     {
@@ -474,10 +621,12 @@ class ServiceDaemon:
                     },
                     {"Retry-After": str(max(1, round(exc.retry_after_s)))},
                 )
+            if trace is not None:
+                trace.mark_submitted()
             afut = asyncio.ensure_future(asyncio.wrap_future(fut))
             entry = _Inflight(
                 key, afut, fut, primary=not request.degraded, op=op,
-                started=t0, deadline=deadline_wall,
+                started=t0, deadline=deadline_wall, trace_id=trace_id,
             )
             self._inflight[key] = entry
             afut.add_done_callback(
@@ -493,6 +642,8 @@ class ServiceDaemon:
             # This waiter's budget ran out; the shared job (and any
             # longer-budget waiters) may still complete — the pool's own
             # deadline enforcement reaps it if nobody is left.
+            if trace is not None:
+                trace.mark_error(f"deadline ({deadline_ms:.0f} ms) expired")
             return finish(
                 504,
                 {
@@ -501,16 +652,24 @@ class ServiceDaemon:
                 },
             )
         except DeadlineExceeded as exc:
+            if trace is not None:
+                trace.mark_error(str(exc))
             return finish(
                 504, {"error": str(exc), "request_id": request.request_id}
             )
         except RequestError as exc:
+            if trace is not None:
+                trace.mark_error(str(exc))
             return finish(400, {"error": str(exc)})
         except WorkerCrashed as exc:
+            if trace is not None:
+                trace.mark_error(str(exc))
             return finish(
                 500, {"error": str(exc), "request_id": request.request_id}
             )
         except JobFailed as exc:
+            if trace is not None:
+                trace.mark_error("request failed in worker")
             return finish(
                 500,
                 {
@@ -522,10 +681,22 @@ class ServiceDaemon:
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - never drop a response
+            if trace is not None:
+                trace.mark_error(f"{type(exc).__name__}: {exc}")
             return finish(
                 500, {"error": f"{type(exc).__name__}: {exc}"}
             )
 
+        if trace is not None:
+            worker_blob = None
+            if not coalesced:
+                worker_blob = {
+                    "started_wall": msg.get("started_wall"),
+                    "ended_wall": msg.get("ended_wall"),
+                    "worker": msg.get("worker"),
+                }
+                worker_blob.update(msg.get("trace") or {})
+            trace.mark_reply(worker_blob)
         result = msg["result"]
         return finish(200, {
             "ok": True,
@@ -549,10 +720,16 @@ class ServiceDaemon:
         if exc is None:
             if entry.primary:
                 self.breaker.record_success()
-            metrics = future.result().get("metrics")
+            msg = future.result()
+            metrics = msg.get("metrics")
             if metrics:
+                # Cumulative per-worker snapshot: the source watermark
+                # in merge_json dedups re-reported totals and flags a
+                # respawned worker's counter reset.
+                worker = msg.get("worker")
+                source = f"worker-{worker}" if worker is not None else "worker"
                 try:
-                    self.registry.merge_json(metrics)
+                    self.registry.merge_json(metrics, source=source)
                 except ValueError:
                     pass  # never let a metrics glitch fail the daemon
         elif isinstance(exc, (DeadlineExceeded, WorkerCrashed)):

@@ -1,0 +1,124 @@
+"""Bounded flight recorder of stitched request traces.
+
+Retains, in memory, the full stitched trace (plus the correlated
+structured-log tail) for:
+
+* **every** failed / killed / shed request (non-200), FIFO-bounded at
+  ``error_capacity`` — the newest errors win; and
+* the **N slowest** successful requests (a min-heap on total latency,
+  bounded at ``slow_capacity``) — a new slow request evicts the
+  *fastest* retained one, so after any traffic mix the recorder holds
+  the current worst tail.
+
+This is the post-hoc debugging store behind ``/debug/requests`` (the
+index) and ``/debug/traces/<id>`` (one full trace), and the target the
+latency histogram's exemplars point into.  An exemplar can outlive its
+trace (a retained-then-evicted request); resolving it then 404s, which
+is the honest answer for a bounded recorder.
+
+Thread-safe: the daemon records from its event-loop thread while tests
+and debug handlers may read from others.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+#: Log-tail lines snapshotted per retained trace.
+LOG_TAIL_LIMIT = 100
+
+
+class FlightRecorder:
+    """Bounded store of stitched traces worth keeping."""
+
+    def __init__(
+        self, slow_capacity: int = 32, error_capacity: int = 128
+    ) -> None:
+        self.slow_capacity = max(0, slow_capacity)
+        self.error_capacity = max(0, error_capacity)
+        self._traces: Dict[str, dict] = {}
+        # (total_us, seq, trace_id) min-heap over retained successes.
+        self._slow: List[tuple] = []
+        self._errors: "OrderedDict[str, None]" = OrderedDict()
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self.recorded = 0
+        self.evicted = 0
+
+    def record(self, trace: dict, logs: Optional[List[dict]] = None) -> bool:
+        """Offer one stitched trace; returns True when it was retained."""
+        trace_id = trace.get("trace_id")
+        if not trace_id:
+            return False
+        entry = dict(trace)
+        if logs is not None:
+            entry["logs"] = logs[-LOG_TAIL_LIMIT:]
+        with self._lock:
+            if trace_id in self._traces:
+                return False  # ids are unique per request; never clobber
+            if trace.get("status") != 200:
+                if self.error_capacity == 0:
+                    return False
+                while len(self._errors) >= self.error_capacity:
+                    oldest, _ = self._errors.popitem(last=False)
+                    self._traces.pop(oldest, None)
+                    self.evicted += 1
+                self._errors[trace_id] = None
+                self._traces[trace_id] = entry
+                self.recorded += 1
+                return True
+            if self.slow_capacity == 0:
+                return False
+            item = (trace.get("total_us", 0.0), next(self._seq), trace_id)
+            if len(self._slow) < self.slow_capacity:
+                heapq.heappush(self._slow, item)
+            else:
+                if item <= self._slow[0]:
+                    return False  # faster than everything retained
+                _, _, fastest = heapq.heappushpop(self._slow, item)
+                self._traces.pop(fastest, None)
+                self.evicted += 1
+            self._traces[trace_id] = entry
+            self.recorded += 1
+            return True
+
+    def get(self, trace_id: str) -> Optional[dict]:
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    def summaries(self) -> List[dict]:
+        """Index of retained traces, newest-recorded errors first, then
+        successes slowest-first (what ``/debug/requests`` serves)."""
+        with self._lock:
+            errors = [self._traces[tid] for tid in reversed(self._errors)]
+            slow = [
+                self._traces[tid]
+                for _, _, tid in sorted(self._slow, reverse=True)
+                if tid in self._traces
+            ]
+        out = []
+        for trace in errors + slow:
+            out.append({
+                "trace_id": trace["trace_id"],
+                "request_id": trace.get("request_id"),
+                "op": trace.get("op"),
+                "status": trace.get("status"),
+                "total_us": trace.get("total_us"),
+                "coalesced": trace.get("coalesced", False),
+                "error": trace.get("error"),
+                "retained_as": (
+                    "error" if trace.get("status") != 200 else "slow"
+                ),
+            })
+        return out
+
+
+__all__ = ["FlightRecorder", "LOG_TAIL_LIMIT"]

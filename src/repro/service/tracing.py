@@ -1,0 +1,275 @@
+"""Per-request trace stitching for the service daemon.
+
+One :class:`RequestTrace` is born when a request enters
+``ServiceDaemon._handle_op`` and finishes when the response is about to
+be written.  It produces a single stitched span tree whose top-level
+segments **exactly partition** the daemon-observed latency — every
+microsecond of ``[0, total_us]`` belongs to exactly one segment, in
+order:
+
+* ``admission``       — parse, validation, breaker check, fingerprint,
+  queue admission (ends at pool submit / coalesce attach / shed);
+* ``queue``           — submitted, waiting for a worker (leader only);
+* ``worker-compute``  — executing in the worker process; its children
+  are the worker's own :class:`~repro.obs.spans.SpanTracer` tree
+  (compile → simulate), offset-aligned from the worker's clock;
+* ``coalesce-wait``   — attached to another request's in-flight job
+  (waiters only; carries the leader's ``trace_id``);
+* ``serialize``       — reply collected, response being built/recorded;
+* ``killed``          — terminal segment of a request whose job died
+  (deadline SIGKILL, crash) or was shed/failed before completing.
+
+**Clock alignment.** Worker span timestamps are microseconds on the
+*worker's* monotonic clock.  The worker reports the wall-clock instant
+of its tracer epoch (``SpanTracer.epoch_wall``); the daemon anchors its
+own timeline at ``t0_wall``, so worker spans shift by
+``(epoch_wall - t0_wall) * 1e6`` into request-relative time and are then
+clamped inside their parent's bounds — wall clocks across processes on
+one host agree to well under a millisecond, but clamping guarantees the
+invariant (children inside parents) instead of merely expecting it.
+
+The output is a plain JSON-safe dict (what ``/debug/traces/<id>``
+returns and the flight recorder retains); span nodes use the same shape
+as :meth:`repro.obs.spans.Span.to_dict` so the Perfetto exporter and the
+CLI renderer treat daemon segments and worker spans uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+#: Segment names, in the order they can appear in a stitched trace.
+SEGMENTS = (
+    "admission", "queue", "worker-compute", "coalesce-wait", "serialize",
+    "killed",
+)
+
+
+def _node(
+    name: str,
+    start_us: float,
+    end_us: float,
+    attrs: Optional[Dict[str, str]] = None,
+    children: Optional[List[dict]] = None,
+) -> dict:
+    return {
+        "name": name,
+        "start_us": start_us,
+        "duration_us": max(0.0, end_us - start_us),
+        "attrs": dict(attrs or {}),
+        "counters": {},
+        "children": children or [],
+    }
+
+
+def _clamp_span(span: dict, offset_us: float, lo: float, hi: float) -> dict:
+    """Shift one worker span into request time, clamped to [lo, hi]."""
+    start = min(max(span["start_us"] + offset_us, lo), hi)
+    end = min(max(span["start_us"] + span["duration_us"] + offset_us, start), hi)
+    return {
+        "name": span["name"],
+        "start_us": start,
+        "duration_us": end - start,
+        "attrs": dict(span.get("attrs", {})),
+        "counters": dict(span.get("counters", {})),
+        "children": [
+            _clamp_span(child, offset_us, start, end)
+            for child in span.get("children", ())
+        ],
+    }
+
+
+class RequestTrace:
+    """Builder collecting one request's boundary instants + worker blob."""
+
+    __slots__ = (
+        "trace_id", "parent_span_id", "request_id", "op", "t0_wall",
+        "_t0", "attrs", "submitted_us", "attached_us", "reply_us",
+        "leader_trace_id", "worker_reply", "error",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        op: str,
+        parent_span_id: Optional[str] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+        self.request_id: Optional[str] = None
+        self.op = op
+        self._t0 = time.monotonic()
+        self.t0_wall = time.time()
+        self.attrs: Dict[str, str] = {}
+        self.submitted_us: Optional[float] = None  # leader: pool submit
+        self.attached_us: Optional[float] = None  # waiter: coalesce attach
+        self.reply_us: Optional[float] = None  # future resolved (any path)
+        self.leader_trace_id: Optional[str] = None
+        self.worker_reply: Optional[dict] = None  # timing + span blob
+        self.error: Optional[str] = None
+
+    def now_us(self) -> float:
+        return (time.monotonic() - self._t0) * 1e6
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach request-level attributes (breaker state, degraded...)."""
+        self.attrs.update({k: str(v) for k, v in attrs.items()})
+
+    def mark_submitted(self) -> None:
+        self.submitted_us = self.now_us()
+
+    def mark_attached(self, leader_trace_id: Optional[str]) -> None:
+        self.attached_us = self.now_us()
+        self.leader_trace_id = leader_trace_id
+
+    def mark_reply(self, worker_reply: Optional[dict] = None) -> None:
+        """The awaited future resolved; ``worker_reply`` is the timing +
+        span blob the worker shipped back (leaders only)."""
+        self.reply_us = self.now_us()
+        if worker_reply is not None:
+            self.worker_reply = worker_reply
+
+    def mark_error(self, error: str) -> None:
+        self.error = error
+        if self.reply_us is None:
+            self.reply_us = self.now_us()
+
+    # ------------------------------------------------------------------
+
+    def _worker_segment(self, start_us: float, end_us: float) -> dict:
+        """The worker-compute segment with aligned child spans."""
+        reply = self.worker_reply or {}
+        children: List[dict] = []
+        epoch_wall = reply.get("epoch_wall")
+        spans = reply.get("spans")
+        if spans and isinstance(epoch_wall, (int, float)):
+            offset_us = (epoch_wall - self.t0_wall) * 1e6
+            children = [
+                _clamp_span(span, offset_us, start_us, end_us)
+                for span in spans
+            ]
+        attrs: Dict[str, str] = {}
+        if reply.get("worker") is not None:
+            attrs["worker"] = str(reply["worker"])
+        return _node("worker-compute", start_us, end_us, attrs, children)
+
+    def stitch(self, status: int) -> dict:
+        """Close the trace and build the stitched span tree.
+
+        The returned dict is JSON-safe and self-contained; its top-level
+        segments partition ``[0, total_us]`` exactly.
+        """
+        total_us = self.now_us()
+        reply = self.worker_reply or {}
+        segments: List[dict] = []
+
+        def _rel(wall: object) -> Optional[float]:
+            if not isinstance(wall, (int, float)):
+                return None
+            return (wall - self.t0_wall) * 1e6
+
+        if self.attached_us is not None:
+            # Coalesced waiter: it never owned a worker; its trace
+            # references the leader's (which holds the worker spans —
+            # that is the exactly-once accounting).
+            cut = min(self.attached_us, total_us)
+            segments.append(_node("admission", 0.0, cut, self.attrs))
+            wait_end = min(self.reply_us or total_us, total_us)
+            wait_attrs: Dict[str, str] = {"coalesced": "true"}
+            if self.leader_trace_id:
+                wait_attrs["leader_trace_id"] = self.leader_trace_id
+            if self.error:
+                wait_attrs["error"] = self.error
+            segments.append(
+                _node("coalesce-wait", cut, wait_end, wait_attrs)
+            )
+            segments.append(_node("serialize", wait_end, total_us))
+        elif self.submitted_us is None:
+            # Never reached the pool: shed (429), parse error (400)...
+            cut = min(self.reply_us or total_us, total_us)
+            segments.append(_node("admission", 0.0, cut, self.attrs))
+            if self.error:
+                segments.append(
+                    _node("killed", cut, cut, {"error": self.error})
+                )
+            segments.append(_node("serialize", cut, total_us))
+        else:
+            submit = min(self.submitted_us, total_us)
+            reply_at = min(self.reply_us or total_us, total_us)
+            segments.append(_node("admission", 0.0, submit, self.attrs))
+            started = _rel(reply.get("started_wall"))
+            ended = _rel(reply.get("ended_wall"))
+            if self.error is not None and started is None:
+                # Job died without ever reporting compute bounds: the
+                # whole post-submit window becomes the killed segment.
+                segments.append(_node("queue", submit, submit))
+                segments.append(
+                    _node("killed", submit, reply_at,
+                          {"error": self.error})
+                )
+            else:
+                start = submit if started is None else min(
+                    max(started, submit), reply_at
+                )
+                end = reply_at if ended is None else min(
+                    max(ended, start), reply_at
+                )
+                segments.append(_node("queue", submit, start))
+                segments.append(self._worker_segment(start, end))
+                if self.error is not None:
+                    segments.append(
+                        _node("killed", end, reply_at,
+                              {"error": self.error})
+                    )
+                # On success, reply transit (pipe + supervisor + future
+                # wakeup) merges into the trailing serialize segment.
+            segments.append(
+                _node("serialize", segments[-1]["start_us"]
+                      + segments[-1]["duration_us"], total_us)
+            )
+
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
+            "request_id": self.request_id,
+            "op": self.op,
+            "status": status,
+            "started_wall": self.t0_wall,
+            "total_us": total_us,
+            "coalesced": self.attached_us is not None,
+            "leader_trace_id": self.leader_trace_id,
+            "error": self.error,
+            "spans": segments,
+        }
+
+
+def render_trace(trace: dict) -> str:
+    """ASCII tree of one stitched trace (the CLI's default output)."""
+    lines = [
+        f"trace {trace['trace_id']}  op={trace['op']} "
+        f"status={trace['status']} total={trace['total_us'] / 1000.0:.3f} ms"
+        + (f"  request_id={trace['request_id']}"
+           if trace.get("request_id") else "")
+    ]
+
+    def visit(span: dict, depth: int) -> None:
+        pad = "  " * depth
+        detail = ""
+        if span.get("attrs"):
+            detail = " " + " ".join(
+                f"{k}={v}" for k, v in sorted(span["attrs"].items())
+            )
+        lines.append(
+            f"{pad}{span['name']:<{max(1, 24 - 2 * depth)}} "
+            f"{span['duration_us'] / 1000.0:9.3f} ms{detail}"
+        )
+        for child in span.get("children", ()):
+            visit(child, depth + 1)
+
+    for segment in trace.get("spans", ()):
+        visit(segment, 1)
+    return "\n".join(lines)
+
+
+__all__ = ["SEGMENTS", "RequestTrace", "render_trace"]

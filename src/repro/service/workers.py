@@ -23,9 +23,13 @@ Responsibilities, by thread:
   after a backoff delay; a second loss fails it with
   :class:`WorkerCrashed`.
 * **Worker processes** loop over a duplex pipe: receive a job payload,
-  run :func:`repro.service.protocol.execute` under a private metrics
-  registry, and reply with the result plus the registry export (the
-  daemon folds those into its live ``/metrics`` registry).  Each worker
+  run :func:`repro.service.protocol.execute` under one process-lifetime
+  metrics registry, and reply with the result plus a *cumulative*
+  registry snapshot (the daemon folds those into its live ``/metrics``
+  registry under a per-worker watermark, so lost replies leave no
+  metrics hole and a respawn is detected as a counter reset).  A job
+  message carrying a trace context additionally gets back the worker's
+  span tree and clock anchors for request-trace stitching.  Each worker
   arms its own in-process plan-cache LRU; the optional ``cache_dir``
   disk tier is the shared L2 that lets one worker's cold compile warm
   every other worker.
@@ -52,7 +56,10 @@ from multiprocessing.connection import wait as _conn_wait
 from typing import Deque, Dict, List, Optional
 
 from ..faults.recovery import backoff_delay
-from ..obs.metrics import collecting
+from ..obs.context import bound_context, context_from_wire
+from ..obs.log import get_logger
+from ..obs.metrics import MetricsRegistry, install_registry
+from ..obs.spans import tracing
 from .protocol import RequestError, execute
 
 #: Worker-side heartbeat publish period (seconds).
@@ -115,6 +122,7 @@ class _Job:
     payload: dict
     deadline: Optional[float]  # absolute time.time() seconds
     future: Future
+    trace: Optional[dict] = None  # TraceContext.to_wire() of the leader
     attempts: int = 0
     not_before: float = 0.0
     submitted_at: float = field(default_factory=time.time)
@@ -132,7 +140,7 @@ class _Worker:
         self.job_started = 0.0
 
 
-def _worker_main(conn, heartbeat, cache_dir, lru_capacity) -> None:
+def _worker_main(conn, heartbeat, cache_dir, lru_capacity, index=0) -> None:
     """Worker process entry: jobs in, results + metrics out."""
     from ..core import plancache
 
@@ -146,6 +154,15 @@ def _worker_main(conn, heartbeat, cache_dir, lru_capacity) -> None:
 
     threading.Thread(target=_beat, daemon=True, name="heartbeat").start()
 
+    # One *cumulative* registry for the worker's lifetime: every reply
+    # carries a full snapshot and the daemon merges it under a
+    # per-worker source watermark (MetricsRegistry.merge_json), so a
+    # reply lost to a kill is not a metrics hole — the increments ride
+    # the next snapshot — and a respawn shows up as a counter reset.
+    registry = MetricsRegistry()
+    install_registry(registry)
+    logger = get_logger("worker")
+
     while True:
         try:
             msg = conn.recv()
@@ -155,25 +172,46 @@ def _worker_main(conn, heartbeat, cache_dir, lru_capacity) -> None:
             break
         job_id = msg["job_id"]
         deadline = msg.get("deadline")
+        context = context_from_wire(msg.get("trace"))
         if deadline is not None and time.time() >= deadline:
             # Cancelled, not computed: the budget is already spent.
-            reply = {"job_id": job_id, "status": "expired", "metrics": None}
+            reply = {"job_id": job_id, "status": "expired", "metrics": None,
+                     "worker": index}
         else:
-            reply = {"job_id": job_id, "status": "ok", "metrics": None}
-            try:
-                with collecting() as registry:
-                    reply["result"] = execute(msg["payload"])
-                reply["metrics"] = registry.to_json()
-            except RequestError as exc:
-                reply = {
-                    "job_id": job_id, "status": "bad_request",
-                    "error": str(exc), "metrics": None,
-                }
-            except BaseException:  # noqa: BLE001 - reply must cross the pipe
-                reply = {
-                    "job_id": job_id, "status": "error",
-                    "error": traceback.format_exc(), "metrics": None,
-                }
+            reply = {"job_id": job_id, "status": "ok", "metrics": None,
+                     "worker": index}
+            tracer = None
+            with bound_context(context):
+                logger.info("job-start", job_id=job_id, worker=index)
+                reply["started_wall"] = time.time()
+                try:
+                    if context is not None and context.sampled:
+                        with tracing() as tracer:
+                            reply["result"] = execute(msg["payload"])
+                    else:
+                        reply["result"] = execute(msg["payload"])
+                    reply["ended_wall"] = time.time()
+                    reply["metrics"] = registry.to_json()
+                    if tracer is not None:
+                        reply["trace"] = {
+                            "spans": tracer.to_dict(),
+                            "epoch_wall": tracer.epoch_wall,
+                        }
+                    logger.info("job-finished", job_id=job_id, worker=index)
+                except RequestError as exc:
+                    logger.warning("job-rejected", job_id=job_id,
+                                   worker=index, error=str(exc))
+                    reply = {
+                        "job_id": job_id, "status": "bad_request",
+                        "error": str(exc), "metrics": None, "worker": index,
+                    }
+                except BaseException:  # noqa: BLE001 - must cross the pipe
+                    logger.error("job-failed", job_id=job_id, worker=index)
+                    reply = {
+                        "job_id": job_id, "status": "error",
+                        "error": traceback.format_exc(), "metrics": None,
+                        "worker": index,
+                    }
         try:
             conn.send(reply)
         except OSError:
@@ -299,11 +337,15 @@ class WorkerPool:
         payload: dict,
         deadline: Optional[float] = None,
         retry_after_s: float = 1.0,
+        trace: Optional[dict] = None,
     ) -> Future:
         """Admit one job; returns its future or raises :class:`PoolSaturated`.
 
         ``deadline`` is an absolute ``time.time()`` instant shared with
-        the workers (one wall clock across processes).
+        the workers (one wall clock across processes).  ``trace`` is an
+        optional :meth:`~repro.obs.context.TraceContext.to_wire` dict
+        that rides the job message so the worker correlates its logs and
+        (when sampled) ships its span tree back in the reply.
         """
         if not self._running:
             raise RuntimeError("worker pool is not running")
@@ -313,6 +355,7 @@ class WorkerPool:
             payload=payload,
             deadline=deadline,
             future=future,
+            trace=trace,
         )
         with self._lock:
             if len(self._queue) >= self.max_queue:
@@ -373,7 +416,8 @@ class WorkerPool:
         heartbeat = self._ctx.Value("d", time.time())
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, heartbeat, self.cache_dir, self.lru_capacity),
+            args=(child_conn, heartbeat, self.cache_dir, self.lru_capacity,
+                  worker.index),
             daemon=True,
             name=f"resccl-worker-{worker.index}",
         )
@@ -429,7 +473,15 @@ class WorkerPool:
         if status == "ok":
             self.stats.completed += 1
             self._resolve(
-                job, {"result": msg["result"], "metrics": msg.get("metrics")}
+                job,
+                {
+                    "result": msg["result"],
+                    "metrics": msg.get("metrics"),
+                    "worker": msg.get("worker"),
+                    "started_wall": msg.get("started_wall"),
+                    "ended_wall": msg.get("ended_wall"),
+                    "trace": msg.get("trace"),
+                },
             )
         elif status == "bad_request":
             self._fail_job(job, RequestError(msg.get("error", "bad request")))
@@ -543,6 +595,7 @@ class WorkerPool:
                         "job_id": job.job_id,
                         "payload": job.payload,
                         "deadline": job.deadline,
+                        "trace": job.trace,
                     })
                 except (OSError, ValueError):
                     # Worker vanished between checks: requeue the job
