@@ -224,7 +224,7 @@ def test_service_load(tmp_path, once):
         f"{data['chaos']['healthz_after']}"
     )
 
-    OUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    _merge_out(data)
     print(f"wrote {OUT}")
 
     # Robustness bars: zero failed requests, verified exactly-once
@@ -238,3 +238,361 @@ def test_service_load(tmp_path, once):
     assert data["chaos"]["worker_killed"]
     assert data["chaos"]["worker_restarts"] >= 1
     assert data["chaos"]["healthz_after"] == "ok"
+
+
+# ----------------------------------------------------------------------
+# Crash-only lifecycle: drain, hot restart, kill -9 replay, failover
+# ----------------------------------------------------------------------
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The hot key for the restart phases: slow enough cold (>1 s) that a
+#: prewarmed hot restart is unambiguously faster than the cold path.
+HOT_BODY = {"algorithm": "mesh-allreduce", "nodes": 6, "gpus": 8,
+            "buffer_mb": 16.0, "mbs": 8}
+#: Quick body for the drain-under-load closed loop.
+LOAD_BODY = {"algorithm": "ring-allreduce", "nodes": 1, "gpus": 8,
+             "buffer_mb": 16.0, "mbs": 4}
+#: Distinct slow body whose daemon gets SIGKILLed mid-compute: it must
+#: be journaled-but-incomplete so the next boot replays it.
+KILL_BODY = {"algorithm": "mesh-allreduce", "nodes": 6, "gpus": 8,
+             "buffer_mb": 16.0, "mbs": 4}
+
+
+def _merge_out(section_data):
+    """Read-modify-write BENCH_service.json so the load and restart
+    benchmarks can each run (and re-run) independently."""
+    data = {}
+    if OUT.exists():
+        try:
+            data = json.loads(OUT.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            data = {}
+    data.update(section_data)
+    OUT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+def _free_port():
+    import socket
+
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _spawn_daemon(port, journal_dir=None, cache_dir=None, workers=2):
+    """``resccl serve`` in a real subprocess (signals, kill -9, exit
+    codes — everything the embedded daemon cannot exercise)."""
+    import subprocess
+    import sys
+
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--port", str(port), "--workers", str(workers),
+        "--default-deadline-ms", "120000",
+    ]
+    if journal_dir is not None:
+        argv += ["--journal-dir", str(journal_dir)]
+    if cache_dir is not None:
+        argv += ["--cache-dir", str(cache_dir)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    return subprocess.Popen(
+        argv, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+
+
+def _wait_ready(port, timeout_s=90.0):
+    """Poll /readyz until green; returns the elapsed seconds."""
+    started = time.perf_counter()
+    deadline = started + timeout_s
+    while time.perf_counter() < deadline:
+        try:
+            with ServiceClient("127.0.0.1", port, timeout_s=5.0) as client:
+                if client.readyz()["http_status"] == 200:
+                    return time.perf_counter() - started
+        except Exception:  # noqa: BLE001 - daemon still booting
+            pass
+        time.sleep(0.05)
+    raise TimeoutError(f"daemon on port {port} not ready in {timeout_s}s")
+
+
+def _journal_incomplete(journal_dir, algorithm):
+    """Begin-without-end entries for ``algorithm`` currently on disk."""
+    path = Path(journal_dir) / "journal.jsonl"
+    if not path.exists():
+        return []
+    begins, ends = {}, set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            break
+        if record.get("kind") == "begin":
+            begins[record["id"]] = record
+        elif record.get("kind") == "end":
+            ends.add(record["id"])
+    return [r for rid, r in begins.items()
+            if rid not in ends
+            and r.get("payload", {}).get("algorithm") == algorithm]
+
+
+def _journal_ends(journal_dir, entry_id):
+    path = Path(journal_dir) / "journal.jsonl"
+    ends = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            break
+        if record.get("kind") == "end" and record.get("id") == entry_id:
+            ends.append(record)
+    return ends
+
+
+def _run_service_restart(base_dir):
+    from repro.service import ServiceClientPool
+
+    journal_dir = base_dir / "journal"
+    cache_dir = base_dir / "cache"
+    failures = []
+    procs = []
+    try:
+        # -- phase 1: cold boot + cold first hit on the hot key -------
+        port_a = _free_port()
+        boot_at = time.perf_counter()
+        proc_a = _spawn_daemon(port_a, journal_dir, cache_dir)
+        procs.append(proc_a)
+        cold_ready_s = _wait_ready(port_a)
+        with ServiceClient("127.0.0.1", port_a, timeout_s=300.0) as client:
+            reply = client.simulate(**HOT_BODY)
+            cold_first_hit_s = time.perf_counter() - boot_at
+            hot_digest = reply["result_digest"]
+            client.simulate(**HOT_BODY)  # second touch ranks it hottest
+
+        # -- phase 2: SIGTERM drain under load -------------------------
+        drained = {"clean_stops": 0, "completed": 0}
+        drain_lock = threading.Lock()
+
+        def drain_loop():
+            from repro.service import (
+                ServiceError,
+                ServiceUnavailable,
+            )
+
+            with ServiceClient("127.0.0.1", port_a,
+                               timeout_s=300.0) as client:
+                while True:
+                    try:
+                        client.simulate(**LOAD_BODY)
+                    except ServiceError as exc:
+                        if exc.status == 503:  # draining: clean stop
+                            with drain_lock:
+                                drained["clean_stops"] += 1
+                            return
+                        failures.append(f"drain load error: {exc!r}")
+                        return
+                    except ServiceUnavailable as exc:
+                        if exc.delivered:
+                            failures.append(
+                                f"drain dropped in-flight reply: {exc!r}"
+                            )
+                        else:  # daemon already gone: clean stop
+                            with drain_lock:
+                                drained["clean_stops"] += 1
+                        return
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        failures.append(f"drain load error: {exc!r}")
+                        return
+                    with drain_lock:
+                        drained["completed"] += 1
+
+        threads = [threading.Thread(target=drain_loop) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)  # load is in flight when the signal lands
+        proc_a.send_signal(signal.SIGTERM)
+        for thread in threads:
+            thread.join(timeout=120)
+        rc_a = proc_a.wait(timeout=120)
+
+        # -- phase 3: hot restart (journal + prewarm manifest) ---------
+        port_b = _free_port()
+        boot_at = time.perf_counter()
+        proc_b = _spawn_daemon(port_b, journal_dir, cache_dir)
+        procs.append(proc_b)
+        hot_ready_s = _wait_ready(port_b)
+        with ServiceClient("127.0.0.1", port_b, timeout_s=300.0) as client:
+            lifecycle = client.debug_lifecycle()
+            t0 = time.perf_counter()
+            warm = client.simulate(**HOT_BODY)
+            warm_hit_ms = (time.perf_counter() - t0) * 1e3
+        if warm["result_digest"] != hot_digest:
+            failures.append("hot-restart digest drifted across restart")
+        if not warm["result"]["cache_hit"]:
+            failures.append("first post-restart hot request missed cache")
+
+        # -- phase 4: kill -9 mid-flight, restart, journal replay ------
+        def doomed_call():
+            try:
+                with ServiceClient("127.0.0.1", port_b,
+                                   timeout_s=300.0) as client:
+                    client.simulate(**KILL_BODY)
+            except Exception:  # noqa: BLE001 - the kill is the point
+                pass
+
+        doomed = threading.Thread(target=doomed_call)
+        doomed.start()
+        kill_deadline = time.time() + 60
+        incomplete = []
+        while time.time() < kill_deadline:
+            incomplete = _journal_incomplete(
+                journal_dir, KILL_BODY["algorithm"]
+            )
+            if incomplete:
+                break
+            time.sleep(0.02)
+        if not incomplete:
+            failures.append("kill -9: request never reached the journal")
+        proc_b.kill()  # SIGKILL: no drain, no end record
+        proc_b.wait(timeout=60)
+        doomed.join(timeout=60)
+
+        port_c = _free_port()
+        proc_c = _spawn_daemon(port_c, journal_dir, cache_dir)
+        procs.append(proc_c)
+        replay_ready_s = _wait_ready(port_c)
+        with ServiceClient("127.0.0.1", port_c, timeout_s=300.0) as client:
+            replay_report = client.debug_lifecycle()
+        replay_digest_ok = False
+        replayed_exactly_once = False
+        if incomplete:
+            expected = result_digest(execute(
+                parse_request("simulate", dict(KILL_BODY)).to_payload()
+            ))
+            ends = _journal_ends(journal_dir, incomplete[0]["id"])
+            replayed_exactly_once = len(ends) == 1
+            replay_digest_ok = bool(
+                ends and ends[0].get("status") == 200
+                and ends[0].get("digest") == expected
+            )
+            if not replayed_exactly_once:
+                failures.append(f"replay wrote {len(ends)} end records")
+            if not replay_digest_ok:
+                failures.append("replayed result digest does not match a "
+                                "fresh in-process execution")
+
+        # -- phase 5: client pool survives a hard-killed replica -------
+        port_d = _free_port()
+        proc_d = _spawn_daemon(port_d, None, cache_dir)
+        procs.append(proc_d)
+        _wait_ready(port_d)
+        pool_errors = []
+        with ServiceClientPool(
+            [("127.0.0.1", port_c), ("127.0.0.1", port_d)],
+            timeout_s=300.0, failure_threshold=1,
+        ) as pool:
+            for index in range(10):
+                if index == 3:
+                    proc_c.kill()  # hard-kill the preferred replica
+                    proc_c.wait(timeout=60)
+                try:
+                    pool.simulate(**LOAD_BODY)
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    pool_errors.append(repr(exc))
+            pool_failovers = pool.failovers
+        if pool_errors:
+            failures.append(f"pool client errors: {pool_errors}")
+
+        proc_d.send_signal(signal.SIGTERM)
+        rc_d = proc_d.wait(timeout=120)
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+    return {
+        "restart": {
+            "cold": {
+                "time_to_ready_s": round(cold_ready_s, 3),
+                "time_to_first_warm_hit_s": round(cold_first_hit_s, 3),
+            },
+            "drain": {
+                "exit_code": rc_a,
+                "completed_under_load": drained["completed"],
+                "clean_client_stops": drained["clean_stops"],
+            },
+            "hot": {
+                "time_to_ready_s": round(hot_ready_s, 3),
+                "prewarmed": lifecycle.get("prewarmed"),
+                "first_hit_ms": round(warm_hit_ms, 3),
+                "cache_hit": bool(warm["result"]["cache_hit"]),
+            },
+            "replay": {
+                "time_to_ready_s": round(replay_ready_s, 3),
+                "journal_replayed": replay_report.get("journal_replayed"),
+                "digest_verified": replay_digest_ok,
+                "exactly_once": replayed_exactly_once,
+            },
+            "pool": {
+                "client_errors": len(pool_errors),
+                "failovers": pool_failovers,
+                "survivor_exit_code": rc_d,
+            },
+            "failures": failures,
+        }
+    }
+
+
+def test_service_restart(tmp_path, once):
+    data = once(_run_service_restart, tmp_path)
+    restart = data["restart"]
+
+    print("\nservice restart:")
+    print(
+        f"   cold: ready {restart['cold']['time_to_ready_s']}s, first "
+        f"warm hit {restart['cold']['time_to_first_warm_hit_s']}s"
+    )
+    print(
+        f"  drain: exit {restart['drain']['exit_code']}, "
+        f"{restart['drain']['completed_under_load']} served under load, "
+        f"{restart['drain']['clean_client_stops']} clean client stops"
+    )
+    print(
+        f"    hot: ready {restart['hot']['time_to_ready_s']}s "
+        f"({restart['hot']['prewarmed']} prewarmed), first hit "
+        f"{restart['hot']['first_hit_ms']}ms "
+        f"(cache_hit={restart['hot']['cache_hit']})"
+    )
+    print(
+        f" replay: {restart['replay']['journal_replayed']} journal "
+        f"entr(ies), digest_verified={restart['replay']['digest_verified']}"
+    )
+    print(
+        f"   pool: {restart['pool']['client_errors']} client errors, "
+        f"{restart['pool']['failovers']} failovers"
+    )
+
+    _merge_out(data)
+    print(f"wrote {OUT}")
+
+    # The crash-only bars from the issue.
+    assert not restart["failures"], restart["failures"]
+    assert restart["drain"]["exit_code"] == 0
+    assert restart["drain"]["completed_under_load"] >= 1
+    # A hot restart (journal + prewarm) beats paying the cold compile.
+    assert (restart["hot"]["time_to_ready_s"]
+            < restart["cold"]["time_to_first_warm_hit_s"])
+    assert restart["hot"]["cache_hit"] is True
+    assert restart["replay"]["journal_replayed"] >= 1
+    assert restart["replay"]["digest_verified"] is True
+    assert restart["replay"]["exactly_once"] is True
+    assert restart["pool"]["client_errors"] == 0
+    assert restart["pool"]["failovers"] >= 1
+    assert restart["pool"]["survivor_exit_code"] == 0

@@ -527,6 +527,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         breaker_cooldown_s=args.breaker_cooldown,
         cache_dir=args.cache_dir,
         trace_sample=args.trace_sample,
+        journal_dir=args.journal_dir,
+        drain_grace_ms=args.drain_grace_ms,
+        prewarm_limit=args.prewarm_limit,
     )
     return ServiceDaemon(config).run_forever()
 
@@ -706,6 +709,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fraction of requests given full span traces "
                          "(1.0 = every request, 0.0625 = every 16th, "
                          "0 = correlation ids only)")
+    p_serve.add_argument("--journal-dir", default=None, metavar="DIR",
+                         help="arm the crash-only lifecycle: write-ahead "
+                         "request journal (replayed on boot), cache-prewarm "
+                         "manifest, and persisted flight-recorder errors")
+    p_serve.add_argument("--drain-grace-ms", type=float, default=10000,
+                         help="budget for draining in-flight requests on "
+                         "SIGTERM before shutdown (a second signal aborts "
+                         "the drain)")
+    p_serve.add_argument("--prewarm-limit", type=int, default=32,
+                         help="hot plan-cache keys persisted on drain and "
+                         "compiled before /readyz flips green on the next "
+                         "boot (0 disables prewarm)")
 
     p_treq = sub.add_parser(
         "trace-request",

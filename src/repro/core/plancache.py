@@ -39,6 +39,7 @@ Hits and misses are published to the ambient metrics registry
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
@@ -46,6 +47,11 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Tuple, Union
+
+try:  # pragma: no cover - present on every supported platform
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from ..obs.metrics import current_registry
 
@@ -234,6 +240,41 @@ class PlanCache:
             return None
         return self.cache_dir / f"{key}.pkl"
 
+    @contextlib.contextmanager
+    def _entry_lock(self, path: Path):
+        """Per-key ``fcntl`` advisory lock for disk-tier mutations.
+
+        The atomic-rename protocol already makes concurrent *processes*
+        safe against torn reads (their tmp names embed distinct pids and
+        ``os.replace`` is atomic), but two mutations of the same key can
+        still interleave: threads sharing one pid collide on the tmp
+        name, and a quarantine rename can race a concurrent writer's
+        fresh ``os.replace`` and sweep the *good* replacement entry into
+        ``<key>.corrupt``.  Daemons sharing a cache dir as their L2
+        (``RESCCL_CACHE_DIR``) hit both.  The lock file is tiny,
+        per-key, and never deleted (deleting an flock'd file reopens the
+        unlink race the lock exists to close).  Best-effort: if the lock
+        cannot be taken (exotic filesystem, no ``fcntl``), mutation
+        proceeds under the old atomic-rename-only guarantees.
+        """
+        if fcntl is None or self.cache_dir is None:
+            yield
+            return
+        lock_path = path.with_suffix(".lock")
+        try:
+            fh = open(lock_path, "a")
+        except OSError:
+            yield
+            return
+        try:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                pass
+            yield
+        finally:
+            fh.close()
+
     def _disk_get(self, key: str):
         path = self._entry_path(key)
         if path is None:
@@ -265,7 +306,8 @@ class PlanCache:
     def _quarantine(self, path: Path) -> None:
         """Move a corrupt entry aside as ``<key>.corrupt`` and count it."""
         try:
-            os.replace(path, path.with_suffix(".corrupt"))
+            with self._entry_lock(path):
+                os.replace(path, path.with_suffix(".corrupt"))
         except OSError:
             pass
         self.stats.disk_corrupt += 1
@@ -280,10 +322,16 @@ class PlanCache:
         entry = {"version": CACHE_FORMAT_VERSION, "key": key, "result": result}
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with tmp.open("wb") as fh:
-                pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
+            with self._entry_lock(path):
+                if path.exists():
+                    # Content-addressed: a concurrent writer already
+                    # persisted this exact result — rewriting identical
+                    # bytes is churn (and, unlocked, the tmp-name race).
+                    return
+                tmp = path.with_suffix(f".tmp.{os.getpid()}")
+                with tmp.open("wb") as fh:
+                    pickle.dump(entry, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
             self.stats.disk_writes += 1
         except OSError:
             # A read-only or full cache directory must never fail a

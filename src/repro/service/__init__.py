@@ -18,11 +18,27 @@ from .breaker import (
 )
 from .client import (
     ServiceClient,
+    ServiceClientPool,
     ServiceDeadline,
     ServiceError,
     ServiceOverloaded,
+    ServiceUnavailable,
 )
 from .daemon import ServiceConfig, ServiceDaemon
+from .journal import (
+    JournalBusy,
+    JournalCorrupt,
+    JournalEntry,
+    RequestJournal,
+)
+from .lifecycle import (
+    STATE_BOOTING,
+    STATE_DRAINING,
+    STATE_READY,
+    STATE_STOPPED,
+    LifecycleManager,
+    PrewarmManifest,
+)
 from .recorder import FlightRecorder
 from .tracing import RequestTrace, render_trace
 from .protocol import (
@@ -46,9 +62,21 @@ __all__ = [
     "ServiceConfig",
     "ServiceDaemon",
     "ServiceClient",
+    "ServiceClientPool",
     "ServiceError",
     "ServiceOverloaded",
     "ServiceDeadline",
+    "ServiceUnavailable",
+    "RequestJournal",
+    "JournalEntry",
+    "JournalBusy",
+    "JournalCorrupt",
+    "LifecycleManager",
+    "PrewarmManifest",
+    "STATE_BOOTING",
+    "STATE_READY",
+    "STATE_DRAINING",
+    "STATE_STOPPED",
     "ServiceRequest",
     "RequestError",
     "parse_request",

@@ -19,12 +19,20 @@ Only *timeout-shaped* failures count (deadline expiries and worker
 deaths): a request that fails because it is malformed says nothing
 about the health of the compile path.
 
-The breaker is owned and driven solely by the daemon's event-loop
-thread, so it needs no locking; ``clock`` is injectable for tests.
+All transitions are mutex-guarded: the daemon drives the breaker from
+its event-loop thread, but health endpoints and the metrics refresh may
+read ``state`` from other threads, and the half-open **single-probe
+guarantee** ("exactly one caller gets the primary path while probing")
+is a check-then-act sequence that would race without the lock —
+two concurrent ``allow_primary()`` calls could both observe
+``_probe_inflight == False`` and both claim the probe.  The lock is
+never held across I/O, only across the state words, so it costs one
+uncontended acquire per request.  ``clock`` is injectable for tests.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -58,6 +66,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self._clock = clock
+        self._lock = threading.Lock()
         self._state = STATE_CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
@@ -66,9 +75,8 @@ class CircuitBreaker:
 
     # ------------------------------------------------------------------
 
-    @property
-    def state(self) -> int:
-        """Current state code, applying the open -> half-open timer."""
+    def _state_locked(self) -> int:
+        """Apply the open -> half-open timer; caller holds the lock."""
         if (
             self._state == STATE_OPEN
             and self._clock() - self._opened_at >= self.cooldown_s
@@ -78,6 +86,12 @@ class CircuitBreaker:
         return self._state
 
     @property
+    def state(self) -> int:
+        """Current state code, applying the open -> half-open timer."""
+        with self._lock:
+            return self._state_locked()
+
+    @property
     def state_name(self) -> str:
         return _STATE_NAMES[self.state]
 
@@ -85,33 +99,38 @@ class CircuitBreaker:
         """May the next request run on the primary (non-degraded) path?
 
         In half-open state exactly one caller gets ``True`` (the probe);
-        everyone else is degraded until the probe reports back.
+        everyone else is degraded until the probe reports back.  The
+        claim is atomic under the lock, so concurrent callers cannot
+        both win the probe slot.
         """
-        state = self.state
-        if state == STATE_CLOSED:
-            return True
-        if state == STATE_HALF_OPEN and not self._probe_inflight:
-            self._probe_inflight = True
-            return True
-        return False
+        with self._lock:
+            state = self._state_locked()
+            if state == STATE_CLOSED:
+                return True
+            if state == STATE_HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            return False
 
     def record_success(self) -> None:
         """A primary request completed within its deadline."""
-        self._consecutive_failures = 0
-        self._probe_inflight = False
-        self._state = STATE_CLOSED
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            self._state = STATE_CLOSED
 
     def record_failure(self) -> None:
         """A primary request timed out or lost its worker."""
-        self._probe_inflight = False
-        if self._state == STATE_HALF_OPEN:
-            self._trip()
-            return
-        self._consecutive_failures += 1
-        if self._consecutive_failures >= self.failure_threshold:
-            self._trip()
+        with self._lock:
+            self._probe_inflight = False
+            if self._state == STATE_HALF_OPEN:
+                self._trip_locked()
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip_locked()
 
-    def _trip(self) -> None:
+    def _trip_locked(self) -> None:
         self._state = STATE_OPEN
         self._opened_at = self._clock()
         self._consecutive_failures = 0

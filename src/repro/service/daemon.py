@@ -46,6 +46,28 @@ Robustness model, in request order:
    requests are served the built-in reference ring with
    ``degraded: true`` instead of erroring.
 
+Crash-only lifecycle (``--journal-dir`` arms all three, see
+``docs/service.md`` "Operations runbook"):
+
+* **Write-ahead journal** — every admitted request is durably appended
+  (:mod:`repro.service.journal`) *before* dispatch and marked complete
+  with its ``result_digest`` on reply; a restarted daemon replays the
+  incomplete entries (idempotent via the plan cache) before its
+  ``/readyz`` flips green, dropping only entries whose deadline already
+  passed (``service_journal_{replayed,dropped_expired}_total``).
+* **Graceful drain** — the first SIGTERM flips ``/readyz`` (and new
+  ``/v1/*`` requests) to 503, drains open requests and the worker queue
+  within ``--drain-grace-ms``, then persists the cache-prewarm manifest
+  and the flight recorder's error tail; a second signal aborts the
+  drain and stops immediately.
+* **Hot restart with prewarm** — on boot the persisted manifest's hot
+  coalescing keys are replayed as compile jobs (warming each worker
+  through the shared disk cache tier) before readiness, so the first
+  client wave after a restart hits a warm cache.
+
+``GET /debug/lifecycle`` reports the state machine, the boot replay
+tally, and drain status.
+
 The daemon embeds cleanly (``ServiceDaemon.start()/stop()`` run the
 event loop on a background thread — what the tests and the load
 benchmark use) and runs standalone via ``resccl serve``
@@ -59,21 +81,35 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import os
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
 from ..obs.context import TraceContext, context_from_headers, new_trace_id
 from ..obs.log import get_logger, log_ring
 from ..obs.metrics import MetricsRegistry
 from ..topology import Cluster, profile_by_name
 from .breaker import CircuitBreaker
+from .journal import (
+    JournalBusy,
+    JournalCorrupt,
+    JournalEntry,
+    RequestJournal,
+)
+from .lifecycle import (
+    RECORDER_FILE,
+    LifecycleManager,
+    PrewarmManifest,
+)
 from .protocol import (
     OPS,
     RequestError,
     ServiceRequest,
     parse_request,
+    prewarm_payload,
     request_fingerprint,
     result_digest,
 )
@@ -132,6 +168,15 @@ class ServiceConfig:
     #: Flight-recorder retention: N slowest successes, M newest errors.
     recorder_slow: int = 32
     recorder_errors: int = 128
+    #: Directory arming the crash-only lifecycle: write-ahead request
+    #: journal, cache-prewarm manifest, and persisted recorder errors.
+    #: ``None`` (the default) keeps the daemon fully in-memory.
+    journal_dir: Optional[str] = None
+    #: Budget for draining open requests + the worker queue on SIGTERM.
+    drain_grace_ms: float = 10_000.0
+    #: Hot coalescing keys persisted to the prewarm manifest on drain
+    #: and replayed before readiness on the next boot (0 disables).
+    prewarm_limit: int = 32
 
 
 class _Inflight:
@@ -176,12 +221,20 @@ class ServiceDaemon:
             slow_capacity=self.config.recorder_slow,
             error_capacity=self.config.recorder_errors,
         )
+        self.lifecycle = LifecycleManager(
+            prewarm_limit=self.config.prewarm_limit
+        )
+        self.journal: Optional[RequestJournal] = None
         self.port: Optional[int] = None
         self._log = get_logger("daemon")
         self._trace_seq = 0
+        self._open_requests = 0  # /v1/* dispatch+respond, loop thread only
+        self._drain_abort = threading.Event()
+        self._boot_task: Optional[asyncio.Task] = None
         self._inflight: Dict[str, _Inflight] = {}
         self._clusters: Dict[Tuple[int, int, str], Cluster] = {}
         self._pool_counter_base = {name: 0 for name in _POOL_COUNTERS}
+        self._lifecycle_counter_base: Dict[str, int] = {}
         self._breaker_trips_seen = 0
         self._ewma_latency_s = 0.5
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -195,8 +248,15 @@ class ServiceDaemon:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def start(self) -> "ServiceDaemon":
-        """Boot the pool + server on a background thread; returns ready."""
+    def start(self, wait_ready: bool = True) -> "ServiceDaemon":
+        """Boot the pool + server on a background thread.
+
+        With ``wait_ready`` (the default) this blocks through journal
+        replay and cache prewarm until ``/readyz`` is green; pass
+        ``False`` to return as soon as the socket is listening — the
+        daemon then answers health probes (and 503s new work) while it
+        finishes booting, which is what an external load balancer sees.
+        """
         if self._thread is not None:
             raise RuntimeError("daemon already started")
         self._thread = threading.Thread(
@@ -204,12 +264,22 @@ class ServiceDaemon:
         )
         self._thread.start()
         self._ready.wait(timeout=30.0)
+        if self._start_error is None and not self._ready.is_set():
+            self._start_error = RuntimeError(
+                "daemon failed to become ready in 30s"
+            )
+        if self._start_error is None and wait_ready:
+            # Journal replay + prewarm are bounded by their entries'
+            # own deadlines, but leave generous headroom for cold
+            # compiles on a loaded host.
+            if not self.lifecycle.ready_event.wait(timeout=300.0):
+                self._start_error = RuntimeError(
+                    "daemon failed to finish boot replay in 300s"
+                )
         if self._start_error is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-            raise self._start_error
-        if not self._ready.is_set():
-            raise RuntimeError("daemon failed to become ready in 30s")
+            error = self._start_error
+            self.stop()
+            raise error
         return self
 
     def stop(self) -> None:
@@ -221,6 +291,70 @@ class ServiceDaemon:
         if self._thread is not None:
             self._thread.join(timeout=10.0)
             self._thread = None
+        self.lifecycle.mark_stopped()
+        if self.journal is not None:
+            self.journal.close()
+
+    def drain(self, grace_ms: Optional[float] = None) -> bool:
+        """Stop admitting, wait out in-flight work, persist warm state.
+
+        Flips the lifecycle to DRAINING (``/readyz`` -> 503, new
+        ``/v1/*`` requests -> 503 with ``Retry-After``), then waits up
+        to ``grace_ms`` (default ``config.drain_grace_ms``) for every
+        open request and queued/in-flight job to finish.  Whatever the
+        outcome, the prewarm manifest and the flight recorder's error
+        tail are persisted to the journal dir (when one is configured).
+        Returns ``True`` for a clean drain — zero requests abandoned.
+        Thread-safe; callable from a signal-handling thread.
+        """
+        budget_ms = (
+            self.config.drain_grace_ms if grace_ms is None else grace_ms
+        )
+        if not self.lifecycle.begin_drain():
+            return self.lifecycle.drain_clean or False
+        self._log.info("drain-started", grace_ms=budget_ms)
+        deadline = time.monotonic() + max(0.0, budget_ms) / 1e3
+        clean = False
+        while time.monotonic() < deadline:
+            if self._drain_abort.is_set():
+                self._log.warning("drain-aborted")
+                break
+            if (
+                self._open_requests == 0
+                and self.pool.queue_depth() == 0
+                and self.pool.inflight() == 0
+            ):
+                clean = True
+                break
+            time.sleep(0.02)
+        self.lifecycle.drain_clean = clean
+        self._persist_warm_state()
+        self._log.info(
+            "drain-finished", clean=clean,
+            abandoned_open=self._open_requests,
+            abandoned_queued=self.pool.queue_depth(),
+        )
+        return clean
+
+    def _persist_warm_state(self) -> None:
+        """Write the prewarm manifest + recorder error tail for the
+        next boot.  Best-effort: persistence failures degrade the next
+        restart to cold, they never fail the drain."""
+        if self.journal is None:
+            return
+        try:
+            self.lifecycle.manifest.save(self.journal.dir)
+        except OSError as exc:
+            self._log.error("prewarm-save-failed", error=str(exc))
+        try:
+            path = Path(self.journal.dir) / RECORDER_FILE
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(
+                json.dumps(self.recorder.export_errors()), encoding="utf-8"
+            )
+            os.replace(tmp, path)
+        except (OSError, TypeError, ValueError) as exc:
+            self._log.error("recorder-save-failed", error=str(exc))
 
     def run_forever(self) -> int:
         """Blocking serve for the CLI; returns a process exit code.
@@ -237,23 +371,39 @@ class ServiceDaemon:
 
         obs_log.configure(stream=sys.stderr)
         try:
-            self.start()
-        except OSError as exc:
+            # Don't gate the listener on boot replay: health probes and
+            # 503s must flow while the journal replays and the cache
+            # prewarms, exactly as a load balancer expects.
+            self.start(wait_ready=False)
+        except (OSError, JournalBusy, JournalCorrupt) as exc:
             self._log.error("startup-failed", error=str(exc))
             print(f"fatal: cannot start service: {exc}", file=sys.stderr)
             return 2
         stop = threading.Event()
+        signals_seen = [0]
+
+        def _on_signal(*_args) -> None:
+            signals_seen[0] += 1
+            if signals_seen[0] == 1:
+                stop.set()
+            else:
+                # Second signal: the operator wants out *now* — abort
+                # the drain wait and shut down immediately.
+                self._drain_abort.set()
+
         for signum in (signal.SIGINT, signal.SIGTERM):
-            signal.signal(signum, lambda *_: stop.set())
+            signal.signal(signum, _on_signal)
         self._log.info(
             "listening",
             url=f"http://{self.config.host}:{self.port}",
             workers=self.config.workers,
             queue_depth=self.config.queue_depth,
             trace_sample=self.config.trace_sample,
+            journal_dir=self.config.journal_dir,
         )
         stop.wait()
         self._log.info("shutting-down")
+        self.drain()
         self.stop()
         return 0
 
@@ -269,6 +419,21 @@ class ServiceDaemon:
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()
         self._stop_async = asyncio.Event()
+        recovered: List[JournalEntry] = []
+        if self.config.journal_dir:
+            try:
+                # Take the journal dir's exclusive lock and compact it
+                # *before* serving: a second daemon on the same dir is a
+                # deployment error and must fail fast (exit 2), not
+                # interleave appends with the incumbent.
+                self.journal = RequestJournal(self.config.journal_dir)
+                recovered = self.journal.recover()
+            except (JournalBusy, JournalCorrupt) as exc:
+                self._start_error = exc
+                self._ready.set()
+                self.lifecycle.ready_event.set()
+                return
+            self._restore_recorder()
         self.pool.start()
         try:
             server = await asyncio.start_server(
@@ -277,15 +442,139 @@ class ServiceDaemon:
         except OSError as exc:
             self._start_error = exc
             self._ready.set()
+            self.lifecycle.ready_event.set()
             return
         self.port = server.sockets[0].getsockname()[1]
         self._accepting = True
         self._ready.set()
+        # Replay + prewarm run behind the live socket: health probes
+        # answer (and new work 503s) while the boot finishes, then
+        # readiness flips green.
+        self._boot_task = asyncio.ensure_future(self._boot_replay(recovered))
         try:
             async with server:
                 await self._stop_async.wait()
         finally:
             self._accepting = False
+            if self._boot_task is not None and not self._boot_task.done():
+                self._boot_task.cancel()
+
+    def _restore_recorder(self) -> None:
+        """Reload the pre-restart flight-recorder error tail (if any)."""
+        path = Path(self.config.journal_dir) / RECORDER_FILE
+        try:
+            entries = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return
+        if isinstance(entries, list):
+            restored = self.recorder.restore_errors(entries)
+            if restored:
+                self._log.info("recorder-restored", traces=restored)
+
+    async def _boot_replay(self, recovered: List[JournalEntry]) -> None:
+        """Replay incomplete journal entries + the prewarm manifest,
+        then flip the lifecycle to READY."""
+        try:
+            if recovered:
+                await self._replay_journal(recovered)
+            if self.journal is not None and self.config.prewarm_limit > 0:
+                await self._replay_prewarm(
+                    PrewarmManifest.load(self.journal.dir)
+                )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - boot must not wedge
+            self._log.error(
+                "boot-replay-failed",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            self.lifecycle.mark_ready()
+            self._log.info(
+                "ready",
+                time_to_ready_ms=round(
+                    self.lifecycle.time_to_ready_ms or 0.0, 1
+                ),
+                journal_replayed=self.lifecycle.replayed,
+                journal_dropped_expired=self.lifecycle.dropped_expired,
+                prewarmed=self.lifecycle.prewarmed,
+            )
+
+    async def _replay_journal(self, entries: List[JournalEntry]) -> None:
+        """Run every incomplete entry exactly once, oldest first.
+
+        Expired entries are dropped (their clients' budgets are spent
+        either way); the rest are re-executed — a warm compile or a
+        cache probe thanks to the content-addressed plan cache — and
+        each gets its ``end`` record with the result digest, so a crash
+        *during* replay replays only what is still unfinished.
+        """
+        self._log.info("journal-replay-start", entries=len(entries))
+        chunk = max(1, self.pool.size)
+        for start in range(0, len(entries), chunk):
+            batch = []
+            for entry in entries[start:start + chunk]:
+                if entry.expired():
+                    self.lifecycle.dropped_expired += 1
+                    self.journal.complete(entry.entry_id, "dropped_expired")
+                    continue
+                try:
+                    fut = self.pool.submit(
+                        entry.payload, deadline=entry.deadline_wall
+                    )
+                except PoolSaturated:
+                    self.lifecycle.replay_failed += 1
+                    self.journal.complete(entry.entry_id, "replay_failed")
+                    continue
+                batch.append(
+                    (entry, asyncio.ensure_future(asyncio.wrap_future(fut)))
+                )
+            for entry, fut in batch:
+                try:
+                    msg = await fut
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - record + move on
+                    self.lifecycle.replay_failed += 1
+                    self.journal.complete(
+                        entry.entry_id,
+                        "replay_expired"
+                        if isinstance(exc, DeadlineExceeded)
+                        else "replay_failed",
+                    )
+                    continue
+                self.lifecycle.replayed += 1
+                self.journal.complete(
+                    entry.entry_id, 200, digest=result_digest(msg["result"])
+                )
+
+    async def _replay_prewarm(self, manifest_entries: List[dict]) -> None:
+        """Warm the plan cache with the previous run's hottest keys."""
+        if not manifest_entries:
+            return
+        self._log.info("prewarm-start", entries=len(manifest_entries))
+        deadline = time.time() + self.config.default_deadline_ms / 1e3
+        futures = []
+        for entry in manifest_entries[: self.config.prewarm_limit]:
+            try:
+                fut = self.pool.submit(entry["payload"], deadline=deadline)
+            except PoolSaturated:
+                self.lifecycle.prewarm_failed += 1
+                continue
+            futures.append((entry, asyncio.wrap_future(fut)))
+        for entry, fut in futures:
+            try:
+                await fut
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - prewarm is best-effort
+                self.lifecycle.prewarm_failed += 1
+                continue
+            self.lifecycle.prewarmed += 1
+            # Keep the hot set sticky across successive restarts: a key
+            # nobody requests again still ages out once fresh traffic
+            # out-touches it.
+            self.lifecycle.manifest.touch(entry["key"], entry["payload"])
 
     # ------------------------------------------------------------------
     # HTTP layer
@@ -328,16 +617,26 @@ class ServiceDaemon:
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 )
-                status, payload, extra = await self._dispatch(
-                    method, path, headers, body
-                )
+                # Drain counts a /v1/* request as open until its
+                # response bytes are written — a drained daemon never
+                # abandons a computed-but-unsent reply.
+                is_op = path.startswith("/v1/")
+                if is_op:
+                    self._open_requests += 1
                 try:
-                    await self._respond(
-                        writer, status, payload,
-                        close=not keep_alive, extra_headers=extra,
+                    status, payload, extra = await self._dispatch(
+                        method, path, headers, body
                     )
-                except ConnectionError:
-                    break
+                    try:
+                        await self._respond(
+                            writer, status, payload,
+                            close=not keep_alive, extra_headers=extra,
+                        )
+                    except ConnectionError:
+                        break
+                finally:
+                    if is_op:
+                        self._open_requests -= 1
                 if not keep_alive:
                     break
         except asyncio.CancelledError:
@@ -410,6 +709,8 @@ class ServiceDaemon:
                 "evicted": self.recorder.evicted,
                 "trace_sample": self.config.trace_sample,
             }, None
+        if path == "/debug/lifecycle" and method == "GET":
+            return 200, self._lifecycle_report(), None
         if path.startswith("/debug/traces/") and method == "GET":
             trace_id = path[len("/debug/traces/"):]
             trace = self.recorder.get(trace_id)
@@ -441,19 +742,34 @@ class ServiceDaemon:
             "queue_depth": self.pool.queue_depth(),
             "inflight": self.pool.inflight(),
             "breaker": self.breaker.state_name,
+            "lifecycle": self.lifecycle.state_name,
         }
 
     def _readyz(self):
+        # A booting daemon (journal replay / prewarm in flight) and a
+        # draining daemon both refuse: readiness means "send me work".
         ready = (
             self._accepting
+            and self.lifecycle.is_ready()
             and self.pool.alive_workers() >= 1
             and self.pool.queue_depth() < self.config.queue_depth
         )
         return (200 if ready else 503), {
             "ready": ready,
+            "lifecycle": self.lifecycle.state_name,
             "workers_alive": self.pool.alive_workers(),
             "queue_depth": self.pool.queue_depth(),
         }
+
+    def _lifecycle_report(self) -> dict:
+        report = self.lifecycle.snapshot()
+        report["open_requests"] = self._open_requests
+        report["journal"] = (
+            self.journal.stats.snapshot() if self.journal is not None else None
+        )
+        report["journal_dir"] = self.config.journal_dir
+        report["recorder_restored"] = self.recorder.restored
+        return report
 
     # ------------------------------------------------------------------
     # The request path
@@ -487,8 +803,22 @@ class ServiceDaemon:
             trace_id, parent_span_id=parent_span, sampled=sampled
         ).to_wire()
         request_id = None  # the client's id once parsed; trace_id stands in
+        journal_ref = {"id": None}  # set once the request is journaled
 
         def finish(status, payload, extra=None):
+            if self.journal is not None and journal_ref["id"] is not None:
+                # Completion marks ride the executor: an fsync per reply
+                # must not stall the event loop.  A mark lost to a crash
+                # just means one idempotent replay on the next boot.
+                digest = (
+                    payload.get("result_digest")
+                    if isinstance(payload, dict) else None
+                )
+                self._loop.run_in_executor(
+                    None, self.journal.complete,
+                    journal_ref["id"], status, digest,
+                )
+                journal_ref["id"] = None
             latency_ms = (time.monotonic() - t0) * 1e3
             rid = request_id or trace_id
             if isinstance(payload, dict):
@@ -531,6 +861,23 @@ class ServiceDaemon:
             self.registry.set("service_queue_depth", self.pool.queue_depth())
             return status, payload, extra
 
+        if not self.lifecycle.is_ready():
+            # Booting (journal replay / prewarm) or draining: refuse
+            # fast with a hint, exactly like /readyz — the client pool
+            # fails over to the next replica.
+            state = self.lifecycle.state_name
+            if trace is not None:
+                trace.mark_error(f"not accepting requests: {state}")
+            self.registry.inc(
+                "service_lifecycle_rejects_total", endpoint=op, state=state
+            )
+            return finish(
+                503,
+                {"error": f"not accepting requests: daemon is {state}",
+                 "lifecycle": state},
+                {"Retry-After": "1"},
+            )
+
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -572,6 +919,24 @@ class ServiceDaemon:
             self.registry.inc("service_degraded_total", endpoint=op)
 
         key = request_fingerprint(request, self._cluster_for(request))
+        self.lifecycle.manifest.touch(key, prewarm_payload(request))
+        if self.journal is not None:
+            # Write-ahead: the request is durable *before* any dispatch
+            # or coalesce-attach, so a crash from here on replays it.
+            # The fsync runs on the executor — concurrent event-loop
+            # work continues; this request alone waits for durability.
+            journal_ref["id"] = new_trace_id()
+            record = JournalEntry(
+                entry_id=journal_ref["id"],
+                key=key,
+                op=op,
+                payload=request.to_payload(),
+                deadline_wall=deadline_wall,
+                trace_id=trace_id,
+            )
+            await self._loop.run_in_executor(
+                None, self.journal.append, record
+            )
         if trace is not None:
             trace.annotate(
                 endpoint=op,
@@ -778,6 +1143,34 @@ class ServiceDaemon:
         self.registry.set("service_queue_depth", self.pool.queue_depth())
         self.registry.set("service_inflight", self.pool.inflight())
         self.registry.set("service_workers_alive", self.pool.alive_workers())
+        # Lifecycle + journal counters are delta-folded like the pool's
+        # (the sources are mutated off the loop thread; the registry is
+        # written only here, on it).
+        counters = {
+            "service_journal_replayed_total": self.lifecycle.replayed,
+            "service_journal_dropped_expired_total":
+                self.lifecycle.dropped_expired,
+            "service_journal_replay_failed_total":
+                self.lifecycle.replay_failed,
+            "service_lifecycle_prewarmed_total": self.lifecycle.prewarmed,
+            "service_recorder_restored_total": self.recorder.restored,
+        }
+        if self.journal is not None:
+            stats = self.journal.stats.snapshot()
+            counters["service_journal_appends_total"] = stats["appends"]
+            counters["service_journal_errors_total"] = stats["errors"]
+        for metric, total in counters.items():
+            delta = total - self._lifecycle_counter_base.get(metric, 0)
+            if delta > 0:
+                self.registry.inc(metric, delta)
+            self._lifecycle_counter_base[metric] = total
+        self.registry.set("service_lifecycle_state", self.lifecycle.state)
+        if self.lifecycle.time_to_ready_ms is not None:
+            self.registry.set(
+                "service_lifecycle_time_to_ready_ms",
+                self.lifecycle.time_to_ready_ms,
+            )
+        self.registry.set("service_open_requests", self._open_requests)
 
 
 __all__ = ["ServiceConfig", "ServiceDaemon"]

@@ -1,0 +1,382 @@
+"""Durable write-ahead request journal for the service daemon.
+
+The daemon is crash-only: a ``kill -9``, a deploy, or a host reboot must
+never silently lose admitted work.  Every admitted request is appended
+to an fsync'd JSONL journal *before* it is dispatched to the worker
+pool, and marked completed when its response is produced.  On boot the
+daemon replays every ``begin`` without a matching ``end``:
+
+* the replay is **idempotent** — requests are pure compile/simulate
+  functions over content-addressed inputs, so re-running one is a warm
+  compile or a cheap plan-cache probe, never a duplicated side effect;
+* entries whose absolute deadline already passed are **dropped**, not
+  replayed — the client's budget is spent either way
+  (``service_journal_dropped_expired_total``);
+* each replayed entry gets an ``end`` record carrying the
+  :func:`~repro.service.protocol.result_digest` of its result, so a
+  second restart does not replay it again (exactly-once replay, and the
+  digest lets post-crash audits verify the replay against a fresh
+  execution).
+
+Record format, one JSON object per line::
+
+    {"v": 1, "kind": "begin", "id": "<trace_id>", "key": "<fingerprint>",
+     "op": "simulate", "payload": {...}, "deadline_wall": 1754640012.5,
+     "ts": 1754640000.1}
+    {"v": 1, "kind": "end", "id": "<trace_id>", "status": 200,
+     "digest": "...", "ts": 1754640001.2}
+
+A truncated final line (the record a ``kill -9`` interrupted mid-write)
+is tolerated: recovery stops at the tear and counts it, and the
+interrupted request was by definition not yet dispatched.
+
+The journal directory is owned by exactly one daemon at a time: a
+POSIX record lock (``fcntl.lockf``) on ``<dir>/lock`` is taken
+exclusively at open and a second daemon fails fast with
+:class:`JournalBusy` instead of the two interleaving appends.  A record
+lock — not ``flock`` — because the lock must die *with the daemon
+process*: the daemon forks worker processes which inherit every open
+file descriptor, and a ``flock`` travels with the inherited open file
+description, so after a ``kill -9`` the orphaned workers would keep the
+journal locked and block the restarted daemon (the exact crash the
+journal exists to survive).  Record locks are owned per-process, so
+children never hold them and a SIGKILL releases the directory
+instantly.  Record locks do not exclude a second open in the *same*
+process, so an in-process owner registry covers embedded daemons
+sharing one test process.
+
+On recovery the journal is *compacted* — rewritten atomically with only
+the still-incomplete entries — so it never grows without bound across
+restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+try:  # pragma: no cover - always present on the supported platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+#: Bump when the record shape changes; unknown versions are skipped on
+#: recovery (never crash a boot over an old journal).
+JOURNAL_VERSION = 1
+
+#: The journal file and the daemon-ownership lock inside the directory.
+JOURNAL_FILE = "journal.jsonl"
+LOCK_FILE = "lock"
+
+
+class JournalBusy(RuntimeError):
+    """Another live daemon holds the journal directory's lock."""
+
+
+#: Journal dirs owned by *this* process (POSIX record locks do not
+#: conflict within one process, so embedded daemons sharing a test
+#: process need their own mutual exclusion).
+_LIVE_OWNERS: "set[str]" = set()
+_OWNERS_MUTEX = threading.Lock()
+
+
+class JournalCorrupt(RuntimeError):
+    """The journal could not be read at all (not merely torn)."""
+
+
+@dataclass
+class JournalEntry:
+    """One admitted-but-not-yet-completed request."""
+
+    entry_id: str
+    key: str
+    op: str
+    payload: dict
+    deadline_wall: Optional[float] = None
+    trace_id: Optional[str] = None
+    ts: float = field(default_factory=time.time)
+
+    def to_record(self) -> dict:
+        return {
+            "v": JOURNAL_VERSION,
+            "kind": "begin",
+            "id": self.entry_id,
+            "key": self.key,
+            "op": self.op,
+            "payload": self.payload,
+            "deadline_wall": self.deadline_wall,
+            "trace_id": self.trace_id,
+            "ts": self.ts,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "JournalEntry":
+        return cls(
+            entry_id=str(record["id"]),
+            key=str(record.get("key", "")),
+            op=str(record.get("op", "")),
+            payload=dict(record.get("payload") or {}),
+            deadline_wall=record.get("deadline_wall"),
+            trace_id=record.get("trace_id"),
+            ts=float(record.get("ts", 0.0)),
+        )
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline_wall is None:
+            return False
+        return (time.time() if now is None else now) >= self.deadline_wall
+
+
+@dataclass
+class JournalStats:
+    """Counters the daemon folds into ``/metrics`` (mutex-guarded)."""
+
+    appends: int = 0
+    completes: int = 0
+    fsyncs: int = 0
+    errors: int = 0
+    torn_records: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class RequestJournal:
+    """Append-only, fsync'd, single-owner request journal.
+
+    Args:
+        journal_dir: directory holding the journal, the ownership lock,
+            and the lifecycle sidecars (prewarm manifest, recorder tail).
+        fsync: durably sync every record (the default; turning it off
+            trades crash durability for append latency and exists for
+            benchmarks that want to isolate the fsync cost).
+    """
+
+    def __init__(
+        self, journal_dir: Union[str, Path], fsync: bool = True
+    ) -> None:
+        self.dir = Path(journal_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.dir / JOURNAL_FILE
+        self.fsync = fsync
+        self.stats = JournalStats()
+        self._mutex = threading.Lock()
+        self._fh: Optional[IO[str]] = None
+        self._lock_fh: Optional[IO[str]] = None
+        self._owner_key: Optional[str] = None
+        self._acquire_dir_lock()
+
+    # -- ownership ------------------------------------------------------
+
+    def _acquire_dir_lock(self) -> None:
+        """Exclusive per-process lock: one live daemon per journal dir.
+
+        Two layers (see the module docstring for the full rationale):
+        an in-process registry excludes a second embedded daemon in the
+        same process, and a POSIX record lock excludes other processes
+        while dying with this one — forked workers inherit the fd but
+        never own the lock, so a ``kill -9`` frees the directory even
+        while orphaned workers linger.
+        """
+        lock_path = self.dir / LOCK_FILE
+        self._owner_key = str(self.dir.resolve())
+        with _OWNERS_MUTEX:
+            if self._owner_key in _LIVE_OWNERS:
+                self._owner_key = None
+                raise JournalBusy(
+                    f"journal dir {self.dir} is already owned by a daemon "
+                    "in this process"
+                )
+            _LIVE_OWNERS.add(self._owner_key)
+        fh = open(lock_path, "a+", encoding="utf-8")
+        if fcntl is not None:
+            try:
+                fcntl.lockf(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                fh.close()
+                self._release_owner()
+                raise JournalBusy(
+                    f"journal dir {self.dir} is locked by another daemon "
+                    f"(see {lock_path})"
+                ) from None
+        fh.seek(0)
+        fh.truncate()
+        fh.write(f"{os.getpid()}\n")
+        fh.flush()
+        self._lock_fh = fh
+
+    def _release_owner(self) -> None:
+        if self._owner_key is not None:
+            with _OWNERS_MUTEX:
+                _LIVE_OWNERS.discard(self._owner_key)
+            self._owner_key = None
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._fh is not None:
+                try:
+                    self._fh.close()
+                except OSError:
+                    pass
+                self._fh = None
+        if self._lock_fh is not None:
+            # Closing releases the record lock.
+            try:
+                self._lock_fh.close()
+            except OSError:
+                pass
+            self._lock_fh = None
+        self._release_owner()
+
+    def __enter__(self) -> "RequestJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- recovery -------------------------------------------------------
+
+    def recover(self) -> List[JournalEntry]:
+        """Scan the journal, compact it, and return incomplete entries.
+
+        Reads every record, pairs ``begin``/``end`` by id, rewrites the
+        journal atomically with only the unmatched ``begin`` records
+        (bounded growth across restarts), and returns them oldest-first.
+        A torn trailing record — the fingerprint of a mid-write
+        ``kill -9`` — ends the scan and is counted, never raised.
+        """
+        with self._mutex:
+            begins: "dict[str, JournalEntry]" = {}
+            order: List[str] = []
+            if self.path.exists():
+                try:
+                    raw = self.path.read_text(encoding="utf-8")
+                except OSError as exc:
+                    raise JournalCorrupt(
+                        f"cannot read journal {self.path}: {exc}"
+                    ) from exc
+                for line in raw.splitlines():
+                    if not line.strip():
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        # Torn tail: everything before it already parsed.
+                        self.stats.torn_records += 1
+                        break
+                    if (
+                        not isinstance(record, dict)
+                        or record.get("v") != JOURNAL_VERSION
+                    ):
+                        continue
+                    entry_id = str(record.get("id"))
+                    kind = record.get("kind")
+                    if kind == "begin":
+                        try:
+                            entry = JournalEntry.from_record(record)
+                        except (KeyError, TypeError, ValueError):
+                            self.stats.torn_records += 1
+                            continue
+                        if entry_id not in begins:
+                            order.append(entry_id)
+                        begins[entry_id] = entry
+                    elif kind == "end":
+                        begins.pop(entry_id, None)
+            incomplete = [begins[entry_id] for entry_id in order
+                          if entry_id in begins]
+            self._compact_locked(incomplete)
+            return incomplete
+
+    def _compact_locked(self, entries: List[JournalEntry]) -> None:
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for entry in entries:
+                fh.write(json.dumps(entry.to_record(),
+                                    separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._reopen_locked()
+
+    def _reopen_locked(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+        self._fh = self.path.open("a", encoding="utf-8")
+
+    # -- appends --------------------------------------------------------
+
+    def append(self, entry: JournalEntry) -> None:
+        """Durably record one admitted request *before* dispatch."""
+        self._write(entry.to_record())
+        self.stats.appends += 1
+
+    def complete(
+        self,
+        entry_id: str,
+        status: Union[int, str],
+        digest: Optional[str] = None,
+    ) -> None:
+        """Record that the request produced a response (or was dropped)."""
+        record = {
+            "v": JOURNAL_VERSION,
+            "kind": "end",
+            "id": entry_id,
+            "status": status,
+            "ts": time.time(),
+        }
+        if digest is not None:
+            record["digest"] = digest
+        self._write(record)
+        self.stats.completes += 1
+
+    def _write(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._mutex:
+            try:
+                if self._fh is None:
+                    self._reopen_locked()
+                self._fh.write(line)
+                self._fh.flush()
+                if self.fsync:
+                    os.fsync(self._fh.fileno())
+                    self.stats.fsyncs += 1
+            except (OSError, ValueError):
+                # A full or yanked disk must degrade durability, never
+                # availability: the request is still served, the gap is
+                # counted and logged by the daemon.
+                self.stats.errors += 1
+
+    # -- inspection (tests, debug endpoint) -----------------------------
+
+    def records(self) -> List[dict]:
+        """Every parseable record currently on disk (oldest first)."""
+        with self._mutex:
+            if not self.path.exists():
+                return []
+            out = []
+            for line in self.path.read_text(encoding="utf-8").splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break
+            return out
+
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalBusy",
+    "JournalCorrupt",
+    "JournalEntry",
+    "JournalStats",
+    "RequestJournal",
+]

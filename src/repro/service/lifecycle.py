@@ -1,0 +1,219 @@
+"""Service lifecycle: boot/ready/drain state and the cache-prewarm manifest.
+
+The daemon moves through a small, strictly ordered state machine::
+
+    BOOTING ──(journal replay + cache prewarm)──▶ READY
+    READY ──(SIGTERM / drain())──▶ DRAINING ──▶ STOPPED
+
+``/readyz`` is green **only** in ``READY``: a booting daemon is still
+replaying its journal and prewarming the plan cache, and a draining
+daemon has stopped admitting work so its load balancer peers must fail
+over.  The current state is exported as the ``service_lifecycle_state``
+gauge (values below).
+
+The :class:`PrewarmManifest` tracks hot coalescing keys with hit counts
+during normal operation; on drain the top-N entries are persisted to
+``<journal_dir>/prewarm.json`` and replayed as compile jobs on the next
+boot *before* readiness flips green, so a hot restart starts warm
+instead of making the first wave of clients pay cold compiles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+#: ``service_lifecycle_state`` gauge values, in boot order.
+STATE_BOOTING = 0
+STATE_READY = 1
+STATE_DRAINING = 2
+STATE_STOPPED = 3
+
+STATE_NAMES = {
+    STATE_BOOTING: "booting",
+    STATE_READY: "ready",
+    STATE_DRAINING: "draining",
+    STATE_STOPPED: "stopped",
+}
+
+#: Sidecar files inside the journal directory.
+PREWARM_FILE = "prewarm.json"
+RECORDER_FILE = "recorder.json"
+
+PREWARM_VERSION = 1
+
+
+class PrewarmManifest:
+    """Hot coalescing keys with hit counts, persisted across restarts.
+
+    ``touch`` is called once per admitted request with the request's
+    coalescing key and a scrubbed payload (no deadline, no request id —
+    see :func:`repro.service.protocol.prewarm_payload`); the payload of
+    the *latest* touch wins, which is fine because payloads that share a
+    key compile identically by construction.
+    """
+
+    def __init__(self, limit: int = 32) -> None:
+        self.limit = max(0, int(limit))
+        self._lock = threading.Lock()
+        self._hits: Dict[str, int] = {}
+        self._payloads: Dict[str, dict] = {}
+
+    def touch(self, key: str, payload: dict) -> None:
+        if self.limit <= 0:
+            return
+        with self._lock:
+            self._hits[key] = self._hits.get(key, 0) + 1
+            self._payloads[key] = payload
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._hits)
+
+    def hottest(self, limit: Optional[int] = None) -> List[dict]:
+        """Top-N entries by hit count (ties broken by key for stability)."""
+        cap = self.limit if limit is None else int(limit)
+        with self._lock:
+            ranked = sorted(
+                self._hits.items(), key=lambda kv: (-kv[1], kv[0])
+            )[:cap]
+            return [
+                {"key": key, "hits": hits, "payload": self._payloads[key]}
+                for key, hits in ranked
+            ]
+
+    def save(self, journal_dir: Union[str, Path]) -> Path:
+        """Atomically persist the top-N manifest (fsync + rename)."""
+        path = Path(journal_dir) / PREWARM_FILE
+        doc = {
+            "v": PREWARM_VERSION,
+            "saved_ts": time.time(),
+            "entries": self.hottest(),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            json.dump(doc, fh, separators=(",", ":"))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    @staticmethod
+    def load(journal_dir: Union[str, Path]) -> List[dict]:
+        """Load a persisted manifest; any damage yields an empty list.
+
+        Prewarm is an optimisation — a corrupt or missing manifest must
+        never block a boot, so every failure mode is a silent empty
+        result.
+        """
+        path = Path(journal_dir) / PREWARM_FILE
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return []
+        if not isinstance(doc, dict) or doc.get("v") != PREWARM_VERSION:
+            return []
+        entries = doc.get("entries")
+        if not isinstance(entries, list):
+            return []
+        out = []
+        for entry in entries:
+            if (
+                isinstance(entry, dict)
+                and isinstance(entry.get("key"), str)
+                and isinstance(entry.get("payload"), dict)
+            ):
+                out.append(entry)
+        return out
+
+
+class LifecycleManager:
+    """Owns the daemon's lifecycle state and boot/drain bookkeeping."""
+
+    def __init__(self, prewarm_limit: int = 32) -> None:
+        self._lock = threading.Lock()
+        self._state = STATE_BOOTING
+        self.ready_event = threading.Event()
+        self.manifest = PrewarmManifest(limit=prewarm_limit)
+        self.boot_started = time.monotonic()
+        self.time_to_ready_ms: Optional[float] = None
+        # Boot replay / prewarm report, surfaced on /debug/lifecycle.
+        self.replayed = 0
+        self.dropped_expired = 0
+        self.replay_failed = 0
+        self.prewarmed = 0
+        self.prewarm_failed = 0
+        self.drain_started: Optional[float] = None
+        self.drain_clean: Optional[bool] = None
+
+    @property
+    def state(self) -> int:
+        with self._lock:
+            return self._state
+
+    @property
+    def state_name(self) -> str:
+        return STATE_NAMES[self.state]
+
+    def is_ready(self) -> bool:
+        return self.state == STATE_READY
+
+    def mark_ready(self) -> None:
+        with self._lock:
+            if self._state == STATE_BOOTING:
+                self._state = STATE_READY
+                self.time_to_ready_ms = (
+                    time.monotonic() - self.boot_started
+                ) * 1000.0
+        self.ready_event.set()
+
+    def begin_drain(self) -> bool:
+        """Flip to DRAINING; returns False if already draining/stopped."""
+        with self._lock:
+            if self._state in (STATE_DRAINING, STATE_STOPPED):
+                return False
+            self._state = STATE_DRAINING
+            self.drain_started = time.monotonic()
+        # A daemon that never finished booting should not block stop()
+        # on the ready event.
+        self.ready_event.set()
+        return True
+
+    def mark_stopped(self) -> None:
+        with self._lock:
+            self._state = STATE_STOPPED
+        self.ready_event.set()
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view for ``/debug/lifecycle``."""
+        with self._lock:
+            state = self._state
+            snap = {
+                "state": STATE_NAMES[state],
+                "time_to_ready_ms": self.time_to_ready_ms,
+                "journal_replayed": self.replayed,
+                "journal_dropped_expired": self.dropped_expired,
+                "journal_replay_failed": self.replay_failed,
+                "prewarmed": self.prewarmed,
+                "prewarm_failed": self.prewarm_failed,
+                "manifest_tracked": len(self.manifest._hits),
+                "drain_clean": self.drain_clean,
+            }
+        return snap
+
+
+__all__ = [
+    "LifecycleManager",
+    "PREWARM_FILE",
+    "RECORDER_FILE",
+    "PrewarmManifest",
+    "STATE_BOOTING",
+    "STATE_DRAINING",
+    "STATE_NAMES",
+    "STATE_READY",
+    "STATE_STOPPED",
+]

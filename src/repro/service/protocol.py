@@ -190,6 +190,29 @@ def request_from_payload(payload: dict) -> ServiceRequest:
     return ServiceRequest(**{k: v for k, v in payload.items() if k in fields})
 
 
+def prewarm_payload(request: ServiceRequest) -> dict:
+    """The scrubbed payload the cache-prewarm manifest stores per key.
+
+    Prewarm replays only need to *warm the plan cache*, so the payload
+    is always the ``compile`` op over the compile-identity fields:
+    per-request ephemera (deadline, request id, trace correlation) are
+    dropped, and a ``simulate`` and a ``profile`` of the same plan warm
+    the same cache entry as its ``compile``.
+    """
+    return {
+        "op": "compile",
+        "algorithm": request.algorithm,
+        "source": request.source,
+        "nodes": request.nodes,
+        "gpus": request.gpus,
+        "profile": request.profile,
+        "scheduler": request.scheduler,
+        "buffer_mb": request.buffer_mb,
+        "mbs": request.mbs,
+        "degraded": request.degraded,
+    }
+
+
 # ----------------------------------------------------------------------
 # Coalescing identity
 # ----------------------------------------------------------------------
@@ -353,6 +376,7 @@ __all__ = [
     "degraded_program",
     "execute",
     "parse_request",
+    "prewarm_payload",
     "request_fingerprint",
     "request_from_payload",
     "result_digest",

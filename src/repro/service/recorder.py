@@ -18,6 +18,12 @@ is the honest answer for a bounded recorder.
 
 Thread-safe: the daemon records from its event-loop thread while tests
 and debug handlers may read from others.
+
+The error FIFO (but not the slow heap — pre-restart "slowest" is
+meaningless after a cache-warm restart) survives graceful restarts:
+:meth:`FlightRecorder.export_errors` is persisted to the journal
+directory on drain and :meth:`FlightRecorder.restore_errors` reloads it
+on boot, so post-crash debugging keeps the pre-restart error tail.
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ class FlightRecorder:
         self._lock = threading.Lock()
         self.recorded = 0
         self.evicted = 0
+        self.restored = 0
 
     def record(self, trace: dict, logs: Optional[List[dict]] = None) -> bool:
         """Offer one stitched trace; returns True when it was retained."""
@@ -85,6 +92,41 @@ class FlightRecorder:
             self._traces[trace_id] = entry
             self.recorded += 1
             return True
+
+    def export_errors(self) -> List[dict]:
+        """The retained error traces, oldest first (for persistence)."""
+        with self._lock:
+            return [dict(self._traces[tid]) for tid in self._errors
+                    if tid in self._traces]
+
+    def restore_errors(self, entries: List[dict]) -> int:
+        """Reload a persisted error tail (oldest first); returns count.
+
+        Restored traces re-enter the FIFO ahead of anything the new
+        process records, so they are the first evicted once fresh errors
+        fill the capacity — exactly the semantics of a tail that kept
+        running across the restart.  Damaged entries are skipped, never
+        raised: recovering debug state must not block a boot.
+        """
+        restored = 0
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            trace_id = entry.get("trace_id")
+            if not trace_id or entry.get("status") == 200:
+                continue
+            with self._lock:
+                if trace_id in self._traces or self.error_capacity == 0:
+                    continue
+                while len(self._errors) >= self.error_capacity:
+                    oldest, _ = self._errors.popitem(last=False)
+                    self._traces.pop(oldest, None)
+                    self.evicted += 1
+                self._errors[trace_id] = None
+                self._traces[trace_id] = dict(entry)
+                self.restored += 1
+                restored += 1
+        return restored
 
     def get(self, trace_id: str) -> Optional[dict]:
         with self._lock:

@@ -384,6 +384,22 @@ class WorkerPool:
             ):
                 job.deadline = deadline
 
+    def drain(self, timeout_s: float) -> bool:
+        """Wait for the queue and every in-flight job to finish.
+
+        Submission is the caller's problem — the daemon stops admitting
+        before draining — so this only has to outwait work that is
+        already inside the pool.  Returns ``True`` when the pool went
+        idle within the budget, ``False`` on timeout (the caller then
+        stops anyway; queued jobs fail with "worker pool stopped").
+        """
+        deadline = time.monotonic() + max(0.0, timeout_s)
+        while time.monotonic() < deadline:
+            if self.queue_depth() == 0 and self.inflight() == 0:
+                return True
+            time.sleep(0.01)
+        return self.queue_depth() == 0 and self.inflight() == 0
+
     def queue_depth(self) -> int:
         with self._lock:
             return len(self._queue)

@@ -1,6 +1,8 @@
 """The content-addressed compiled-plan cache (repro.core.plancache)."""
 
 import pickle
+import threading
+import time
 
 import pytest
 
@@ -214,6 +216,96 @@ class TestDiskQuarantine:
         assert "quarantined" not in reader.stats.summary()
         reader.compile(compiler, program, cluster)
         assert "1 corrupt entr" in reader.stats.summary()
+
+
+class TestDiskLocking:
+    """Concurrent disk-tier mutations of one key (the fcntl entry lock).
+
+    Unlocked, two same-pid writers collide on the shared tmp name (one
+    renames a file the other is still writing -> a torn ``.pkl`` that
+    gets quarantined on the next read), and a quarantine can sweep a
+    concurrent writer's fresh good entry into ``.corrupt``.  The
+    per-key advisory lock serializes the mutations; this hammers the
+    old races and asserts the entry stays clean and readable.
+    """
+
+    def test_two_writers_one_key_stay_clean(self, tmp_path, cluster,
+                                            program):
+        compiler = ResCCLCompiler()
+        cache = PlanCache(cache_dir=tmp_path)
+        compiled = cache.compile(compiler, program, cluster)
+        path = next(tmp_path.glob("*.pkl"))
+        key = path.stem
+        barrier = threading.Barrier(3)
+
+        def writer():
+            barrier.wait()
+            for _ in range(20):
+                cache._disk_put(key, compiled)
+
+        def deleter():
+            # Forces real rewrites (the content-addressed skip would
+            # otherwise make every later put a no-op) and interleaves
+            # replace/unlink with in-flight writes.
+            barrier.wait()
+            for _ in range(20):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+                time.sleep(0.001)
+
+        threads = [threading.Thread(target=writer),
+                   threading.Thread(target=writer),
+                   threading.Thread(target=deleter)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        cache._disk_put(key, compiled)  # settle: the entry exists again
+        assert not list(tmp_path.glob("*.corrupt"))
+        assert not list(tmp_path.glob("*.tmp.*"))  # no torn leftovers
+        assert list(tmp_path.glob("*.lock"))  # the lock file is real
+        fresh = PlanCache(cache_dir=tmp_path)
+        restored = fresh._disk_get(key)
+        assert restored is not None
+        assert fresh.stats.disk_corrupt == 0
+        assert restored.scheduler == compiled.scheduler
+
+    def test_quarantine_and_rewrite_serialize(self, tmp_path, cluster,
+                                              program):
+        compiler = ResCCLCompiler()
+        cache = PlanCache(cache_dir=tmp_path)
+        compiled = cache.compile(compiler, program, cluster)
+        path = next(tmp_path.glob("*.pkl"))
+        key = path.stem
+        barrier = threading.Barrier(2)
+
+        def quarantiner():
+            barrier.wait()
+            for _ in range(20):
+                cache._quarantine(path)
+
+        def writer():
+            barrier.wait()
+            for _ in range(20):
+                cache._disk_put(key, compiled)
+
+        threads = [threading.Thread(target=quarantiner),
+                   threading.Thread(target=writer)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # Whatever interleaving happened, a final write must land a
+        # readable entry (the quarantine never renames a half-written
+        # file, and never wins against a fresh replacement mid-write).
+        cache._disk_put(key, compiled)
+        fresh = PlanCache(cache_dir=tmp_path)
+        assert fresh._disk_get(key) is not None
+        assert fresh.stats.disk_corrupt == 0
 
 
 class TestFingerprint:

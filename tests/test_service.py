@@ -259,6 +259,31 @@ class TestCircuitBreaker:
         assert breaker.state == STATE_CLOSED
         assert breaker.allow_primary() is True
 
+    def test_half_open_admits_exactly_one_probe_under_concurrency(self):
+        # The single-probe guarantee is a check-then-act sequence: a
+        # thread hammer catches the unlocked version (several threads
+        # observe probe_inflight=False and all claim the probe).
+        breaker, clock = self._make(failure_threshold=1, cooldown_s=5.0)
+        for _ in range(50):
+            breaker.record_failure()
+            clock["t"] += 5.0
+            admitted = []
+            barrier = threading.Barrier(8)
+
+            def contend():
+                barrier.wait()
+                if breaker.allow_primary():
+                    admitted.append(threading.get_ident())
+
+            threads = [threading.Thread(target=contend) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(admitted) == 1  # exactly one probe per half-open
+            breaker.record_success()
+            assert breaker.state == STATE_CLOSED
+
     def test_failed_probe_reopens_and_restarts_cooldown(self):
         breaker, clock = self._make(failure_threshold=1, cooldown_s=5.0)
         breaker.record_failure()
