@@ -19,6 +19,7 @@ to a textual ResCCLang file.  The cluster defaults to the paper's
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -248,6 +249,24 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_fidelity_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sim-fidelity", default="exact", choices=["exact", "fast"],
+        help="simulation fidelity preset (see docs/performance.md): "
+        "'exact' is bit-reproducible across every solver/queue "
+        "configuration; 'fast' trades a bounded completion-time error "
+        "(rate hysteresis + micro-batch collapse) for wall-clock speed",
+    )
+
+
+def _apply_fidelity(plan, args: argparse.Namespace):
+    """The plan with ``--sim-fidelity`` applied to its sim config."""
+    preset = getattr(args, "sim_fidelity", "exact")
+    if preset == "exact":
+        return plan
+    return dataclasses.replace(plan, config=plan.config.with_fidelity(preset))
+
+
 def _print_deadlock(exc: SimulationDeadlock) -> None:
     print("simulation deadlocked:", file=sys.stderr)
     print(str(exc), file=sys.stderr)
@@ -263,6 +282,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         plan = backend.plan(cluster, program.collective, args.buffer_mb * MB)
     else:
         plan = backend.plan(cluster, program, args.buffer_mb * MB)
+    plan = _apply_fidelity(plan, args)
     try:
         if args.inject:
             try:
@@ -374,6 +394,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         plan = backend.plan(cluster, program.collective, args.buffer_mb * MB)
     else:
         plan = backend.plan(cluster, program, args.buffer_mb * MB)
+    plan = _apply_fidelity(plan, args)
     try:
         report = _traced_report(plan, args)
     except SimulationDeadlock as exc:
@@ -405,6 +426,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 )
             else:
                 plan = backend.plan(cluster, program, args.buffer_mb * MB)
+            plan = _apply_fidelity(plan, args)
             report = _traced_report(plan, args)
     except SimulationDeadlock as exc:
         _print_deadlock(exc)
@@ -621,6 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
         "cluster; 0 means no failover path, so a partitioned topology "
         "makes recovery impossible (exit code 2)",
     )
+    _add_fidelity_arg(p_run)
     _add_cache_args(p_run)
     _add_cluster_args(p_run)
 
@@ -654,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "(overrides --rank)")
     p_trace.add_argument("--width", type=int, default=100)
     p_trace.add_argument("--output", help="write Chrome trace JSON here")
+    _add_fidelity_arg(p_trace)
     _add_fault_args(p_trace)
     _add_cluster_args(p_trace)
 
@@ -674,6 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "text format, anything else for JSON)")
     p_prof.add_argument("--metrics-limit", type=int, default=12,
                         help="metric series shown inline (0 = all)")
+    _add_fidelity_arg(p_prof)
     _add_fault_args(p_prof)
     _add_cache_args(p_prof)
     _add_cluster_args(p_prof)

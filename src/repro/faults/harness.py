@@ -142,6 +142,14 @@ def run_with_faults(
         verify=verify,
     )
     report = runner.run()
+    if plan.config.collapse_microbatches and plan.n_microbatches > 1:
+        # Fast-fidelity temporal collapse is never applied on the fault
+        # path: sibling micro-batch timing is observable through
+        # checkpoints, per-instance retries, and resume stitching.  The
+        # resilient runner builds Simulators directly (no collapse),
+        # so record the refusal exactly as ``simulate`` would.
+        report.counters.agg_collapse_disabled = 1
+        baseline.counters.agg_collapse_disabled = 1
     _publish_fault_metrics(report)
     return FaultRunOutcome(
         baseline=baseline, report=report, fault_plan=fault_plan

@@ -15,12 +15,13 @@ mode:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Tuple
 
 from ..ir.dag import DependencyDAG
 from ..lang.builder import AlgoProgram
 from ..topology import Cluster
+from .flows import VECTORIZE_MIN_FLOWS
 
 MB = float(1 << 20)
 
@@ -130,7 +131,38 @@ class SimConfig:
             re-rated flow keeps its old rate (suppressing the completion
             event repost).  The default 0.0 keeps only the absolute
             1e-12 floor and is bit-exact; non-zero values are an opt-in
-            approximation for very large fabrics.
+            approximation for very large fabrics (the ``fast`` fidelity
+            preset sets 1e-3).
+        vectorized_rates: allow the numpy vectorized re-rating path in
+            the flow network.  Engaged per reallocation pass when the
+            affected-flow count reaches ``vectorize_min_flows``; always
+            bit-identical to the scalar path, which remains the
+            small-N and reference mode.
+        vectorize_min_flows: affected-flow threshold for the vectorized
+            re-rater.
+        event_queue: event-queue backend — ``auto`` (bucket calendar
+            queue for large plans, binary heap for small ones),
+            ``heap``, or ``bucket``.  Backends pop in the identical
+            total order, so the choice only affects wall time.
+        event_bucket_width_us: time width of one calendar-queue bucket.
+        lazy_invalidation: cancel a superseded flow-completion event in
+            place in the queue (the default), so it is skipped without a
+            dispatch.  ``False`` restores the pre-bucket discipline —
+            stale events are dispatched and recognised by a version
+            check — which the scale benchmark uses as its baseline.
+            Both disciplines are bit-identical.
+        aggregate_microbatches: share one representative instance's
+            validation and schedule metadata (route, send cap, receive
+            copy duration) across its micro-batch siblings instead of
+            recomputing per instance.  Bit-identical by construction;
+            ``False`` selects the fully expanded per-instance
+            bookkeeping the golden suite compares against.
+        collapse_microbatches: *fast-fidelity* temporal aggregation —
+            collapse each task's micro-batch run into one representative
+            instance carrying the whole payload, then fan the report
+            back out.  Approximate (see ``docs/performance.md``) and
+            automatically disabled under fault injection, recovery
+            policies, or background traffic.
     """
 
     gamma: float = 0.03
@@ -142,6 +174,69 @@ class SimConfig:
     fault_trace_cap: int = 4096
     incremental_rates: bool = True
     rate_rel_epsilon: float = 0.0
+    vectorized_rates: bool = True
+    vectorize_min_flows: int = VECTORIZE_MIN_FLOWS
+    event_queue: str = "auto"
+    event_bucket_width_us: float = 64.0
+    lazy_invalidation: bool = True
+    aggregate_microbatches: bool = True
+    collapse_microbatches: bool = False
+
+    def __post_init__(self) -> None:
+        if self.gamma < 0:
+            raise ValueError(f"gamma must be non-negative, got {self.gamma}")
+        if not isinstance(self.fifo_depth, int) or self.fifo_depth < 1:
+            raise ValueError(
+                f"fifo_depth must be a positive integer, got {self.fifo_depth!r}"
+            )
+        for name in ("interp_cost_us", "kernel_load_us", "watchdog_window_us",
+                     "rate_rel_epsilon"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if self.fault_trace_cap < 0:
+            raise ValueError(
+                f"fault_trace_cap must be non-negative, got {self.fault_trace_cap}"
+            )
+        if self.vectorize_min_flows < 0:
+            raise ValueError(
+                "vectorize_min_flows must be non-negative, "
+                f"got {self.vectorize_min_flows}"
+            )
+        if self.event_queue not in ("auto", "heap", "bucket"):
+            raise ValueError(
+                f"event_queue must be 'auto', 'heap', or 'bucket', "
+                f"got {self.event_queue!r}"
+            )
+        if self.event_bucket_width_us <= 0:
+            raise ValueError(
+                "event_bucket_width_us must be positive, "
+                f"got {self.event_bucket_width_us}"
+            )
+
+    def with_fidelity(self, preset: str) -> "SimConfig":
+        """Return a copy configured for a named fidelity preset.
+
+        * ``exact`` — the bit-identical golden reference: no approximate
+          re-rating, no temporal micro-batch collapse.
+        * ``fast`` — the documented approximate mode for very large
+          fabrics: ``rate_rel_epsilon=1e-3`` suppresses completion-event
+          reposts for sub-0.1% rate changes and
+          ``collapse_microbatches`` folds each task's micro-batch run
+          into one representative transfer.  The completion-time error
+          bound is asserted by ``benchmarks/test_sim_scale.py``.
+        """
+        if preset == "exact":
+            return replace(
+                self, rate_rel_epsilon=0.0, collapse_microbatches=False
+            )
+        if preset == "fast":
+            return replace(
+                self, rate_rel_epsilon=1e-3, collapse_microbatches=True
+            )
+        raise ValueError(
+            f"unknown fidelity preset {preset!r} (expected 'exact' or 'fast')"
+        )
 
 
 @dataclass
@@ -191,7 +286,18 @@ class ExecutionPlan:
         Every (task, micro-batch) must have exactly one SEND invocation on
         the task's source rank and one RECV invocation on its destination
         rank.
+
+        Plans whose thread-block programs interleave micro-batches as
+        uniform consecutive runs — the shape the kernel generator emits —
+        are validated one representative run at a time
+        (:meth:`_validate_microbatch_runs`), dropping the per-instance
+        bookkeeping from the hot path at large scale.  Any plan that does
+        not match the pattern (including every invalid plan) falls back
+        to the exhaustive per-instance scan below, so the accepted set
+        and the raised diagnostics are unchanged.
         """
+        if self.config.aggregate_microbatches and self._validate_microbatch_runs():
+            return
         expected = len(self.dag) * self.n_microbatches
         seen: Dict[Tuple[int, int, Side], int] = {}
         for tb in self.tb_programs:
@@ -222,6 +328,46 @@ class ExecutionPlan:
                 f"plan {self.name!r}: expected {expected} send and recv "
                 f"invocations, found {sends} sends / {recvs} recvs"
             )
+
+    def _validate_microbatch_runs(self) -> bool:
+        """Run-at-a-time validation; ``True`` iff the plan is provably valid.
+
+        Succeeds only when every TB program is a sequence of full
+        micro-batch runs ``(task, side, 0..M-1)``; each run is then
+        checked once (uniqueness, placement) instead of per instance.
+        Returns ``False`` — never raises — on any pattern mismatch or
+        violation, deferring to the exhaustive scan for canonical
+        errors.
+        """
+        n_mb = self.n_microbatches
+        expected_mbs = list(range(n_mb))
+        seen: Dict[Tuple[int, Side], None] = {}
+        for tb in self.tb_programs:
+            invs = tb.invocations
+            if len(invs) % n_mb:
+                return False
+            for i in range(0, len(invs), n_mb):
+                first = invs[i]
+                if first.mb != 0:
+                    return False
+                run = invs[i : i + n_mb]
+                if n_mb > 1:
+                    task_id, side = first.task_id, first.side
+                    if [inv.mb for inv in run] != expected_mbs:
+                        return False
+                    for inv in run[1:]:
+                        if inv.task_id != task_id or inv.side is not side:
+                            return False
+                key = (first.task_id, first.side)
+                if key in seen:
+                    return False
+                seen[key] = None
+                task = self.dag.task(first.task_id)
+                owner = task.src if first.side is Side.SEND else task.dst
+                if tb.rank != owner:
+                    return False
+        sends = sum(1 for key in seen if key[1] is Side.SEND)
+        return sends == len(self.dag) and len(seen) == 2 * len(self.dag)
 
 
 def plan_microbatches(

@@ -86,6 +86,11 @@ class ServiceRequest:
     deadline_ms: Optional[float] = None
     request_id: Optional[str] = None
     degraded: bool = False
+    #: Simulation fidelity preset (``simulate``/``profile`` ops only):
+    #: ``exact`` (default) is bit-reproducible, ``fast`` trades a
+    #: bounded completion-time error for wall clock — the same contract
+    #: as the CLI's ``--sim-fidelity`` (docs/performance.md).
+    sim_fidelity: str = "exact"
 
     def spec(self) -> str:
         """The algorithm identity string (name, synth spec, or source)."""
@@ -161,6 +166,11 @@ def parse_request(op: str, payload: object) -> ServiceRequest:
     request_id = payload.get("request_id")
     if request_id is not None:
         request_id = str(request_id)
+    sim_fidelity = payload.get("sim_fidelity", "exact")
+    if sim_fidelity not in ("exact", "fast"):
+        raise RequestError(
+            "field 'sim_fidelity' must be 'exact' or 'fast'"
+        )
     nodes = _want(payload, "nodes", int, 2, positive=True)
     gpus = _want(payload, "gpus", int, 8, positive=True)
     if nodes * gpus > MAX_WORLD_SIZE:
@@ -181,6 +191,7 @@ def parse_request(op: str, payload: object) -> ServiceRequest:
         deadline_ms=_want(payload, "deadline_ms", float, None, positive=True),
         request_id=request_id,
         degraded=bool(payload.get("degraded", False)),
+        sim_fidelity=sim_fidelity,
     )
 
 
@@ -235,7 +246,7 @@ def request_fingerprint(request: ServiceRequest, cluster: Cluster) -> str:
     )
     extra = (
         f"{request.op}|{request.buffer_mb!r}|{request.mbs}|"
-        f"{int(request.degraded)}"
+        f"{int(request.degraded)}|{request.sim_fidelity}"
     )
     return hashlib.sha256(f"{base}|{extra}".encode("utf-8")).hexdigest()
 
@@ -349,10 +360,15 @@ def execute(payload: dict) -> dict:
         }
     else:
         plan = backend.plan(cluster, program, request.buffer_mb * MB)
+        if request.sim_fidelity != "exact":
+            plan = dataclasses.replace(
+                plan, config=plan.config.with_fidelity(request.sim_fidelity)
+            )
         report = simulate(plan)
         result = {
             "algorithm": program.name,
             "plan": plan.name,
+            "sim_fidelity": request.sim_fidelity,
             "completion_time_us": report.completion_time_us,
             "algo_bandwidth_gbps": report.algo_bandwidth_gbps,
             "n_microbatches": plan.n_microbatches,

@@ -1,13 +1,21 @@
-"""Golden determinism: the incremental rate solver is bit-identical.
+"""Golden determinism: every exact-mode optimization is bit-identical.
 
-The headline invariant of the incremental dirty-edge allocator
-(``repro.runtime.flows``) is that it is an *optimization*, not an
-approximation: with the default ``rate_rel_epsilon=0.0``, a simulation
-run with ``incremental_rates=True`` must produce a report bitwise equal
-to the brute-force reference allocator that recomputes every edge share
-and re-rates every live flow on each pass.  ``shares_computed`` is the
-one counter allowed to differ (it is exactly the work the optimization
-avoids).
+The headline invariant of the simulator's performance machinery is that
+each layer is an *optimization*, not an approximation.  With the default
+``rate_rel_epsilon=0.0``, a simulation must produce a bitwise-equal
+report across every combination of
+
+* ``incremental_rates`` — the dirty-edge allocator vs the brute-force
+  reference that recomputes every edge share per pass;
+* ``vectorized_rates`` — the numpy re-rater vs the scalar loop;
+* ``event_queue`` — calendar/bucket queue vs the plain binary heap;
+* ``aggregate_microbatches`` — representative-instance schedule
+  metadata sharing vs fully expanded per-instance bookkeeping.
+
+Only the *work counters* enumerated in
+``SimCounters.WORK_COUNTER_FIELDS`` (how the answer was computed) may
+differ; every physical field — completion times, TB/link stats, the
+dynamic completion order, traces — is pinned.
 """
 
 import dataclasses
@@ -20,6 +28,7 @@ from repro.core import ResCCLBackend
 from repro.faults import run_with_faults
 from repro.lang import parse_program
 from repro.runtime import MB, SimConfig, simulate
+from repro.runtime.metrics import SimCounters
 from repro.topology import Cluster
 
 CORPUS = sorted(
@@ -40,21 +49,40 @@ def report_fingerprint(report):
     """Everything observable about a run, with exact float identity.
 
     ``dataclasses.asdict`` recurses through TB stats, link stats, trace
-    events, fault stats, and counters; ``shares_computed`` is masked out
-    as the solver's legitimate degree of freedom.
+    events, fault stats, and counters; the declared work counters
+    (``SimCounters.WORK_COUNTER_FIELDS``) are masked out as the
+    optimizations' legitimate degrees of freedom.
     """
     data = dataclasses.asdict(report)
-    data["counters"].pop("shares_computed")
+    for field in SimCounters.WORK_COUNTER_FIELDS:
+        data["counters"].pop(field)
     data["mode"] = report.mode.value
     return data
 
 
-def with_reference_solver(plan):
-    """The same plan, solved by the brute-force reference allocator."""
+def with_config(plan, **overrides):
+    """The same plan with config fields overridden."""
     return dataclasses.replace(
         plan,
-        config=dataclasses.replace(plan.config, incremental_rates=False),
+        config=dataclasses.replace(plan.config, **overrides),
     )
+
+
+def with_reference_solver(plan):
+    """The same plan, solved by the brute-force reference allocator."""
+    return with_config(plan, incremental_rates=False)
+
+
+#: Exact-mode configuration axes; each must be bit-identical to the
+#: plan's default configuration.
+EXACT_VARIANTS = {
+    "reference-solver": dict(incremental_rates=False),
+    "scalar-rates": dict(vectorized_rates=False),
+    "vectorized-always": dict(vectorized_rates=True, vectorize_min_flows=0),
+    "heap-queue": dict(event_queue="heap"),
+    "bucket-queue": dict(event_queue="bucket"),
+    "expanded-bookkeeping": dict(aggregate_microbatches=False),
+}
 
 
 def assert_bit_identical(plan, record_trace=False):
@@ -91,6 +119,98 @@ class TestBuiltins:
         config = SimConfig()
         assert config.incremental_rates is True
         assert config.rate_rel_epsilon == 0.0
+        assert config.collapse_microbatches is False
+
+
+class TestExactVariantMatrix:
+    """Every exact-mode optimization axis pins the same report.
+
+    Covers vectorized-vs-scalar re-rating, bucket-vs-heap event queues,
+    and aggregated-vs-expanded micro-batch bookkeeping, over built-in
+    collectives and a background-traffic run.
+    """
+
+    @pytest.mark.parametrize("variant", sorted(EXACT_VARIANTS))
+    @pytest.mark.parametrize("algo", ["ring-allreduce", "hm-allreduce"])
+    def test_builtin_variants(self, algo, variant):
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        program = build_algorithm(algo, cluster)
+        plan = ResCCLBackend(max_microbatches=4).plan(cluster, program, 8 * MB)
+        base = simulate(plan, record_trace=True)
+        other = simulate(
+            with_config(plan, **EXACT_VARIANTS[variant]), record_trace=True
+        )
+        assert report_fingerprint(base) == report_fingerprint(other)
+
+    @pytest.mark.parametrize("variant", sorted(EXACT_VARIANTS))
+    def test_background_traffic_variants(self, variant):
+        cluster = Cluster(nodes=2, gpus_per_node=8)
+        program = build_algorithm("mesh-allreduce", cluster)
+        plan = ResCCLBackend(max_microbatches=4).plan(cluster, program, 8 * MB)
+        edge = next(iter(cluster.edges))
+        traffic = [((edge,), 500.0)]
+        base = simulate(plan, background_traffic=traffic)
+        other = simulate(
+            with_config(plan, **EXACT_VARIANTS[variant]),
+            background_traffic=traffic,
+        )
+        assert report_fingerprint(base) == report_fingerprint(other)
+
+    @pytest.mark.parametrize("algo", ["ring-allreduce", "mesh-allreduce"])
+    def test_eager_invalidation_same_completion(self, algo):
+        """The pre-PR event discipline reaches the same physical result.
+
+        ``lazy_invalidation=False`` restores the repost-every-change /
+        version-checked-dispatch discipline the scale benchmark uses as
+        its wall-time baseline.  It computes completion ETAs at
+        different instants (reconciled at every rate change, instead of
+        earliest-wins), so the two trajectories differ in float rounding
+        and in the tie-break order of simultaneous completions — the
+        completion time agrees to model tolerance but is not bitwise
+        pinned, which is why this mode is a baseline, not a member of
+        ``EXACT_VARIANTS``.
+        """
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        program = build_algorithm(algo, cluster)
+        plan = ResCCLBackend(max_microbatches=4).plan(cluster, program, 8 * MB)
+        base = simulate(plan)
+        eager = simulate(with_config(plan, lazy_invalidation=False))
+        assert base.completion_time_us == pytest.approx(
+            eager.completion_time_us, rel=0.02
+        )
+        assert sorted(base.completion_order) == sorted(eager.completion_order)
+        assert base.counters.flows_admitted == eager.counters.flows_admitted
+
+    def test_vectorized_path_engages(self):
+        """The auto threshold really switches to the numpy re-rater."""
+        cluster = Cluster(nodes=2, gpus_per_node=8)
+        program = build_algorithm("mesh-allreduce", cluster)
+        plan = ResCCLBackend(max_microbatches=4).plan(cluster, program, 8 * MB)
+        report = simulate(with_config(plan, vectorize_min_flows=0))
+        assert report.counters.vectorized_passes > 0
+
+    @pytest.mark.parametrize(
+        "variant",
+        ["vectorized-always", "bucket-queue", "expanded-bookkeeping"],
+    )
+    def test_fault_injected_variants(self, variant):
+        """A fault-injected recovery run replays identically per axis."""
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        program = build_algorithm("ring-allreduce", cluster)
+        plan = ResCCLBackend(max_microbatches=4).plan(cluster, program, 8 * MB)
+        base = run_with_faults(
+            plan, "link-flap", seed=1, recovery="fallback", record_trace=True
+        )
+        other = run_with_faults(
+            with_config(plan, **EXACT_VARIANTS[variant]),
+            "link-flap",
+            seed=1,
+            recovery="fallback",
+            record_trace=True,
+        )
+        assert report_fingerprint(base.report) == report_fingerprint(
+            other.report
+        )
 
 
 class TestDslCorpus:
@@ -100,6 +220,22 @@ class TestDslCorpus:
         cluster = cluster_for(program)
         plan = ResCCLBackend(max_microbatches=4).plan(cluster, program, 4 * MB)
         assert_bit_identical(plan)
+
+    @pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.name)
+    def test_corpus_vectorized_and_aggregated(self, path):
+        """Vectorized-vs-scalar and aggregated-vs-expanded over the corpus."""
+        program = parse_program(path.read_text())
+        cluster = cluster_for(program)
+        plan = ResCCLBackend(max_microbatches=4).plan(cluster, program, 4 * MB)
+        base = report_fingerprint(simulate(plan))
+        vectorized = simulate(
+            with_config(plan, vectorized_rates=True, vectorize_min_flows=0)
+        )
+        scalar = simulate(with_config(plan, vectorized_rates=False))
+        expanded = simulate(with_config(plan, aggregate_microbatches=False))
+        assert report_fingerprint(vectorized) == base
+        assert report_fingerprint(scalar) == base
+        assert report_fingerprint(expanded) == base
 
 
 class TestFaultInjected:
