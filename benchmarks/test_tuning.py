@@ -1,0 +1,202 @@
+"""Autotuner acceptance benchmark.
+
+Tunes the 2x4 serving matrix (allreduce / allgather / reducescatter at
+64 and 128 MB) and records, per cell, the tuned winner against the untuned
+ring default, the request-time cost of serving a tuned plan against an
+ordinary plan-cache hit, and the search cost of the two-stage
+fast-fidelity screen against scoring the whole grid under ``exact``.
+Writes ``BENCH_tuning.json`` at the repo root for CI diffing.
+
+Asserted acceptance shape:
+
+* the tuned winner is **strictly better** than the default on every
+  cell, and **>= 10% better** on at least one;
+* a **table hit adds no search to the hot path** — best-of-N
+  ``ResCCLBackend.plan`` latency with the table installed stays within
+  2x of a plain plan-cache hit;
+* the fast-fidelity screen cuts summed simulation cost **>= 2x**
+  against the exact-only reference while picking **identical winners**.
+
+Search costs are compared as summed per-point simulation seconds
+(``CellResult.screen_cost_s + exact_cost_s``), which is stable under
+worker parallelism, rather than end-to-end wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from conftest import once
+
+from repro.algorithms import build_algorithm
+from repro.core import ResCCLBackend
+from repro.tuning.table import configure_tuning
+from repro.tuning.tuner import Cell, tune
+
+OUT = Path(__file__).resolve().parent.parent / "BENCH_tuning.json"
+
+#: 64 MB and up keeps every candidate genuinely micro-batched, so the
+#: fast screen's collapse has real work on each point — at 32 MB much
+#: of the grid plans so few micro-batches that the screen silently pays
+#: exact cost (the ``collapse_noops`` column tracks this).
+CELLS = tuple(
+    Cell(collective=collective, buffer_mb=buffer_mb, nodes=2, gpus=4)
+    for collective in ("allreduce", "allgather", "reducescatter")
+    for buffer_mb in (64, 128)
+)
+
+MIN_CELLS_IMPROVED = 3
+MIN_BEST_IMPROVEMENT = 0.10
+MAX_HIT_LATENCY_RATIO = 2.0
+MIN_SCREEN_COST_REDUCTION = 2.0
+
+LATENCY_ROUNDS = 25
+
+
+def _best_of(fn, rounds=LATENCY_ROUNDS):
+    best = math.inf
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _hit_latencies(table_path):
+    """Best-of-N ``plan()`` latency per cell: table hit vs cache hit.
+
+    Both paths are warmed first, so the comparison is pure request-time
+    overhead — the tuned path pays the table lookup plus the memoized
+    program resolve on top of the same plan-cache hit.
+    """
+    rows = []
+    for cell in CELLS:
+        cluster = cell.cluster()
+        program = build_algorithm(f"ring-{cell.collective}", cluster)
+        tuned_backend = ResCCLBackend(max_microbatches=16)
+        plain_backend = ResCCLBackend(max_microbatches=16, use_tuning=False)
+        try:
+            configure_tuning(str(table_path))
+            tuned_backend.plan(cluster, program, cell.buffer_bytes)
+            tuned_s = _best_of(
+                lambda: tuned_backend.plan(cluster, program, cell.buffer_bytes)
+            )
+        finally:
+            configure_tuning(None)
+        plain_backend.plan(cluster, program, cell.buffer_bytes)
+        plain_s = _best_of(
+            lambda: plain_backend.plan(cluster, program, cell.buffer_bytes)
+        )
+        rows.append(
+            {
+                "cell": cell.label(),
+                "table_hit_s": tuned_s,
+                "plan_cache_hit_s": plain_s,
+                "ratio": tuned_s / plain_s,
+            }
+        )
+        print(
+            f"  {cell.label():>28}  table hit {tuned_s * 1e6:7.1f}us"
+            f"  cache hit {plain_s * 1e6:7.1f}us"
+            f"  ratio {tuned_s / plain_s:.2f}x",
+            flush=True,
+        )
+    return rows
+
+
+def _cell_rows(report):
+    rows = []
+    for result in report.scored:
+        entry = result.entry
+        rows.append(
+            {
+                "cell": result.cell.label(),
+                "winner": entry["config"]["algorithm"],
+                "winner_config": entry["config"],
+                "default": entry["default_algorithm"],
+                "tuned_us": entry["tuned_us"],
+                "default_us": entry["default_us"],
+                "improvement": result.improvement,
+                "candidates": result.candidates,
+                "screened": result.screened,
+                "exact_scored": result.exact_scored,
+                "screen_cost_s": result.screen_cost_s,
+                "exact_cost_s": result.exact_cost_s,
+                "collapse_noops": result.collapse_noops,
+                "wall_s": result.wall_s,
+            }
+        )
+        print(
+            f"  {result.cell.label():>28}  {entry['config']['algorithm']:<18}"
+            f"  tuned {entry['tuned_us']:8.1f}us"
+            f"  default {entry['default_us']:8.1f}us"
+            f"  {result.improvement:+.1%}",
+            flush=True,
+        )
+    return rows
+
+
+def test_tuning(once, tmp_path):
+    screened_path = tmp_path / "screened.json"
+    exact_path = tmp_path / "exact.json"
+
+    print("\nscreened (two-stage) search:", flush=True)
+    screened = once(
+        tune, CELLS, screened_path, screen_fidelity="fast"
+    )
+    print("exact-only reference search:", flush=True)
+    exact = tune(CELLS, exact_path, screen_fidelity="exact")
+
+    cells = _cell_rows(screened)
+    print("serving latency (best of "
+          f"{LATENCY_ROUNDS}):", flush=True)
+    latency = _hit_latencies(screened_path)
+
+    screened_cost = sum(r.search_cost_s for r in screened.scored)
+    exact_cost = sum(r.search_cost_s for r in exact.scored)
+    winners = {
+        key: entry["config"] for key, entry in screened.table.entries.items()
+    }
+    reference = {
+        key: entry["config"] for key, entry in exact.table.entries.items()
+    }
+    search = {
+        "screened_cost_s": screened_cost,
+        "exact_only_cost_s": exact_cost,
+        "reduction": exact_cost / screened_cost if screened_cost else None,
+        "winners_identical": winners == reference,
+    }
+    print(
+        f"  search cost: screened {screened_cost:.2f}s"
+        f"  exact-only {exact_cost:.2f}s"
+        f"  reduction {search['reduction']:.2f}x",
+        flush=True,
+    )
+
+    result = {
+        "matrix": [cell.to_dict() for cell in CELLS],
+        "cells": cells,
+        "serving_latency": latency,
+        "search": search,
+    }
+    OUT.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {OUT}")
+
+    # Tuned strictly better everywhere, >= 10% somewhere.
+    assert len(cells) >= MIN_CELLS_IMPROVED, cells
+    assert all(row["improvement"] > 0 for row in cells), cells
+    assert max(row["improvement"] for row in cells) >= MIN_BEST_IMPROVEMENT, (
+        cells
+    )
+
+    # Serving a tuned plan costs a table lookup, not a search.
+    assert all(
+        row["ratio"] <= MAX_HIT_LATENCY_RATIO for row in latency
+    ), latency
+
+    # The screen pays for itself without changing any winner.
+    assert search["winners_identical"], (winners, reference)
+    assert search["reduction"] >= MIN_SCREEN_COST_REDUCTION, search

@@ -9,6 +9,7 @@ Subcommands::
     resccl compare ALGO [options]        # all three backends side by side
     resccl trace ALGO [options]          # ASCII Gantt / Chrome trace
     resccl profile ALGO [options]        # spans + critical-path breakdown
+    resccl tune [options]                # autotune plans into a table
 
 ``ALGO`` is either a built-in algorithm name (see ``resccl algos``), a
 synthesizer spec (``taccl:allreduce`` / ``teccl:allgather``), or a path
@@ -105,6 +106,27 @@ def _configure_cache(args: argparse.Namespace) -> None:
         plancache.configure(enabled=False)
     elif getattr(args, "cache_dir", None) is not None:
         plancache.configure(cache_dir=args.cache_dir)
+
+
+def _add_tuning_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tuning-table", default=None, metavar="PATH",
+        help="serve tuned plans from this 'resccl tune' table; cells it "
+        "covers replace the requested plan source and knobs with the "
+        "tuned winners (docs/performance.md#autotuning)",
+    )
+
+
+def _configure_tuning(args: argparse.Namespace) -> None:
+    """Install ``--tuning-table`` as the process-wide tuning table."""
+    path = getattr(args, "tuning_table", None)
+    if path is None:
+        return
+    if not Path(path).is_file():
+        raise SystemExit(f"error: tuning table not found: {path}")
+    from .tuning.table import configure_tuning
+
+    configure_tuning(path)
 
 
 def _cluster_from(args: argparse.Namespace) -> Cluster:
@@ -274,6 +296,7 @@ def _print_deadlock(exc: SimulationDeadlock) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     _configure_cache(args)
+    _configure_tuning(args)
     cluster = _cluster_from(args)
     program = _resolve_algorithm(args.algorithm, cluster)
     cluster = _fit_cluster(args, cluster, program)
@@ -413,6 +436,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_profile(args: argparse.Namespace) -> int:
     _configure_cache(args)
+    _configure_tuning(args)
     cluster = _cluster_from(args)
     program = _resolve_algorithm(args.algorithm, cluster)
     cluster = _fit_cluster(args, cluster, program)
@@ -552,8 +576,81 @@ def cmd_serve(args: argparse.Namespace) -> int:
         journal_dir=args.journal_dir,
         drain_grace_ms=args.drain_grace_ms,
         prewarm_limit=args.prewarm_limit,
+        tuning_table=args.tuning_table,
     )
     return ServiceDaemon(config).run_forever()
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from .tuning.tuner import Cell, tune
+
+    _configure_cache(args)
+    collectives = [c.strip() for c in args.collectives.split(",") if c.strip()]
+    try:
+        sizes = [float(s) for s in args.sizes_mb.split(",") if s.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"error: --sizes-mb wants comma-separated numbers, "
+            f"got {args.sizes_mb!r}"
+        ) from None
+    if not collectives or not sizes:
+        raise SystemExit("error: need at least one collective and one size")
+    schedulers = tuple(
+        s.strip() for s in args.schedulers.split(",") if s.strip()
+    )
+    cells = [
+        Cell(
+            collective=collective,
+            buffer_mb=size,
+            nodes=args.nodes,
+            gpus=args.gpus,
+            profile=args.profile,
+        )
+        for collective in collectives
+        for size in sizes
+    ]
+    table_path = Path(
+        args.table
+        if args.table
+        else plancache.default_cache_dir() / "tuning_table.json"
+    )
+    report = tune(
+        cells,
+        table_path,
+        jobs=args.jobs,
+        schedulers=schedulers,
+        screen_fidelity=args.screen,
+        force=args.force,
+    )
+    rows = []
+    failed = 0
+    for result in report.results:
+        if result.entry is not None:
+            winner = result.entry["config"]["algorithm"]
+            tuned_ms = f"{result.entry['tuned_us'] / 1e3:.2f}"
+            default_ms = f"{result.entry['default_us'] / 1e3:.2f}"
+            win = f"{result.improvement:+.1%}"
+        else:
+            failed += 1
+            winner, tuned_ms, default_ms, win = "-", "-", "-", "-"
+        rows.append([
+            result.cell.label(), result.status, winner, tuned_ms,
+            default_ms, win, str(result.candidates),
+            f"{result.wall_s:.1f}",
+        ])
+    print(
+        format_table(
+            ["cell", "status", "winner", "tuned ms", "default ms",
+             "vs default", "cands", "wall s"],
+            rows,
+        )
+    )
+    print(
+        f"\ntable: {table_path} ({len(report.table)} cell(s); "
+        f"{len(report.scored)} scored, {len(report.skipped)} skipped, "
+        f"{failed} failed; search cost {report.search_cost_s:.1f}s)"
+    )
+    return 1 if failed else 0
 
 
 def cmd_trace_request(args: argparse.Namespace) -> int:
@@ -645,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fidelity_arg(p_run)
     _add_cache_args(p_run)
+    _add_tuning_arg(p_run)
     _add_cluster_args(p_run)
 
     p_cmp = sub.add_parser("compare", help="all three backends side by side")
@@ -701,6 +799,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fidelity_arg(p_prof)
     _add_fault_args(p_prof)
     _add_cache_args(p_prof)
+    _add_tuning_arg(p_prof)
     _add_cluster_args(p_prof)
 
     p_serve = sub.add_parser(
@@ -746,6 +845,55 @@ def build_parser() -> argparse.ArgumentParser:
                          help="hot plan-cache keys persisted on drain and "
                          "compiled before /readyz flips green on the next "
                          "boot (0 disables prewarm)")
+    p_serve.add_argument("--tuning-table", default=None, metavar="PATH",
+                         help="serve tuned plans from this 'resccl tune' "
+                         "table; its cells are prewarmed before /readyz "
+                         "and a table whose topology fingerprints do not "
+                         "match this build fails startup (exit 2)")
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="search plan-shaping knobs per (collective, size, topology) "
+        "cell and persist the winners as a tuning table",
+    )
+    p_tune.add_argument(
+        "--collectives", default="allreduce,allgather,reducescatter",
+        metavar="C1,C2,...",
+        help="collectives to tune (comma-separated)",
+    )
+    p_tune.add_argument(
+        "--sizes-mb", default="32,64", metavar="S1,S2,...",
+        help="buffer sizes in MB (comma-separated; one cell per "
+        "collective x size)",
+    )
+    p_tune.add_argument(
+        "--table", default=None, metavar="PATH",
+        help="tuning-table file to create/extend (default: "
+        "tuning_table.json in the plan-cache directory); already-tuned "
+        "cells are skipped, so interrupted runs resume",
+    )
+    p_tune.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the candidate sweep "
+        "(default: one per CPU core)",
+    )
+    p_tune.add_argument(
+        "--schedulers", default="hpds,taccl,teccl", metavar="S1,S2,...",
+        help="plan sources to search: 'hpds' sweeps the built-in "
+        "HPDS-scheduled family, 'taccl'/'teccl' add synthesized plans",
+    )
+    p_tune.add_argument(
+        "--screen", default="fast", choices=["fast", "exact"],
+        help="first-stage fidelity: 'fast' screens the whole grid "
+        "cheaply and re-scores survivors exactly (successive halving); "
+        "'exact' scores everything exactly in one stage",
+    )
+    p_tune.add_argument(
+        "--force", action="store_true",
+        help="re-tune cells already present in the table",
+    )
+    _add_cache_args(p_tune)
+    _add_cluster_args(p_tune)
 
     p_treq = sub.add_parser(
         "trace-request",
@@ -801,6 +949,7 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "serve": cmd_serve,
     "trace-request": cmd_trace_request,
+    "tune": cmd_tune,
 }
 
 

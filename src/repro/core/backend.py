@@ -46,6 +46,15 @@ class ResCCLBackend:
         indexed_schedule: run the compiler's indexed cold-compile path
             (default); ``False`` selects the reference implementations.
             Outputs are bit-identical, so plans do not depend on it.
+        target_chunk_kb: target transfer-chunk size for micro-batch
+            planning; ``None`` keeps the paper's 1 MB (Table 2).
+        tb_allowance: cap on the pipelining allowance handed to TB
+            allocation; ``None`` keeps the default (the plan's own
+            micro-batch count).
+        use_tuning: consult the installed tuning table
+            (:func:`repro.tuning.get_table`) at plan time.  With no
+            table installed — the default — planning is bit-identical
+            to the untuned path.
     """
 
     scheduler: str = "hpds"
@@ -54,6 +63,9 @@ class ResCCLBackend:
     max_microbatches: int = 32
     config: Optional[SimConfig] = None
     indexed_schedule: bool = True
+    target_chunk_kb: Optional[int] = None
+    tb_allowance: Optional[int] = None
+    use_tuning: bool = True
 
     name = "ResCCL"
 
@@ -88,24 +100,79 @@ class ResCCLBackend:
         the state-based merge (a connection keeps streaming micro-batches
         past its static window, so windows closer than one pipeline depth
         are not truly disjoint).
+
+        When a tuning table is installed (``resccl tune`` +
+        :func:`repro.tuning.configure_tuning`) and covers this
+        ``(collective, size, topology)`` cell, the winning plan source
+        and knobs replace the requested ones — the autotuned plan is
+        served at cache-hit speed, with no search on this path.  With
+        no table installed the untuned path below runs unchanged.
         """
+        tuned = self._tuned_lookup(program, cluster, buffer_bytes)
+        if tuned is not None:
+            program, scheduler, chunk_kb, max_mb, allowance = tuned
+        else:
+            scheduler = self.scheduler
+            chunk_kb = self.target_chunk_kb
+            max_mb = self.max_microbatches
+            allowance = self.tb_allowance
         with obs_span("plan", backend=self.name) as sp:
-            compiled = self.compile(program, cluster)
-            n_mb, chunk_bytes = plan_microbatches(
-                buffer_bytes,
-                compiled.program.nchunks,
-                max_microbatches=self.max_microbatches,
+            if scheduler == self.scheduler:
+                compiled = self.compile(program, cluster)
+            else:
+                compiled = get_cache().compile(
+                    ResCCLCompiler(
+                        scheduler=scheduler,
+                        indexed_schedule=self.indexed_schedule,
+                    ),
+                    program,
+                    cluster,
+                )
+            if chunk_kb is None:
+                n_mb, chunk_bytes = plan_microbatches(
+                    buffer_bytes,
+                    compiled.program.nchunks,
+                    max_microbatches=max_mb,
+                )
+            else:
+                n_mb, chunk_bytes = plan_microbatches(
+                    buffer_bytes,
+                    compiled.program.nchunks,
+                    target_chunk_bytes=chunk_kb * 1024.0,
+                    max_microbatches=max_mb,
+                )
+            effective_allowance = (
+                n_mb if allowance is None
+                else max(1, min(allowance, n_mb))
             )
-            assignments = allocate_tbs(
-                compiled.dag,
-                compiled.pipeline,
-                pipelining_allowance=n_mb,
-                indexed=self.indexed_schedule,
+
+            def lower():
+                assignments = allocate_tbs(
+                    compiled.dag,
+                    compiled.pipeline,
+                    pipelining_allowance=effective_allowance,
+                    indexed=self.indexed_schedule,
+                )
+                return lower_to_programs(
+                    assignments, n_mb, nwarps=self.nwarps
+                )
+
+            # Repeat calls with the same compile + knobs (the serving
+            # hot path) reuse the lowered programs instead of paying TB
+            # allocation + lowering again.
+            tb_programs = get_cache().lowered(
+                compiled.cache_key,
+                n_mb,
+                effective_allowance,
+                self.indexed_schedule,
+                self.nwarps,
+                build=lower,
             )
-            tb_programs = lower_to_programs(
-                assignments, n_mb, nwarps=self.nwarps
+            sp.set(
+                n_microbatches=n_mb,
+                tbs=len(tb_programs),
+                tuned=tuned is not None,
             )
-            sp.set(n_microbatches=n_mb, tbs=len(tb_programs))
         return ExecutionPlan(
             name=f"ResCCL/{compiled.program.name}",
             cluster=cluster,
@@ -116,6 +183,34 @@ class ResCCLBackend:
             tb_programs=tb_programs,
             mode=self.mode,
             config=self.config or SimConfig(),
+        )
+
+    def _tuned_lookup(self, program, cluster: Cluster, buffer_bytes: float):
+        """The tuned (program, knobs) for this call, or ``None``.
+
+        Misses are free of side effects beyond a counter bump; with no
+        table installed the lookup short-circuits before touching the
+        tuning layer's state at all, keeping the untuned path
+        bit-identical to a build without :mod:`repro.tuning`.
+        """
+        if not self.use_tuning or not isinstance(program, AlgoProgram):
+            return None
+        from ..tuning.table import get_table
+
+        table = get_table()
+        if table is None:
+            return None
+        config = table.lookup(
+            program.collective.value, buffer_bytes, cluster
+        )
+        if config is None:
+            return None
+        return (
+            table.resolve_program(config, cluster),
+            config.scheduler,
+            config.chunk_kb,
+            config.max_microbatches,
+            config.tb_allowance,
         )
 
 

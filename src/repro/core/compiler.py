@@ -82,6 +82,11 @@ class CompileResult:
     cluster: Cluster
     scheduler: str
     phase_times_us: Dict[str, float] = field(default_factory=dict)
+    #: Content-hash under which the plan cache stored this result; set
+    #: by :meth:`repro.core.plancache.PlanCache.compile` and empty for
+    #: results built outside the cache.  Keys the per-call TB
+    #: allocation + lowering memo on the plan hot path.
+    cache_key: str = ""
 
     @property
     def total_time_us(self) -> float:

@@ -57,7 +57,8 @@ from ..obs.metrics import current_registry
 
 #: Bump whenever CompileResult (or anything reachable from it) changes
 #: shape — stale on-disk entries are then invisible, not corrupt.
-CACHE_FORMAT_VERSION = 1
+#: v2: CompileResult grew ``cache_key`` (the lowered-tier memo anchor).
+CACHE_FORMAT_VERSION = 2
 
 #: Default in-process LRU capacity (compiled pipelines are small
 #: relative to a simulation's working set).
@@ -81,6 +82,7 @@ class CacheStats:
     disk_hits: int = 0
     disk_writes: int = 0
     disk_corrupt: int = 0
+    lowered_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -124,6 +126,7 @@ class PlanCache:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._memo: "OrderedDict[str, object]" = OrderedDict()
         self._frontend: "OrderedDict[str, Tuple[object, object]]" = OrderedDict()
+        self._lowered: "OrderedDict[Tuple, object]" = OrderedDict()
         self.stats = CacheStats()
 
     # -- keying ---------------------------------------------------------
@@ -188,6 +191,7 @@ class PlanCache:
             return result
         result = self._disk_get(key)
         if result is not None:
+            result.cache_key = key
             self._memo_put(key, result)
             self.stats.disk_hits += 1
             self._count_hit()
@@ -199,6 +203,7 @@ class PlanCache:
             self._frontend.move_to_end(fe_key)
             self.stats.frontend_hits += 1
         result = compiler.compile(algorithm, cluster, frontend=frontend)
+        result.cache_key = key
         self._count_miss()
         self._memo_put(key, result)
         if frontend is None:
@@ -208,10 +213,38 @@ class PlanCache:
         self._disk_put(key, result)
         return result
 
+    def lowered(self, cache_key: str, *knobs, build):
+        """Memoized TB allocation + kernel lowering for one plan call.
+
+        ``plan()`` re-derives TB assignments and lowers them on every
+        call even when the compile itself is a cache hit — for large
+        winners that lowering dominates the request-time cost.  This
+        tier memoizes ``build()`` under ``(cache_key, *knobs)``, where
+        ``cache_key`` is the :class:`CompileResult`'s content hash and
+        ``knobs`` are the plan-shaping inputs (micro-batch count,
+        pipelining allowance, indexed mode, warp count).  Results built
+        outside the cache carry an empty ``cache_key`` and bypass the
+        tier rather than alias each other.
+        """
+        if not cache_key or self.capacity <= 0:
+            return build()
+        key = (cache_key, *knobs)
+        hit = self._lowered.get(key)
+        if hit is not None:
+            self._lowered.move_to_end(key)
+            self.stats.lowered_hits += 1
+            return hit
+        value = build()
+        self._lowered[key] = value
+        while len(self._lowered) > self.capacity:
+            self._lowered.popitem(last=False)
+        return value
+
     def clear(self) -> None:
-        """Drop both in-process tiers and reset the statistics."""
+        """Drop the in-process tiers and reset the statistics."""
         self._memo.clear()
         self._frontend.clear()
+        self._lowered.clear()
         self.stats = CacheStats()
 
     def __len__(self) -> int:

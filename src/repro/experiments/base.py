@@ -15,6 +15,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -24,6 +25,7 @@ from ..baselines import MSCCLBackend, NCCLBackend
 from ..core import ResCCLBackend
 from ..ir.task import Collective
 from ..lang.builder import AlgoProgram
+from ..obs.log import get_logger
 from ..obs.metrics import collecting, current_registry
 from ..runtime import MB, SimReport, simulate
 from ..topology import Cluster, multi_node, v100_profile
@@ -138,12 +140,18 @@ class SweepError(RuntimeError):
 
 @dataclass
 class SweepOutcome:
-    """Per-point result of a non-strict :func:`parallel_sweep`."""
+    """Per-point result of a non-strict :func:`parallel_sweep`.
+
+    ``wall_s`` is the point's own wall-clock cost (the ``fn(point)``
+    call inside the worker, queueing excluded), so long sweeps — the
+    autotuner in particular — can attribute search time per point.
+    """
 
     index: int
     point: Any
     value: Any = None
     error: Optional[str] = None
+    wall_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -154,23 +162,29 @@ def _sweep_worker(payload: Tuple[int, Callable[[Any], Any], Any]):
     """Run one sweep point under a private metrics registry.
 
     Module-level (picklable) pool target.  Returns ``(index, status,
-    value_or_traceback, metrics_json_or_None)``; exceptions never
-    propagate raw across the process boundary — they are formatted here
-    (an exception object whose state cannot be pickled would otherwise
-    wedge or kill the pool on the return path), so the parent can
-    re-raise with the worker's stack attached as plain text.  Returned
-    *values* are pickle-checked for the same reason: an unpicklable
-    value degrades to an error result instead of poisoning ``pool.map``.
+    value_or_traceback, metrics_json_or_None, wall_s)``; exceptions
+    never propagate raw across the process boundary — they are formatted
+    here (an exception object whose state cannot be pickled would
+    otherwise wedge or kill the pool on the return path), so the parent
+    can re-raise with the worker's stack attached as plain text.
+    Returned *values* are pickle-checked for the same reason: an
+    unpicklable value degrades to an error result instead of poisoning
+    the pool.
     """
     index, fn, point = payload
+    start = time.perf_counter()
     try:
         with collecting() as registry:
             value = fn(point)
-        result = (index, "ok", value, registry.to_json())
+        wall_s = time.perf_counter() - start
+        result = (index, "ok", value, registry.to_json(), wall_s)
     except KeyboardInterrupt:
         raise  # let Ctrl-C tear the pool down normally
     except BaseException:  # noqa: BLE001 - must cross the process boundary
-        return (index, "error", traceback.format_exc(), None)
+        return (
+            index, "error", traceback.format_exc(), None,
+            time.perf_counter() - start,
+        )
     try:
         pickle.dumps(result)
     except Exception as exc:  # noqa: BLE001 - unpicklable user value
@@ -180,6 +194,7 @@ def _sweep_worker(payload: Tuple[int, Callable[[Any], Any], Any]):
             f"sweep point returned an unpicklable value "
             f"({type(value).__name__}): {exc!r}",
             None,
+            wall_s,
         )
     return result
 
@@ -205,46 +220,78 @@ def parallel_sweep(
     Results are ordered by input position regardless of which worker
     finished first.  Worker metrics are folded into the ambient
     registry (when one is armed) in point order, so a parallel sweep's
-    exported metrics match the sequential run's.
+    exported metrics match the sequential run's.  Completion progress is
+    emitted periodically through :mod:`repro.obs.log` (component
+    ``sweep``, event ``sweep-progress``) so long runs — autotuning in
+    particular — are observable instead of silent.
     """
     if jobs is None:
         jobs = os.cpu_count() or 1
     points = list(points)
+    logger = get_logger("sweep")
+    total = len(points)
+    # Roughly eight progress lines per sweep, plus the final one.
+    progress_every = max(1, total // 8)
 
     if jobs <= 1 or len(points) <= 1:
         if not strict:
             outcomes: List[SweepOutcome] = []
             for index, point in enumerate(points):
+                start = time.perf_counter()
                 try:
+                    value = fn(point)
                     outcomes.append(
-                        SweepOutcome(index, point, value=fn(point))
+                        SweepOutcome(
+                            index, point, value=value,
+                            wall_s=time.perf_counter() - start,
+                        )
                     )
                 except KeyboardInterrupt:
                     raise
                 except BaseException:  # noqa: BLE001 - mirrored worker policy
                     outcomes.append(
                         SweepOutcome(
-                            index, point, error=traceback.format_exc()
+                            index, point, error=traceback.format_exc(),
+                            wall_s=time.perf_counter() - start,
                         )
                     )
+                done = index + 1
+                if done % progress_every == 0 or done == total:
+                    logger.info("sweep-progress", done=done, total=total)
             return outcomes
         return [fn(point) for point in points]
 
     payloads = [(index, fn, point) for index, point in enumerate(points)]
+    raw: Dict[int, Tuple] = {}
     with multiprocessing.Pool(processes=min(jobs, len(points))) as pool:
-        raw = pool.map(_sweep_worker, payloads)
+        for done, result in enumerate(
+            pool.imap_unordered(_sweep_worker, payloads), 1
+        ):
+            raw[result[0]] = result
+            if done % progress_every == 0 or done == total:
+                logger.info(
+                    "sweep-progress",
+                    done=done,
+                    total=total,
+                    last_wall_s=round(result[4], 3),
+                )
 
-    # pool.map preserves input order; merge metrics in that same order so
-    # the parent registry is deterministic.
+    # Merge metrics in input-point order (not completion order) so the
+    # parent registry is deterministic regardless of worker scheduling.
     registry = current_registry()
     outcomes = []
-    for (index, status, value, metrics), point in zip(raw, points):
+    for index, point in enumerate(points):
+        _, status, value, metrics, wall_s = raw[index]
         if status == "ok":
             if registry is not None and metrics:
                 registry.merge_json(metrics)
-            outcomes.append(SweepOutcome(index, point, value=value))
+            outcomes.append(
+                SweepOutcome(index, point, value=value, wall_s=wall_s)
+            )
         else:
-            outcomes.append(SweepOutcome(index, point, error=value))
+            outcomes.append(
+                SweepOutcome(index, point, error=value, wall_s=wall_s)
+            )
 
     if strict:
         for outcome in outcomes:

@@ -1177,15 +1177,26 @@ def simulate(
     refused — recorded as ``counters.agg_collapse_disabled`` — whenever
     a fault injector, recovery policy, or background traffic is present,
     because sibling timing is observable in those runs (checkpoints,
-    per-instance retries, external contention).
+    per-instance retries, external contention).  A collapse that is
+    *permitted but has nothing to fold* (single micro-batch) is recorded
+    as ``counters.agg_collapse_noop`` so fast-fidelity screens can tell
+    when they silently measured the exact plan.
     """
     collapsed = None
     collapse_disabled = False
-    if plan.config.collapse_microbatches and plan.n_microbatches > 1:
-        if injector is None and recovery is None and not background_traffic:
-            collapsed = collapse_microbatch_runs(plan)
-        else:
+    collapse_noop = False
+    if plan.config.collapse_microbatches:
+        if injector is not None or recovery is not None or background_traffic:
             collapse_disabled = True
+        elif plan.n_microbatches > 1:
+            collapsed = collapse_microbatch_runs(plan)
+            if collapsed is None:
+                collapse_noop = True
+        else:
+            # Nothing to fold: the plan has a single micro-batch, so
+            # fast fidelity silently measures the exact plan (the
+            # >= 8x8 / 64 MB mesh-allreduce gotcha).
+            collapse_noop = True
     with obs_span("simulate", plan=plan.name) as sp:
         report = Simulator(
             collapsed.plan if collapsed is not None else plan,
@@ -1208,6 +1219,11 @@ def simulate(
                 )
         if collapse_disabled:
             report.counters.agg_collapse_disabled = 1
+        if collapse_noop:
+            report.counters.agg_collapse_noop = 1
+            registry = current_registry()
+            if registry is not None:
+                registry.inc("sim_agg_collapse_noop_total")
         sp.set(
             completion_time_us=report.completion_time_us,
             tbs=report.tb_count(),

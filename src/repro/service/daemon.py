@@ -92,6 +92,7 @@ from ..obs.context import TraceContext, context_from_headers, new_trace_id
 from ..obs.log import get_logger, log_ring
 from ..obs.metrics import MetricsRegistry
 from ..topology import Cluster, profile_by_name
+from ..tuning.table import TuningTable, TuningTableError
 from .breaker import CircuitBreaker
 from .journal import (
     JournalBusy,
@@ -177,6 +178,14 @@ class ServiceConfig:
     #: Hot coalescing keys persisted to the prewarm manifest on drain
     #: and replayed before readiness on the next boot (0 disables).
     prewarm_limit: int = 32
+    #: Tuning-table file (``resccl tune`` output) served to every
+    #: worker.  Requests hitting a tuned cell are answered with the
+    #: table's winning plan, coalesce under the cell key, and are
+    #: prewarmed at boot.  A missing table or one whose entries'
+    #: topology fingerprints no longer match this build's hardware
+    #: constants fails startup (exit 2) — serving stale winners
+    #: silently is worse than not starting.
+    tuning_table: Optional[str] = None
 
 
 class _Inflight:
@@ -216,7 +225,9 @@ class ServiceDaemon:
             cache_dir=self.config.cache_dir,
             hang_timeout_s=self.config.hang_timeout_s,
             retry_backoff_s=self.config.retry_backoff_s,
+            tuning_table=self.config.tuning_table,
         )
+        self.tuning: Optional[TuningTable] = None
         self.recorder = FlightRecorder(
             slow_capacity=self.config.recorder_slow,
             error_capacity=self.config.recorder_errors,
@@ -375,7 +386,7 @@ class ServiceDaemon:
             # 503s must flow while the journal replays and the cache
             # prewarms, exactly as a load balancer expects.
             self.start(wait_ready=False)
-        except (OSError, JournalBusy, JournalCorrupt) as exc:
+        except (OSError, JournalBusy, JournalCorrupt, TuningTableError) as exc:
             self._log.error("startup-failed", error=str(exc))
             print(f"fatal: cannot start service: {exc}", file=sys.stderr)
             return 2
@@ -434,6 +445,14 @@ class ServiceDaemon:
                 self.lifecycle.ready_event.set()
                 return
             self._restore_recorder()
+        if self.config.tuning_table:
+            try:
+                self.tuning = self._load_tuning_table()
+            except TuningTableError as exc:
+                self._start_error = exc
+                self._ready.set()
+                self.lifecycle.ready_event.set()
+                return
         self.pool.start()
         try:
             server = await asyncio.start_server(
@@ -459,6 +478,47 @@ class ServiceDaemon:
             if self._boot_task is not None and not self._boot_task.done():
                 self._boot_task.cancel()
 
+    def _load_tuning_table(self) -> TuningTable:
+        """Load + validate ``--tuning-table`` before serving a byte.
+
+        A table whose entries were tuned under different hardware
+        constants (their embedded cluster shape no longer reproduces
+        their recorded topology fingerprint) would silently hand out
+        stale winners on every request — that is a deployment error, so
+        startup fails (exit 2) with a structured log naming the cells.
+        """
+        path = Path(self.config.tuning_table)
+        if not path.is_file():
+            self._log.error("tuning-table-missing", path=str(path))
+            raise TuningTableError(f"tuning table not found: {path}")
+        table = TuningTable.load(path)
+        if table.stats.corrupt:
+            # The damaged file was quarantined to <path>.corrupt; serve
+            # with the (empty) table rather than flap the deployment.
+            self._log.warning("tuning-table-quarantined", path=str(path))
+        mismatched = table.mismatched_entries()
+        if mismatched:
+            self._log.error(
+                "tuning-table-mismatch",
+                path=str(path),
+                mismatched=len(mismatched),
+                total=len(table),
+                cells=[
+                    f"{e.get('collective')}/{e.get('buffer_bytes')}B"
+                    for e in mismatched[:8]
+                ],
+            )
+            raise TuningTableError(
+                f"tuning table {path} has {len(mismatched)} entr(ies) whose "
+                "topology fingerprint does not match this build's hardware "
+                "constants; re-run 'resccl tune' against the served cluster"
+            )
+        self._log.info(
+            "tuning-table-loaded", path=str(path), cells=len(table),
+            dropped=table.stats.dropped_entries,
+        )
+        return table
+
     def _restore_recorder(self) -> None:
         """Reload the pre-restart flight-recorder error tail (if any)."""
         path = Path(self.config.journal_dir) / RECORDER_FILE
@@ -481,6 +541,11 @@ class ServiceDaemon:
                 await self._replay_prewarm(
                     PrewarmManifest.load(self.journal.dir)
                 )
+            if self.tuning is not None and self.config.prewarm_limit > 0:
+                # Every tuned cell compiles its *winning* plan before
+                # readiness, so tuned serving starts warm even on a
+                # first boot with no manifest.
+                await self._replay_prewarm(self.tuning.prewarm_entries())
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - boot must not wedge
@@ -918,7 +983,9 @@ class ServiceDaemon:
             degraded_by_breaker = True
             self.registry.inc("service_degraded_total", endpoint=op)
 
-        key = request_fingerprint(request, self._cluster_for(request))
+        key = request_fingerprint(
+            request, self._cluster_for(request), tuning_table=self.tuning
+        )
         self.lifecycle.manifest.touch(key, prewarm_payload(request))
         if self.journal is not None:
             # Write-ahead: the request is durable *before* any dispatch

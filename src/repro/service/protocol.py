@@ -229,7 +229,11 @@ def prewarm_payload(request: ServiceRequest) -> dict:
 # ----------------------------------------------------------------------
 
 
-def request_fingerprint(request: ServiceRequest, cluster: Cluster) -> str:
+def request_fingerprint(
+    request: ServiceRequest,
+    cluster: Cluster,
+    tuning_table=None,
+) -> str:
     """Content key under which identical requests coalesce.
 
     Built on :meth:`PlanCache.compile_key` so the coalescing domain is
@@ -240,14 +244,39 @@ def request_fingerprint(request: ServiceRequest, cluster: Cluster) -> str:
     The op and its response-shaping knobs (buffer, micro-batch cap,
     degraded marker) are folded on top, since two ops over one compiled
     plan produce different responses.
+
+    When the daemon serves a tuning table, requests that resolve to a
+    tuned cell coalesce under the *cell key* instead: the table
+    overrides their plan source, scheduler, and micro-batch cap anyway,
+    so two requests for the same ``(collective, size, topology)`` cell
+    share one compile even when their requested knobs differ.
     """
-    base = get_cache().compile_key(
-        request.spec(), cluster, request.scheduler, validate=True
-    )
-    extra = (
-        f"{request.op}|{request.buffer_mb!r}|{request.mbs}|"
-        f"{int(request.degraded)}|{request.sim_fidelity}"
-    )
+    tuned_key = None
+    if (
+        tuning_table is not None
+        and not request.degraded
+        and request.source is None
+    ):
+        from ..tuning.table import spec_collective
+
+        collective = spec_collective(request.algorithm or "")
+        if collective is not None:
+            tuned_key = tuning_table.lookup_key(
+                collective, request.buffer_mb * MB, cluster
+            )
+    if tuned_key is not None:
+        # Knobs the table overrides (scheduler, mbs) are deliberately
+        # absent; the op and fidelity still shape the response.
+        base = f"tuned:{tuned_key}"
+        extra = f"{request.op}|{request.sim_fidelity}"
+    else:
+        base = get_cache().compile_key(
+            request.spec(), cluster, request.scheduler, validate=True
+        )
+        extra = (
+            f"{request.op}|{request.buffer_mb!r}|{request.mbs}|"
+            f"{int(request.degraded)}|{request.sim_fidelity}"
+        )
     return hashlib.sha256(f"{base}|{extra}".encode("utf-8")).hexdigest()
 
 
@@ -341,17 +370,41 @@ def execute(payload: dict) -> dict:
             f"program {program.name!r} wants {program.nranks} ranks but the "
             f"requested cluster has {cluster.world_size}"
         )
+    # Degraded mode must stay the conservative, almost-always-cached
+    # ring — a tuned override there would defeat the circuit breaker.
     backend = ResCCLBackend(
-        scheduler=request.scheduler, max_microbatches=request.mbs
+        scheduler=request.scheduler,
+        max_microbatches=request.mbs,
+        use_tuning=not request.degraded,
     )
     cache = get_cache()
     hits_before = cache.stats.hits
 
     wall_start = time.perf_counter()
     if request.op == "compile":
+        tuned = False
+        if not request.degraded:
+            from ..tuning.table import get_table
+
+            table = get_table()
+            if table is not None:
+                config = table.lookup(
+                    program.collective.value, request.buffer_mb * MB, cluster
+                )
+                if config is not None:
+                    # Warm the plan the tuned cell actually serves.
+                    program = table.resolve_program(config, cluster)
+                    tuned = True
+                    if config.scheduler != request.scheduler:
+                        backend = ResCCLBackend(
+                            scheduler=config.scheduler,
+                            max_microbatches=request.mbs,
+                            use_tuning=False,
+                        )
         compiled = backend.compile(program, cluster)
         result = {
             "algorithm": program.name,
+            "tuned": tuned,
             "fingerprint": result_digest(compile_fingerprint(compiled)),
             "tasks": compiled.pipeline.task_count,
             "sub_pipelines": compiled.pipeline.depth,
@@ -359,6 +412,20 @@ def execute(payload: dict) -> dict:
             "phase_times_us": dict(compiled.phase_times_us),
         }
     else:
+        tuned = False
+        if not request.degraded:
+            from ..tuning.table import get_table
+
+            table = get_table()
+            if table is not None:
+                tuned = (
+                    table.lookup_key(
+                        program.collective.value,
+                        request.buffer_mb * MB,
+                        cluster,
+                    )
+                    is not None
+                )
         plan = backend.plan(cluster, program, request.buffer_mb * MB)
         if request.sim_fidelity != "exact":
             plan = dataclasses.replace(
@@ -367,6 +434,7 @@ def execute(payload: dict) -> dict:
         report = simulate(plan)
         result = {
             "algorithm": program.name,
+            "tuned": tuned,
             "plan": plan.name,
             "sim_fidelity": request.sim_fidelity,
             "completion_time_us": report.completion_time_us,

@@ -140,12 +140,18 @@ class _Worker:
         self.job_started = 0.0
 
 
-def _worker_main(conn, heartbeat, cache_dir, lru_capacity, index=0) -> None:
+def _worker_main(
+    conn, heartbeat, cache_dir, lru_capacity, index=0, tuning_table=None
+) -> None:
     """Worker process entry: jobs in, results + metrics out."""
     from ..core import plancache
 
     if cache_dir:
         plancache.configure(cache_dir=cache_dir, capacity=lru_capacity)
+    if tuning_table:
+        from ..tuning.table import configure_tuning
+
+        configure_tuning(tuning_table)
 
     def _beat() -> None:
         while True:
@@ -245,6 +251,9 @@ class WorkerPool:
         deadline_grace_s: slack past a job's deadline before its worker
             is killed (gives the in-worker expiry check first shot).
         lru_capacity: per-worker in-process plan-cache LRU bound.
+        tuning_table: tuning-table file every worker installs at boot
+            (:func:`repro.tuning.configure_tuning`), so tuned cells are
+            served without each worker re-reading CLI flags.
     """
 
     def __init__(
@@ -257,6 +266,7 @@ class WorkerPool:
         max_retries: int = 1,
         deadline_grace_s: float = 0.2,
         lru_capacity: Optional[int] = None,
+        tuning_table: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -268,6 +278,7 @@ class WorkerPool:
         self.max_retries = max_retries
         self.deadline_grace_s = deadline_grace_s
         self.lru_capacity = lru_capacity
+        self.tuning_table = str(tuning_table) if tuning_table else None
         self.stats = PoolStats()
         self._ctx = multiprocessing.get_context()
         self._queue: Deque[_Job] = deque()
@@ -433,7 +444,7 @@ class WorkerPool:
         proc = self._ctx.Process(
             target=_worker_main,
             args=(child_conn, heartbeat, self.cache_dir, self.lru_capacity,
-                  worker.index),
+                  worker.index, self.tuning_table),
             daemon=True,
             name=f"resccl-worker-{worker.index}",
         )

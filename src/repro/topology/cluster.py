@@ -98,6 +98,7 @@ class Cluster:
         self._edge_capacity: Dict[str, float] = {}
         self._path_cache: Dict[Tuple[int, int], Path] = {}
         self._link_name_cache: Dict[Tuple[int, int], str] = {}
+        self._fingerprint: str = ""
         self._build_edges()
 
     # ------------------------------------------------------------------
@@ -166,8 +167,14 @@ class Cluster:
         the per-edge capacity table — so a :meth:`degraded` clone (whose
         edge capacities differ) hashes differently even though its shape
         is identical.  This is the topology component of the
-        compiled-plan cache key (:mod:`repro.core.plancache`).
+        compiled-plan cache key (:mod:`repro.core.plancache`) and of the
+        tuning-table cell key, both of which sit on the request hot
+        path, so the hash is computed once per cluster: edge capacities
+        only ever change inside :meth:`degraded`, before the clone
+        escapes, never on a cluster a caller already holds.
         """
+        if self._fingerprint:
+            return self._fingerprint
         payload = {
             "nodes": self.nodes,
             "gpus_per_node": self.gpus_per_node,
@@ -179,7 +186,8 @@ class Cluster:
         digest = hashlib.sha256(
             json.dumps(payload, sort_keys=True).encode("utf-8")
         )
-        return digest.hexdigest()
+        self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def edge_capacity(self, edge: str) -> float:
         """Capacity in bytes/us of a contention edge."""

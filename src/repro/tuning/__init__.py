@@ -1,0 +1,36 @@
+"""Plan autotuning: offline search, persistent tables, tuned serving.
+
+Import surface is deliberately light — only the table layer loads here,
+because the serving hot path (:mod:`repro.core.backend`) and the service
+worker processes import it.  The search driver lives in
+:mod:`repro.tuning.tuner` and is imported explicitly by the CLI and
+benchmarks (it pulls in the experiments sweep machinery).
+"""
+
+from .table import (
+    TUNING_FORMAT_VERSION,
+    TableStats,
+    TunedConfig,
+    TuningTable,
+    TuningTableError,
+    cell_key,
+    configure_tuning,
+    get_table,
+    make_entry,
+    resolve_spec,
+    spec_collective,
+)
+
+__all__ = [
+    "TUNING_FORMAT_VERSION",
+    "TableStats",
+    "TunedConfig",
+    "TuningTable",
+    "TuningTableError",
+    "cell_key",
+    "configure_tuning",
+    "get_table",
+    "make_entry",
+    "resolve_spec",
+    "spec_collective",
+]

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import plancache
+from repro.tuning import table as tuning_table
 
 
 @pytest.fixture(autouse=True)
@@ -16,3 +17,15 @@ def _fresh_plan_cache():
     plancache.get_cache().clear()
     yield
     plancache.get_cache().clear()
+
+
+@pytest.fixture(autouse=True)
+def _no_tuning_table():
+    """Keep the process-wide tuning table uninstalled between tests.
+
+    A table a test installs (configure_tuning) would otherwise rewrite
+    every later test's plans for the cells it covers.
+    """
+    tuning_table.configure_tuning(None)
+    yield
+    tuning_table.configure_tuning(None)

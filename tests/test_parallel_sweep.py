@@ -10,6 +10,7 @@ from repro.experiments.base import (
     parallel_sweep,
 )
 from repro.faults.harness import ChaosCorpusError, run_chaos_corpus
+from repro.obs.log import log_ring
 from repro.obs.metrics import collecting, current_registry
 
 
@@ -143,6 +144,37 @@ class TestPoolPath:
         with collecting() as parallel:
             parallel_sweep(_square_with_metrics, points, jobs=2)
         assert sequential.to_json() == parallel.to_json()
+
+
+class TestPerPointWallTime:
+    def test_inline_outcomes_carry_wall_time(self):
+        outcomes = parallel_sweep(_square, [1, 2, 3], jobs=1, strict=False)
+        assert all(o.wall_s > 0 for o in outcomes)
+
+    def test_pool_outcomes_carry_wall_time(self):
+        outcomes = parallel_sweep(
+            _square, [1, 2, 3, 4], jobs=2, strict=False
+        )
+        assert all(o.wall_s > 0 for o in outcomes)
+
+    def test_failed_points_still_timed(self):
+        outcomes = parallel_sweep(
+            _fail_on_three, [1, 3, 5], jobs=2, strict=False
+        )
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert all(o.wall_s > 0 for o in outcomes)
+
+    def test_progress_logged_to_ring(self):
+        log_ring().clear()
+        parallel_sweep(_square, list(range(8)), jobs=2)
+        records = [
+            r for r in log_ring().tail() if r.get("event") == "sweep-progress"
+        ]
+        assert records, "pool sweep should log sweep-progress"
+        last = records[-1]
+        assert last["done"] == 8
+        assert last["total"] == 8
+        assert last["last_wall_s"] >= 0
 
 
 class TestChaosCorpusPropagation:

@@ -25,6 +25,7 @@ from repro.algorithms import build_algorithm, ring_allreduce
 from repro.cli import main
 from repro.core import ResCCLBackend
 from repro.faults import run_with_faults
+from repro.obs.metrics import collecting
 from repro.runtime import MB, SimConfig, simulate
 from repro.service.protocol import (
     RequestError,
@@ -109,6 +110,37 @@ class TestFastFidelity:
         )
         assert report.counters.agg_collapse_disabled == 1
         assert report.counters.agg_runs_collapsed == 0
+
+
+class TestCollapseNoop:
+    @pytest.fixture()
+    def single_mb_plan(self):
+        # 8 MB over the 8-chunk mesh plans exactly one micro-batch, so
+        # temporal collapse is permitted but has nothing to merge.
+        cluster = Cluster(nodes=2, gpus_per_node=4)
+        program = build_algorithm("mesh-allreduce", cluster)
+        return ResCCLBackend(max_microbatches=4).plan(cluster, program, 8 * MB)
+
+    def test_single_microbatch_counts_noop(self, single_mb_plan):
+        report = simulate(fast_plan(single_mb_plan))
+        assert report.counters.agg_collapse_noop == 1
+        assert report.counters.agg_runs_collapsed == 0
+        assert report.counters.agg_collapse_disabled == 0
+        assert "collapse no-op" in report.counters.summary()
+
+    def test_noop_emits_metric(self, single_mb_plan):
+        with collecting() as registry:
+            simulate(fast_plan(single_mb_plan))
+        assert registry.counter("sim_agg_collapse_noop_total").value() == 1
+
+    def test_real_collapse_is_not_a_noop(self, plan):
+        report = simulate(fast_plan(plan))
+        assert report.counters.agg_collapse_noop == 0
+        assert report.counters.agg_runs_collapsed > 0
+
+    def test_exact_run_never_noops(self, single_mb_plan):
+        report = simulate(single_mb_plan)
+        assert report.counters.agg_collapse_noop == 0
 
 
 class TestCollapseDisabledUnderFaults:
